@@ -1,0 +1,160 @@
+// Command experiments regenerates every table and figure of the SRing
+// paper's evaluation (Sec. IV):
+//
+//	experiments -table1     Table I  (4 methods x 7 benchmarks)
+//	experiments -table2     Table II (SRing runtimes)
+//	experiments -fig7       Fig. 7   (total laser power + #wl)
+//	experiments -fig8       Fig. 8   (random-solution histograms, MWD/VOPD)
+//	experiments -all        everything
+//
+// Add -milp to enable the exact MILP wavelength assignment (slower), -csv
+// to emit machine-readable rows, and -samples N to change the Fig. 8
+// sample count (paper: 100000).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sring"
+	"sring/internal/randsol"
+	"sring/internal/report"
+	"sring/internal/ring"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "regenerate Table I")
+		table2   = flag.Bool("table2", false, "regenerate Table II")
+		fig7     = flag.Bool("fig7", false, "regenerate Fig. 7")
+		fig8     = flag.Bool("fig8", false, "regenerate Fig. 8")
+		all      = flag.Bool("all", false, "regenerate everything")
+		useMILP  = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
+		csv      = flag.Bool("csv", false, "emit CSV instead of formatted tables (Table I / Fig. 7 data)")
+		samples  = flag.Int("samples", 100000, "random samples for Fig. 8")
+		seed     = flag.Int64("seed", 2025, "random seed for Fig. 8")
+		extended = flag.Bool("extended", false, "also evaluate the extension benchmarks (PIP, H263, MP3, MMS)")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *table2, *fig7, *fig8 = true, true, true, true
+	}
+	if !*table1 && !*table2 && !*fig7 && !*fig8 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := sring.Options{UseMILP: *useMILP}
+
+	var rows []report.Row
+	runtimes := make(map[string]time.Duration)
+	var benchOrder []string
+	apps := sring.Benchmarks()
+	if *extended {
+		apps = append(apps, sring.ExtendedBenchmarks()...)
+	}
+	if *table1 || *fig7 || *table2 {
+		for _, app := range apps {
+			benchOrder = append(benchOrder, app.Name)
+			for _, m := range sring.Methods() {
+				d, err := sring.Synthesize(app, m, opt)
+				if err != nil {
+					fatal(err)
+				}
+				met, err := d.Metrics()
+				if err != nil {
+					fatal(err)
+				}
+				rows = append(rows, report.Row{
+					Benchmark:         app.Name,
+					Method:            string(m),
+					LongestPathMM:     met.LongestPathMM,
+					WorstILdB:         met.WorstILdB,
+					MaxSplitters:      met.MaxSplitters,
+					WorstILAlldB:      met.WorstILAlldB,
+					NumWavelengths:    met.NumWavelengths,
+					TotalLaserPowerMW: met.TotalLaserPowerMW,
+				})
+				if m == sring.MethodSRing {
+					runtimes[app.Name] = d.SynthesisTime
+				}
+			}
+		}
+	}
+
+	if *table1 {
+		fmt.Println("=== Table I: comparison of ORNoC, CTORing, XRing and SRing ===")
+		if *csv {
+			fmt.Print(report.CSV(rows))
+		} else {
+			fmt.Print(report.Table1(rows))
+		}
+		fmt.Println()
+	}
+	if *fig7 {
+		fmt.Println("=== Fig. 7: total laser power and wavelength usage ===")
+		if *csv {
+			fmt.Print(report.CSV(rows))
+		} else {
+			fmt.Print(report.Fig7(rows))
+		}
+		fmt.Println()
+	}
+	if *table2 {
+		fmt.Println("=== Table II: program runtime of SRing [s] ===")
+		fmt.Print(report.Table2(runtimes, benchOrder))
+		fmt.Println()
+	}
+	if *fig8 {
+		runFig8(opt, *samples, *seed)
+	}
+}
+
+// runFig8 reproduces the solution-quality study: random clustering +
+// sequential sub-rings + random wavelength assignment, histogrammed against
+// SRing's solution for MWD (and the feasibility count for VOPD).
+func runFig8(opt sring.Options, samples int, seed int64) {
+	fmt.Printf("=== Fig. 8: %d random solutions vs SRing ===\n", samples)
+	tech := sring.DefaultTech()
+	for _, name := range []string{"MWD", "VOPD"} {
+		app, err := sring.Benchmark(name)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := randsol.Run(app, tech, seed, samples)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s: %d / %d feasible (%.2f%%)\n", name, st.Feasible, st.Total, 100*st.FeasibleRate())
+		if name != "MWD" {
+			continue // the paper histograms MWD only
+		}
+		d, err := sring.Synthesize(app, sring.MethodSRing, opt)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := d.Metrics()
+		if err != nil {
+			fatal(err)
+		}
+		paths := make([]ring.Path, len(d.Infos))
+		for i, pi := range d.Infos {
+			paths[i] = pi.Path
+		}
+		sringIL := randsol.ReducedWorstIL(app, tech, d.Rings, paths)
+		fmt.Println()
+		fmt.Print(report.Histogram("(a) #wl for MWD", report.IntHistogramValues(st.WavelengthCounts), float64(m.NumWavelengths), 10))
+		fmt.Println()
+		fmt.Print(report.Histogram("(b) il_w for MWD [dB]", st.WorstILs, sringIL, 10))
+		fmt.Println()
+		fmt.Print(report.Summary("#wl", float64(m.NumWavelengths), report.IntHistogramValues(st.WavelengthCounts)))
+		fmt.Print(report.Summary("il_w", sringIL, st.WorstILs))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

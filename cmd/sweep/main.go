@@ -1,0 +1,305 @@
+// Command sweep runs the extension experiments beyond the paper's
+// evaluation (DESIGN.md §5, EXPERIMENTS.md "extensions"):
+//
+//	sweep -sensitivity   robustness of the Fig. 7 conclusion to the two
+//	                     calibrated loss constants (splitter stage loss and
+//	                     propagation loss): does SRing keep the lowest
+//	                     power as they vary?
+//	sweep -traffic       dynamic figures of merit from the packet-level
+//	                     simulator: latency and laser energy per bit for
+//	                     all methods on all benchmarks.
+//	sweep -density       SRing-vs-CTORing power/wavelength crossover as
+//	                     communication density grows.
+//	sweep -crossbar      ring vs λ-router worst-case loss (paper Fig. 1).
+//	sweep -scale         synthesis runtime scaling to 64-node networks,
+//	                     with and without the initial-vertex cap.
+//	sweep -resources     device cost (MRRs, splitters, waveguide) and
+//	                     single-fault exposure per method.
+//	sweep -milpgap       heuristic-vs-MILP assignment quality with the
+//	                     exact solver's proven lower bounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sring"
+	"sring/internal/fault"
+	"sring/internal/lambdarouter"
+	"sring/internal/sim"
+)
+
+func main() {
+	var (
+		sensitivity = flag.Bool("sensitivity", false, "loss-parameter sensitivity sweep")
+		traffic     = flag.Bool("traffic", false, "packet-level latency/energy comparison")
+		density     = flag.Bool("density", false, "communication-density crossover sweep")
+		crossbar    = flag.Bool("crossbar", false, "ring vs crossbar (λ-router) comparison, paper Fig. 1")
+		scale       = flag.Bool("scale", false, "synthesis runtime scaling beyond benchmark sizes")
+		resources   = flag.Bool("resources", false, "device-cost and single-fault exposure comparison")
+		milpgap     = flag.Bool("milpgap", false, "heuristic-vs-MILP assignment quality and proven bounds")
+		load        = flag.Float64("load", 0.5, "offered load for -traffic")
+	)
+	flag.Parse()
+	if !*sensitivity && !*traffic && !*density && !*crossbar && !*scale && !*resources && !*milpgap {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *sensitivity {
+		runSensitivity()
+	}
+	if *traffic {
+		runTraffic(*load)
+	}
+	if *density {
+		runDensity()
+	}
+	if *crossbar {
+		runCrossbar()
+	}
+	if *scale {
+		runScale()
+	}
+	if *resources {
+		runResources()
+	}
+	if *milpgap {
+		runMILPGap()
+	}
+}
+
+// runMILPGap reports, for every benchmark where the exact solver runs
+// within the size gate, how close the splitter-aware heuristic lands to
+// the MILP result and its proven lower bound (Eq. 8 objective values).
+func runMILPGap() {
+	fmt.Println("=== heuristic vs MILP on the Eq. 8 objective (SRing designs) ===")
+	fmt.Printf("%-10s %12s %12s %12s %8s %8s\n",
+		"benchmark", "heuristic", "final", "bound", "exact", "nodes")
+	for _, app := range sring.Benchmarks() {
+		d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{
+			UseMILP: true, MILPTimeLimit: 20 * time.Second,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		st := d.AssignStats
+		if !st.MILPRan {
+			fmt.Printf("%-10s %12.3f %12s %12s %8s %8s\n",
+				app.Name, st.Heuristic.Value, "(skipped)", "-", "-", "-")
+			continue
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %12.3f %8v %8d\n",
+			app.Name, st.Heuristic.Value, st.Final.Value, st.MILPBound,
+			st.MILPExact, st.MILPNodes)
+	}
+}
+
+// runResources compares the device cost (MRRs, splitters, waveguide) and
+// the single-fault exposure of the four methods: the honest trade behind
+// SRing's efficiency — fewer, more heavily loaded front-ends.
+func runResources() {
+	fmt.Println("=== device cost and single-fault exposure ===")
+	fmt.Printf("%-10s %-9s %8s %8s %8s %10s %12s %12s\n",
+		"benchmark", "method", "sndMRR", "rcvMRR", "split", "wg[mm]", "worst snd", "worst seg")
+	for _, app := range sring.Benchmarks() {
+		for _, m := range sring.Methods() {
+			d, err := sring.Synthesize(app, m, sring.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			met, err := d.Metrics()
+			if err != nil {
+				fatal(err)
+			}
+			rep, err := fault.Analyze(d)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-10s %-9s %8d %8d %8d %10.2f %12d %12d\n",
+				app.Name, m, met.SenderMRRs, met.ReceiverMRRs, met.TotalSplitters,
+				met.TotalWaveguideMM, rep.WorstSenderLoss, rep.WorstSegmentLoss)
+		}
+	}
+}
+
+// runScale extends Table II beyond the paper's sizes: synthesis runtime
+// and solution quality for random low-density networks up to 64 nodes,
+// with and without the initial-vertex cap.
+func runScale() {
+	fmt.Println("=== SRing synthesis scaling (random apps, density 1.5) ===")
+	fmt.Printf("%-6s %-8s %14s %14s %12s\n", "#N", "trials", "runtime", "Lmax[mm]", "power[mW]")
+	for _, n := range []int{16, 32, 48, 64} {
+		app := sring.RandomApplication(n, n*3/2, 42)
+		for _, trials := range []int{0, 6} {
+			if n > 32 && trials == 0 {
+				continue // the uncapped paper algorithm is O(n^2) growths per L_max
+			}
+			start := time.Now()
+			d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{ClusterTrials: trials})
+			if err != nil {
+				fatal(err)
+			}
+			met, err := d.Metrics()
+			if err != nil {
+				fatal(err)
+			}
+			label := "all"
+			if trials > 0 {
+				label = fmt.Sprintf("%d", trials)
+			}
+			fmt.Printf("%-6d %-8s %14s %14.2f %12.4f\n",
+				n, label, time.Since(start).Round(time.Millisecond),
+				met.LongestPathMM, met.TotalLaserPowerMW)
+		}
+	}
+}
+
+// runCrossbar quantifies the paper's Fig. 1 motivation: crossbar
+// (λ-router) designs pay OSE and crossing losses that grow with the port
+// count, while ring routers avoid them.
+func runCrossbar() {
+	fmt.Println("=== ring vs crossbar (λ-router), paper Fig. 1 ===")
+	fmt.Printf("%-10s %14s %14s %14s %10s\n",
+		"benchmark", "xbar il_w[dB]", "ring il_w[dB]", "SRing il_w[dB]", "xbar OSEs")
+	tech := sring.DefaultTech()
+	for _, app := range sring.Benchmarks() {
+		xb, err := lambdarouter.Synthesize(app, 0.1)
+		if err != nil {
+			fatal(err)
+		}
+		mx, err := xb.Evaluate(tech)
+		if err != nil {
+			fatal(err)
+		}
+		ct, err := sring.Synthesize(app, sring.MethodCTORing, sring.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		mc, err := ct.Metrics()
+		if err != nil {
+			fatal(err)
+		}
+		sr, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		ms, err := sr.Metrics()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-10s %14.2f %14.2f %14.2f %10d\n",
+			app.Name, mx.WorstILdB, mc.WorstILdB, ms.WorstILdB, mx.TotalOSEs)
+	}
+}
+
+// runDensity sweeps communication density on a fixed 12-node placement and
+// tracks SRing's power and wavelength usage against CTORing's — the paper's
+// Sec. IV-A "wavelength usage depends on the communication density"
+// narrative as a generated curve.
+func runDensity() {
+	fmt.Println("=== density sweep: 12 nodes, growing message count (seed 3) ===")
+	fmt.Printf("%-8s %-8s %14s %14s %10s %10s\n",
+		"#M", "density", "SRing P[mW]", "CTORing P[mW]", "SRing #wl", "CTOR #wl")
+	for _, m := range []int{12, 18, 24, 36, 48, 72, 96} {
+		app := sring.RandomApplication(12, m, 3)
+		sr, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		ct, err := sring.Synthesize(app, sring.MethodCTORing, sring.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		ms, err := sr.Metrics()
+		if err != nil {
+			fatal(err)
+		}
+		mc, err := ct.Metrics()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8d %-8.1f %14.4f %14.4f %10d %10d\n",
+			m, app.Density(), ms.TotalLaserPowerMW, mc.TotalLaserPowerMW,
+			ms.NumWavelengths, mc.NumWavelengths)
+	}
+}
+
+// runSensitivity sweeps the two calibrated constants and reports, per
+// setting, on how many of the seven benchmarks SRing has the lowest total
+// laser power.
+func runSensitivity() {
+	fmt.Println("=== sensitivity: benchmarks where SRing has the lowest laser power ===")
+	fmt.Printf("%-28s %-10s %s\n", "parameter setting", "wins", "of 7 benchmarks")
+
+	type setting struct {
+		name string
+		tech sring.Tech
+	}
+	var settings []setting
+	for _, split := range []float64{2.0, 3.0, 4.0} {
+		tech := sring.DefaultTech()
+		tech.SplitRatioDB = split
+		settings = append(settings, setting{fmt.Sprintf("split ratio %.1f dB", split), tech})
+	}
+	for _, prop := range []float64{0.0274, 0.1, 0.274, 0.5} {
+		tech := sring.DefaultTech()
+		tech.PropagationDBPerMM = prop
+		settings = append(settings, setting{fmt.Sprintf("propagation %.4f dB/mm", prop), tech})
+	}
+
+	for _, s := range settings {
+		wins := 0
+		total := 0
+		for _, app := range sring.Benchmarks() {
+			res, err := sring.Evaluate(app, sring.Options{Tech: s.tech})
+			if err != nil {
+				fatal(err)
+			}
+			total++
+			best := true
+			for _, m := range sring.Methods() {
+				if m != sring.MethodSRing &&
+					res[m].TotalLaserPowerMW < res[sring.MethodSRing].TotalLaserPowerMW {
+					best = false
+				}
+			}
+			if best {
+				wins++
+			}
+		}
+		fmt.Printf("%-28s %-10d %d\n", s.name, wins, total)
+	}
+}
+
+// runTraffic simulates packet traffic on every design and prints latency
+// and energy per bit.
+func runTraffic(load float64) {
+	fmt.Printf("=== packet-level comparison (load %.2f, 10 Gb/s per λ, 1 µs) ===\n", load)
+	fmt.Printf("%-10s %-9s %10s %12s %12s %12s\n",
+		"benchmark", "method", "packets", "avg lat[ns]", "thrpt[Gb/s]", "pJ/bit")
+	for _, app := range sring.Benchmarks() {
+		for _, m := range sring.Methods() {
+			d, err := sring.Synthesize(app, m, sring.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			res, err := sim.Run(d, sim.Config{Seed: 7, Load: load})
+			if err != nil {
+				fatal(err)
+			}
+			if res.Collisions != 0 {
+				fatal(fmt.Errorf("%s/%s: %d collisions in a valid design", app.Name, m, res.Collisions))
+			}
+			fmt.Printf("%-10s %-9s %10d %12.2f %12.2f %12.5f\n",
+				app.Name, m, res.PacketsDelivered, res.AvgLatencyNS,
+				res.ThroughputGbps, res.LaserEnergyPJPerBit)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

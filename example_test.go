@@ -1,0 +1,74 @@
+package sring_test
+
+import (
+	"fmt"
+	"log"
+
+	"sring"
+)
+
+// Synthesise the paper's running example (the MWD application) with SRing
+// and inspect the headline metrics.
+func ExampleSynthesize() {
+	app := sring.MWD()
+	d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := d.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d sub-rings, %d wavelengths, max %d splitters per path\n",
+		d.Method, m.NumRings, m.NumWavelengths, m.MaxSplitters)
+	// Output:
+	// SRing: 5 sub-rings, 2 wavelengths, max 4 splitters per path
+}
+
+// Compare all four methods on one benchmark — one Table I row group.
+func ExampleEvaluate() {
+	res, err := sring.Evaluate(sring.MWD(), sring.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range sring.Methods() {
+		fmt.Printf("%-8s #sp_w=%d\n", m, res[m].MaxSplitters)
+	}
+	// Output:
+	// ORNoC    #sp_w=5
+	// CTORing  #sp_w=5
+	// XRing    #sp_w=6
+	// SRing    #sp_w=4
+}
+
+// Define a custom application directly and synthesise a router for it.
+func ExampleApplication() {
+	app := &sring.Application{
+		Name: "custom",
+		Nodes: []sring.Node{
+			{ID: 0, Name: "cpu"},
+			{ID: 1, Name: "mem"},
+			{ID: 2, Name: "dsp"},
+		},
+		Messages: []sring.Message{
+			{Src: 0, Dst: 1, Bandwidth: 800},
+			{Src: 1, Dst: 0, Bandwidth: 800},
+			{Src: 0, Dst: 2, Bandwidth: 64},
+		},
+	}
+	// Give the nodes placements (0.15 mm pitch grid).
+	app.Nodes[1].Pos = app.Nodes[0].Pos.Add(0.15, 0)
+	app.Nodes[2].Pos = app.Nodes[0].Pos.Add(0, 0.15)
+
+	d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := d.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d wavelengths on %d rings\n", m.NumWavelengths, m.NumRings)
+	// Output:
+	// 2 wavelengths on 2 rings
+}

@@ -1,0 +1,60 @@
+// Compare all four synthesis methods on one benchmark — a single Table I
+// row group plus the Fig. 7 power bars.
+//
+// Usage: compare [benchmark]   (default D26)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sring"
+	"sring/internal/report"
+)
+
+func main() {
+	name := "D26"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	app, err := sring.Benchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var rows []report.Row
+	for _, m := range sring.Methods() {
+		d, err := sring.Synthesize(app, m, sring.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		met, err := d.Metrics()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, report.Row{
+			Benchmark:         app.Name,
+			Method:            string(m),
+			LongestPathMM:     met.LongestPathMM,
+			WorstILdB:         met.WorstILdB,
+			MaxSplitters:      met.MaxSplitters,
+			WorstILAlldB:      met.WorstILAlldB,
+			NumWavelengths:    met.NumWavelengths,
+			TotalLaserPowerMW: met.TotalLaserPowerMW,
+		})
+	}
+
+	fmt.Printf("method comparison on %s\n\n", app)
+	fmt.Print(report.Table1(rows))
+	fmt.Println()
+	fmt.Print(report.Fig7(rows))
+
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.TotalLaserPowerMW < best.TotalLaserPowerMW {
+			best = r
+		}
+	}
+	fmt.Printf("\nlowest total laser power: %s (%.4f mW)\n", best.Method, best.TotalLaserPowerMW)
+}

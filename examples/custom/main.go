@@ -1,0 +1,96 @@
+// Custom: the full adoption path for your own design — define a bare task
+// graph in code (no placement), let the library place it, synthesise an
+// SRing router, and export the layout (SVG) and the complete design (JSON)
+// for downstream tools.
+//
+// Usage: custom [output-dir]   (default: a temp directory)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sring"
+	"sring/internal/design"
+	"sring/internal/render"
+)
+
+func main() {
+	outDir := ""
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	} else {
+		var err error
+		outDir, err = os.MkdirTemp("", "sring-custom-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A small accelerator SoC as a bare task graph: no coordinates.
+	app := &sring.Application{
+		Name: "accel-soc",
+		Nodes: []sring.Node{
+			{ID: 0, Name: "cpu"},
+			{ID: 1, Name: "npu0"},
+			{ID: 2, Name: "npu1"},
+			{ID: 3, Name: "sram0"},
+			{ID: 4, Name: "sram1"},
+			{ID: 5, Name: "dram"},
+			{ID: 6, Name: "dma"},
+			{ID: 7, Name: "io"},
+		},
+		Messages: []sring.Message{
+			{Src: 0, Dst: 5, Bandwidth: 640}, {Src: 5, Dst: 0, Bandwidth: 640},
+			{Src: 1, Dst: 3, Bandwidth: 800}, {Src: 3, Dst: 1, Bandwidth: 800},
+			{Src: 2, Dst: 4, Bandwidth: 800}, {Src: 4, Dst: 2, Bandwidth: 800},
+			{Src: 6, Dst: 5, Bandwidth: 320}, {Src: 5, Dst: 6, Bandwidth: 320},
+			{Src: 6, Dst: 7, Bandwidth: 64}, {Src: 0, Dst: 1, Bandwidth: 96},
+			{Src: 0, Dst: 2, Bandwidth: 96},
+		},
+	}
+
+	// Place (simulated annealing) + synthesise (clustering + MILP).
+	d, err := sring.PlaceAndSynthesize(app, sring.MethodSRing, sring.Options{UseMILP: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := d.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesised %s for %s:\n", d.Method, d.App)
+	fmt.Printf("  %d sub-rings, %d wavelengths, %.4f mW laser power\n",
+		m.NumRings, m.NumWavelengths, m.TotalLaserPowerMW)
+	fmt.Println("\nplacement chosen by the annealer:")
+	for _, n := range d.App.Nodes {
+		fmt.Printf("  %-6s at %v\n", n.Name, n.Pos)
+	}
+
+	svgPath := filepath.Join(outDir, "accel-soc.svg")
+	f, err := os.Create(svgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := render.SVG(f, d); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	jsonPath := filepath.Join(outDir, "accel-soc.json")
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := design.EncodeJSON(jf, d); err != nil {
+		log.Fatal(err)
+	}
+	if err := jf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s and %s\n", svgPath, jsonPath)
+}

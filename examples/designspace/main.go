@@ -1,0 +1,68 @@
+// Design-space exploration (the paper's Sec. IV-B story): draw random
+// ring-router solutions — random clustering, sequential sub-rings, random
+// wavelengths — and see how rarely they are even feasible, and how far the
+// best of them trails SRing's solution.
+//
+// Usage: designspace [benchmark] [samples]   (default MWD 20000)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"sring"
+	"sring/internal/randsol"
+	"sring/internal/report"
+	"sring/internal/ring"
+)
+
+func main() {
+	name := "MWD"
+	samples := 20000
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		n, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad sample count %q: %v", os.Args[2], err)
+		}
+		samples = n
+	}
+
+	app, err := sring.Benchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tech := sring.DefaultTech()
+
+	st, err := randsol.Run(app, tech, 1, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d of %d random solutions feasible (%.2f%%)\n\n",
+		app.Name, st.Feasible, st.Total, 100*st.FeasibleRate())
+
+	d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{UseMILP: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := d.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths := make([]ring.Path, len(d.Infos))
+	for i, pi := range d.Infos {
+		paths[i] = pi.Path
+	}
+	sringIL := randsol.ReducedWorstIL(app, tech, d.Rings, paths)
+
+	fmt.Print(report.Histogram("#wl", report.IntHistogramValues(st.WavelengthCounts), float64(m.NumWavelengths), 10))
+	fmt.Println()
+	fmt.Print(report.Histogram("il_w [dB]", st.WorstILs, sringIL, 10))
+	fmt.Println()
+	fmt.Print(report.Summary("#wl", float64(m.NumWavelengths), report.IntHistogramValues(st.WavelengthCounts)))
+	fmt.Print(report.Summary("il_w", sringIL, st.WorstILs))
+}

@@ -1,0 +1,62 @@
+// The paper's running example (Figs. 2 and 6): customise a ring router for
+// the multi-window display (MWD) application and inspect the resulting
+// sub-ring structure — which nodes were clustered together, how each
+// sub-ring is ordered and directed, where each message travels, and what
+// the customisation saves against the classical sequential ring.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sring"
+)
+
+func main() {
+	app := sring.MWD()
+
+	srd, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{UseMILP: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	classical, err := sring.Synthesize(app, sring.MethodORNoC, sring.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("MWD application: %d nodes, %d messages\n\n", app.N(), app.M())
+	fmt.Println("node placement (mm):")
+	for _, n := range app.Nodes {
+		fmt.Printf("  node %2d at %v\n", n.ID+1, n.Pos) // paper numbers nodes from 1
+	}
+
+	fmt.Println("\nSRing sub-rings (paper Fig. 2(e)):")
+	for _, r := range srd.Rings {
+		fmt.Printf("  %s\n", r)
+	}
+
+	fmt.Println("\nsignal paths:")
+	for i, pi := range srd.Infos {
+		fmt.Printf("  node %2d -> node %2d  on ring %d, λ%d, %.3f mm\n",
+			pi.Path.Msg.Src+1, pi.Path.Msg.Dst+1, pi.Path.RingID,
+			srd.Assignment.Lambda[i], pi.Path.Length)
+	}
+
+	ms, err := srd.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := classical.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncustomisation vs classical sequential ring (ORNoC):")
+	fmt.Printf("  longest path:   %.2f mm -> %.2f mm (%.0f%% shorter)\n",
+		mc.LongestPathMM, ms.LongestPathMM, 100*(1-ms.LongestPathMM/mc.LongestPathMM))
+	fmt.Printf("  splitters/path: %d -> %d\n", mc.MaxSplitters, ms.MaxSplitters)
+	fmt.Printf("  il_w_all:       %.2f dB -> %.2f dB\n", mc.WorstILAlldB, ms.WorstILAlldB)
+	fmt.Printf("  laser power:    %.4f mW -> %.4f mW (%.0f%% less)\n",
+		mc.TotalLaserPowerMW, ms.TotalLaserPowerMW, 100*(1-ms.TotalLaserPowerMW/mc.TotalLaserPowerMW))
+	fmt.Printf("\nlike the paper's Fig. 2: node 3's single sender needs no splitter,\n")
+	fmt.Printf("and the sub-ring carrying nodes 4 and 11 avoids the half-perimeter detour.\n")
+}

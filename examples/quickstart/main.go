@@ -1,0 +1,34 @@
+// Quickstart: synthesise an SRing router for a builtin benchmark and print
+// its headline metrics. This is the smallest useful program against the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sring"
+)
+
+func main() {
+	// The MWD application: 12 nodes, 13 messages (paper Fig. 2).
+	app := sring.MWD()
+
+	// Synthesise with the paper's method: sub-ring clustering + MILP
+	// wavelength assignment.
+	d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{UseMILP: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := d.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s\n", d.Method, app)
+	fmt.Printf("  sub-rings:          %d\n", m.NumRings)
+	fmt.Printf("  longest path:       %.3f mm\n", m.LongestPathMM)
+	fmt.Printf("  wavelengths:        %d\n", m.NumWavelengths)
+	fmt.Printf("  splitters per path: <= %d\n", m.MaxSplitters)
+	fmt.Printf("  total laser power:  %.4f mW\n", m.TotalLaserPowerMW)
+}

@@ -1,0 +1,3 @@
+module sring
+
+go 1.22

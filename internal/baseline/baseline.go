@@ -1,0 +1,57 @@
+// Package baseline provides the conventional sequential-ring substrate
+// shared by the three state-of-the-art comparison methods (ORNoC, CTORing,
+// XRing): all of them connect the network's active nodes sequentially with
+// two parallel ring waveguides transmitting clockwise and counter-clockwise
+// (paper Sec. II-C, ring settings of CTORing, footnote d).
+package baseline
+
+import (
+	"fmt"
+
+	"sring/internal/netlist"
+	"sring/internal/ring"
+)
+
+// CWRingID and CCWRingID are the conventional IDs of the two ring
+// waveguides.
+const (
+	CWRingID  = 0
+	CCWRingID = 1
+)
+
+// DualRing returns the clockwise and counter-clockwise sequential rings
+// over the application's active nodes (in node-ID order, the classical
+// design of paper Fig. 2(b)).
+func DualRing(app *netlist.Application) (cw, ccw *ring.Ring, err error) {
+	order := app.ActiveNodes()
+	if len(order) < 2 {
+		return nil, nil, fmt.Errorf("baseline: %s has %d active nodes, need >= 2", app.Name, len(order))
+	}
+	cw = &ring.Ring{ID: CWRingID, Kind: ring.Base, Order: order}
+	ccw = cw.Reversed()
+	ccw.ID = CCWRingID
+	return cw, ccw, nil
+}
+
+// RouteShorter reserves each message on whichever of the two rings gives
+// the shorter path (ties go clockwise), the direction rule CTORing and
+// XRing use.
+func RouteShorter(app *netlist.Application, cw, ccw *ring.Ring) ([]ring.Path, error) {
+	paths := make([]ring.Path, 0, len(app.Messages))
+	for _, m := range app.Messages {
+		a, err := ring.Route(app, cw, m)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		b, err := ring.Route(app, ccw, m)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		if b.Length < a.Length {
+			paths = append(paths, b)
+		} else {
+			paths = append(paths, a)
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"sring/internal/geom"
+	"sring/internal/netlist"
+)
+
+func TestDualRing(t *testing.T) {
+	app := netlist.MWD()
+	cw, ccw, err := DualRing(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.ID != CWRingID || ccw.ID != CCWRingID {
+		t.Error("ring IDs wrong")
+	}
+	if cw.Len() != app.N() || ccw.Len() != app.N() {
+		t.Errorf("ring sizes: %d, %d; want %d", cw.Len(), ccw.Len(), app.N())
+	}
+	// CCW is the reverse of CW.
+	for i := range cw.Order {
+		if cw.Order[i] != ccw.Order[len(ccw.Order)-1-i] {
+			t.Fatal("ccw is not the reverse of cw")
+		}
+	}
+	if math.Abs(cw.Perimeter(app)-ccw.Perimeter(app)) > geom.Eps {
+		t.Error("perimeters differ")
+	}
+}
+
+func TestDualRingSkipsIdleNodes(t *testing.T) {
+	app := &netlist.Application{
+		Name: "t",
+		Nodes: []netlist.Node{
+			{ID: 0, Pos: geom.Pt(0, 0)},
+			{ID: 1, Pos: geom.Pt(1, 0)},
+			{ID: 2, Pos: geom.Pt(2, 0)}, // idle
+		},
+		Messages: []netlist.Message{{Src: 0, Dst: 1}},
+	}
+	cw, _, err := DualRing(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Len() != 2 || cw.Contains(2) {
+		t.Errorf("idle node included: %v", cw.Order)
+	}
+}
+
+func TestDualRingErrors(t *testing.T) {
+	app := &netlist.Application{
+		Name: "t",
+		Nodes: []netlist.Node{
+			{ID: 0, Pos: geom.Pt(0, 0)},
+			{ID: 1, Pos: geom.Pt(1, 0)},
+		},
+	}
+	if _, _, err := DualRing(app); err == nil {
+		t.Error("app without messages accepted")
+	}
+}
+
+func TestRouteShorterPicksMinDirection(t *testing.T) {
+	// Square ring: message 0->3 is 3 hops CW but 1 hop CCW.
+	app := &netlist.Application{
+		Name: "sq",
+		Nodes: []netlist.Node{
+			{ID: 0, Pos: geom.Pt(0, 0)},
+			{ID: 1, Pos: geom.Pt(1, 0)},
+			{ID: 2, Pos: geom.Pt(1, 1)},
+			{ID: 3, Pos: geom.Pt(0, 1)},
+		},
+		Messages: []netlist.Message{
+			{Src: 0, Dst: 3},
+			{Src: 0, Dst: 1},
+		},
+	}
+	cw, ccw, err := DualRing(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := RouteShorter(app, cw, ccw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths[0].RingID != CCWRingID || math.Abs(paths[0].Length-1) > geom.Eps {
+		t.Errorf("0->3 routed %+v, want CCW length 1", paths[0])
+	}
+	// Tie (single hop both? 0->1 is 1 hop CW, 3 hops CCW): CW.
+	if paths[1].RingID != CWRingID || math.Abs(paths[1].Length-1) > geom.Eps {
+		t.Errorf("0->1 routed %+v, want CW length 1", paths[1])
+	}
+}
+
+// Every benchmark: the shorter-direction path never exceeds half the
+// perimeter.
+func TestRouteShorterHalfPerimeterBound(t *testing.T) {
+	for _, app := range netlist.Benchmarks() {
+		cw, ccw, err := DualRing(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := RouteShorter(app, cw, ccw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := cw.Perimeter(app) / 2
+		for i, p := range paths {
+			if p.Length > half+geom.Eps {
+				t.Errorf("%s: path %d length %v exceeds half perimeter %v", app.Name, i, p.Length, half)
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"testing"
+
+	"sring/internal/netlist"
+)
+
+// BenchmarkSynthesize measures the clustering (the Table II cost centre)
+// per benchmark.
+func BenchmarkSynthesize(b *testing.B) {
+	for _, app := range netlist.Benchmarks() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Synthesize(app, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRingOrderLongest measures the absorption inner loop.
+func BenchmarkRingOrderLongest(b *testing.B) {
+	app := netlist.D26()
+	order := app.ActiveNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ringOrderLongest(app, order, app.Messages)
+	}
+}

@@ -1,0 +1,573 @@
+// Package cluster implements the SRing sub-ring construction method
+// (paper Sec. III-A): nodes are clustered by communication requirement and
+// physical location, each cluster is connected by one intra-cluster sub-ring
+// waveguide, and at most one additional inter-cluster sub-ring connects all
+// nodes with cross-cluster traffic — so every node has at most two senders.
+//
+// The maximum permissible signal-path length L_max is binary-searched over a
+// balanced tree of 2^h − 1 equidistant values in [d1, d2], where d1 is the
+// maximum Manhattan distance between communicating nodes and d2 the longest
+// signal path of a conventional sequential ring. For each candidate L_max,
+// sub-rings grow by absorption: a candidate vertex is inserted into the ring
+// edge that minimises the resulting longest signal path, rejecting
+// insertions that would exceed L_max.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sring/internal/netlist"
+	"sring/internal/ring"
+)
+
+// Options tunes the synthesis.
+type Options struct {
+	// TreeHeight is the paper's h: the L_max search tree holds 2^h − 1
+	// equidistant values. Zero means 6 (63 values).
+	TreeHeight int
+	// MaxInitialTrials caps how many initial vertices are tried per
+	// cluster round. The paper tries every unclustered vertex, which is
+	// O(n) growths per round and fine at benchmark scale (n <= 26); for
+	// larger networks a cap trades a little quality for a lot of runtime.
+	// Zero means unlimited (the paper's behaviour).
+	MaxInitialTrials int
+}
+
+// Result is a complete sub-ring construction.
+type Result struct {
+	// Clusters lists the node sets, sorted by ID within each cluster and
+	// by smallest member across clusters. Singleton clusters (nodes whose
+	// traffic is all inter-cluster) carry no intra ring.
+	Clusters [][]netlist.NodeID
+	// Rings holds the intra-cluster sub-rings followed by the inter-cluster
+	// sub-ring (if any). Ring IDs are dense indices into this slice.
+	Rings []*ring.Ring
+	// InterRing points at the inter-cluster ring inside Rings, or nil.
+	InterRing *ring.Ring
+	// RingForMessage maps each message index to the ID of the ring that
+	// carries it.
+	RingForMessage []int
+	// Lmax is the bound under which the returned solution was constructed
+	// (+Inf if only the unbounded fallback succeeded).
+	Lmax float64
+	// D1, D2 bound the search range.
+	D1, D2 float64
+	// Evaluated counts how many L_max values the binary search tried.
+	Evaluated int
+}
+
+// Synthesize runs the SRing clustering for the application.
+func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	h := opt.TreeHeight
+	if h == 0 {
+		h = 6
+	}
+	if h < 1 || h > 20 {
+		return nil, fmt.Errorf("cluster: tree height %d out of range [1, 20]", h)
+	}
+
+	d1 := app.MaxCommDistance()
+	d2 := conventionalRingBound(app)
+	adj := app.Adjacency()
+
+	// Binary search over the 2^h − 1 equidistant interior values of
+	// [d1, d2] (the paper's balanced BST descent: valid -> left child,
+	// invalid -> right child).
+	count := 1<<h - 1
+	valueAt := func(k int) float64 { // k in 1..count
+		return d1 + float64(k)*(d2-d1)/float64(int(1)<<h)
+	}
+	var best *Result
+	evaluated := 0
+	lo, hi := 1, count
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		lmax := valueAt(mid)
+		evaluated++
+		if sol := buildSolution(app, adj, lmax, opt.MaxInitialTrials); sol != nil {
+			sol.Lmax = lmax
+			best = sol
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		// Right edge of the range, then the unbounded fallback (always
+		// feasible: every communication component collapses into one
+		// cluster and no inter ring is needed).
+		evaluated++
+		if sol := buildSolution(app, adj, d2, opt.MaxInitialTrials); sol != nil {
+			sol.Lmax = d2
+			best = sol
+		} else {
+			evaluated++
+			sol = buildSolution(app, adj, math.Inf(1), opt.MaxInitialTrials)
+			if sol == nil {
+				return nil, fmt.Errorf("cluster: no feasible clustering for %s (internal error)", app.Name)
+			}
+			sol.Lmax = math.Inf(1)
+			best = sol
+		}
+	}
+	best.D1, best.D2 = d1, d2
+	best.Evaluated = evaluated
+	return best, nil
+}
+
+// conventionalRingBound returns d2: the longest signal path if all active
+// nodes are connected sequentially as in a conventional dual-direction ring
+// router, taking each message's shorter direction.
+func conventionalRingBound(app *netlist.Application) float64 {
+	order := app.ActiveNodes()
+	cw := &ring.Ring{ID: 0, Order: order}
+	ccw := cw.Reversed()
+	var worst float64
+	for _, m := range app.Messages {
+		a, err1 := cw.PathLength(app, m.Src, m.Dst)
+		b, err2 := ccw.PathLength(app, m.Src, m.Dst)
+		if err1 != nil || err2 != nil {
+			continue // inactive endpoints cannot occur: both sides messaged
+		}
+		if l := math.Min(a, b); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// ringOrderLongest evaluates a candidate node order carrying the given
+// messages: the longest directed path length, minimised over the two
+// traversal directions. It returns the longest path and whether the order
+// should be reversed to achieve it.
+//
+// Implemented with prefix sums over the cycle (O(len + msgs)); this is the
+// inner loop of the absorption search.
+func ringOrderLongest(app *netlist.Application, order []netlist.NodeID, msgs []netlist.Message) (longest float64, reversed bool) {
+	if len(msgs) == 0 {
+		return 0, false
+	}
+	n := len(order)
+	idx := make(map[netlist.NodeID]int, n)
+	for i, id := range order {
+		idx[id] = i
+	}
+	prefix := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		next := order[(i+1)%n]
+		prefix[i+1] = prefix[i] + app.Pos(order[i]).Manhattan(app.Pos(next))
+	}
+	perimeter := prefix[n]
+	var lf, lr float64
+	for _, m := range msgs {
+		si, ok1 := idx[m.Src]
+		di, ok2 := idx[m.Dst]
+		if !ok1 || !ok2 || si == di {
+			return math.Inf(1), false
+		}
+		fwd := prefix[di] - prefix[si]
+		if fwd < 0 {
+			fwd += perimeter
+		}
+		lf = math.Max(lf, fwd)
+		lr = math.Max(lr, perimeter-fwd)
+	}
+	if lr < lf {
+		return lr, true
+	}
+	return lf, false
+}
+
+// messagesWithin returns the app messages whose endpoints both lie in set.
+func messagesWithin(app *netlist.Application, set map[netlist.NodeID]bool) []netlist.Message {
+	var out []netlist.Message
+	for _, m := range app.Messages {
+		if set[m.Src] && set[m.Dst] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// grown is a grown sub-ring candidate.
+type grown struct {
+	order   []netlist.NodeID
+	members map[netlist.NodeID]bool
+	longest float64
+}
+
+// growCluster grows an intra-cluster sub-ring from the initial vertex under
+// lmax, absorbing communication-adjacent available vertices. A vertex with
+// no available neighbours yields a singleton (order nil).
+func growCluster(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID,
+	initial netlist.NodeID, avail map[netlist.NodeID]bool, lmax float64) grown {
+
+	members := map[netlist.NodeID]bool{initial: true}
+	// Nearest available communication partner forms the initial cluster.
+	var nearest netlist.NodeID = -1
+	bestDist := math.Inf(1)
+	for _, u := range adj[initial] {
+		if !avail[u] {
+			continue
+		}
+		d := app.Pos(initial).Manhattan(app.Pos(u))
+		if d < bestDist || (d == bestDist && (nearest < 0 || u < nearest)) {
+			nearest, bestDist = u, d
+		}
+	}
+	if nearest < 0 {
+		return grown{members: members}
+	}
+	members[nearest] = true
+	order := []netlist.NodeID{initial, nearest}
+	longest, _ := ringOrderLongest(app, order, messagesWithin(app, members))
+	if longest > lmax {
+		// Cannot even pair with the nearest partner: singleton. (Possible
+		// only for L_max below d1, which the search range excludes, but we
+		// guard anyway.)
+		return grown{members: map[netlist.NodeID]bool{initial: true}}
+	}
+
+	candidates := make(map[netlist.NodeID]bool)
+	addCandidates := func(v netlist.NodeID) {
+		for _, u := range adj[v] {
+			if avail[u] && !members[u] {
+				candidates[u] = true
+			}
+		}
+	}
+	addCandidates(initial)
+	addCandidates(nearest)
+
+	for len(candidates) > 0 {
+		order2, longest2, cand, ok := bestAbsorption(app, order, members, candidates, lmax)
+		if !ok {
+			break
+		}
+		order = order2
+		longest = longest2
+		members[cand] = true
+		delete(candidates, cand)
+		addCandidates(cand)
+		for u := range candidates {
+			if members[u] {
+				delete(candidates, u)
+			}
+		}
+	}
+	return grown{order: order, members: members, longest: longest}
+}
+
+// bestAbsorption tries to absorb each candidate at each ring position
+// (replacing segment (order[i], order[i+1]) with two segments through the
+// candidate) and returns the valid absorption minimising the longest signal
+// path.
+func bestAbsorption(app *netlist.Application, order []netlist.NodeID,
+	members, candidates map[netlist.NodeID]bool, lmax float64) (newOrder []netlist.NodeID, longest float64, cand netlist.NodeID, ok bool) {
+
+	sortedCands := make([]netlist.NodeID, 0, len(candidates))
+	for c := range candidates {
+		sortedCands = append(sortedCands, c)
+	}
+	sort.Slice(sortedCands, func(i, j int) bool { return sortedCands[i] < sortedCands[j] })
+
+	longest = math.Inf(1)
+	for _, c := range sortedCands {
+		members[c] = true
+		msgs := messagesWithin(app, members)
+		for pos := 0; pos < len(order); pos++ {
+			trial := make([]netlist.NodeID, 0, len(order)+1)
+			trial = append(trial, order[:pos+1]...)
+			trial = append(trial, c)
+			trial = append(trial, order[pos+1:]...)
+			l, _ := ringOrderLongest(app, trial, msgs)
+			if l <= lmax && l < longest {
+				longest = l
+				newOrder = trial
+				cand = c
+				ok = true
+			}
+		}
+		delete(members, c)
+	}
+	return newOrder, longest, cand, ok
+}
+
+// buildSolution attempts a full clustering under lmax. It returns nil if no
+// valid inter-cluster ring exists for any initial vertex (the paper's
+// "invalid solution": move L_max to its right child).
+func buildSolution(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID, lmax float64, maxTrials int) *Result {
+	avail := make(map[netlist.NodeID]bool)
+	for _, id := range app.ActiveNodes() {
+		avail[id] = true
+	}
+
+	var clusters []grown
+	for len(avail) > 0 {
+		ids := make([]netlist.NodeID, 0, len(avail))
+		for id := range avail {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+		// Try each available vertex as the initial vertex; keep the grown
+		// cluster with the shortest longest signal path (ties: larger
+		// cluster, then smaller initial ID). MaxInitialTrials caps the
+		// candidate set for large networks.
+		trials := ids
+		if maxTrials > 0 && len(trials) > maxTrials {
+			// Deterministic spread over the available vertices.
+			sampled := make([]netlist.NodeID, 0, maxTrials)
+			step := float64(len(trials)) / float64(maxTrials)
+			for k := 0; k < maxTrials; k++ {
+				sampled = append(sampled, trials[int(float64(k)*step)])
+			}
+			trials = sampled
+		}
+		var best grown
+		haveBest := false
+		for _, v := range trials {
+			g := growCluster(app, adj, v, avail, lmax)
+			if !haveBest || better(g, best) {
+				best = g
+				haveBest = true
+			}
+		}
+		clusters = append(clusters, best)
+		for m := range best.members {
+			delete(avail, m)
+		}
+	}
+
+	// Identify inter-cluster traffic.
+	clusterOf := make(map[netlist.NodeID]int)
+	for ci, c := range clusters {
+		for m := range c.members {
+			clusterOf[m] = ci
+		}
+	}
+	interNodes := make(map[netlist.NodeID]bool)
+	hasInter := false
+	for _, m := range app.Messages {
+		if clusterOf[m.Src] != clusterOf[m.Dst] {
+			interNodes[m.Src] = true
+			interNodes[m.Dst] = true
+			hasInter = true
+		}
+	}
+
+	var interOrder []netlist.NodeID
+	if hasInter {
+		interOrder = buildInterRing(app, interNodes, lmax, maxTrials)
+		if interOrder == nil {
+			return nil // no valid initial vertex: solution invalid
+		}
+	}
+
+	return assembleResult(app, clusters, clusterOf, interOrder)
+}
+
+// better orders grown clusters: shorter longest path wins, then more
+// members, then smaller smallest ID.
+func better(a, b grown) bool {
+	if a.longest != b.longest {
+		return a.longest < b.longest
+	}
+	if len(a.members) != len(b.members) {
+		return len(a.members) > len(b.members)
+	}
+	return minID(a.members) < minID(b.members)
+}
+
+func minID(set map[netlist.NodeID]bool) netlist.NodeID {
+	min := netlist.NodeID(math.MaxInt32)
+	for id := range set {
+		if id < min {
+			min = id
+		}
+	}
+	return min
+}
+
+// buildInterRing constructs the inter-cluster sub-ring over all interNodes.
+// Every node in the set must be absorbed; each is tried as the initial
+// vertex and the valid ring with the shortest longest path wins. Returns
+// nil if no initial vertex yields a valid complete ring.
+func buildInterRing(app *netlist.Application, interNodes map[netlist.NodeID]bool, lmax float64, maxTrials int) []netlist.NodeID {
+	ids := make([]netlist.NodeID, 0, len(interNodes))
+	for id := range interNodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) < 2 {
+		return nil
+	}
+
+	interMsgs := make(map[netlist.NodeID][]netlist.NodeID) // adjacency in the inter graph
+	for _, m := range app.Messages {
+		if interNodes[m.Src] && interNodes[m.Dst] {
+			interMsgs[m.Src] = append(interMsgs[m.Src], m.Dst)
+			interMsgs[m.Dst] = append(interMsgs[m.Dst], m.Src)
+		}
+	}
+
+	trials := ids
+	if maxTrials > 0 && len(trials) > maxTrials {
+		sampled := make([]netlist.NodeID, 0, maxTrials)
+		step := float64(len(trials)) / float64(maxTrials)
+		for k := 0; k < maxTrials; k++ {
+			sampled = append(sampled, trials[int(float64(k)*step)])
+		}
+		trials = sampled
+	}
+	var bestOrder []netlist.NodeID
+	bestLongest := math.Inf(1)
+	for _, v := range trials {
+		order, longest, ok := growInter(app, interMsgs, v, ids, lmax)
+		if ok && longest < bestLongest {
+			bestOrder, bestLongest = order, longest
+		}
+	}
+	return bestOrder
+}
+
+// growInter grows the inter ring from initial, absorbing adjacent inter
+// nodes first and falling back to the remaining ones, until all inter nodes
+// are on the ring or no valid absorption exists.
+func growInter(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID,
+	initial netlist.NodeID, all []netlist.NodeID, lmax float64) ([]netlist.NodeID, float64, bool) {
+
+	members := map[netlist.NodeID]bool{initial: true}
+	remaining := make(map[netlist.NodeID]bool)
+	for _, id := range all {
+		if id != initial {
+			remaining[id] = true
+		}
+	}
+	// Nearest partner (adjacent preferred, else nearest remaining).
+	pick := func(from []netlist.NodeID) (netlist.NodeID, bool) {
+		var nearest netlist.NodeID = -1
+		bestDist := math.Inf(1)
+		for _, u := range from {
+			if !remaining[u] {
+				continue
+			}
+			d := app.Pos(initial).Manhattan(app.Pos(u))
+			if d < bestDist || (d == bestDist && (nearest < 0 || u < nearest)) {
+				nearest, bestDist = u, d
+			}
+		}
+		return nearest, nearest >= 0
+	}
+	first, ok := pick(adj[initial])
+	if !ok {
+		first, ok = pick(all)
+		if !ok {
+			return nil, 0, false
+		}
+	}
+	members[first] = true
+	delete(remaining, first)
+	order := []netlist.NodeID{initial, first}
+	longest, _ := ringOrderLongest(app, order, messagesWithin(app, members))
+	if longest > lmax {
+		return nil, 0, false
+	}
+
+	for len(remaining) > 0 {
+		// Candidates: remaining nodes adjacent to a member; if none, all
+		// remaining (the inter graph may be disconnected, but a single
+		// ring must still carry everything).
+		candidates := make(map[netlist.NodeID]bool)
+		for m := range members {
+			for _, u := range adj[m] {
+				if remaining[u] {
+					candidates[u] = true
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			for u := range remaining {
+				candidates[u] = true
+			}
+		}
+		order2, longest2, cand, ok := bestAbsorption(app, order, members, candidates, lmax)
+		if !ok {
+			return nil, 0, false // stuck before absorbing everyone
+		}
+		order = order2
+		longest = longest2
+		members[cand] = true
+		delete(remaining, cand)
+	}
+	return order, longest, true
+}
+
+// assembleResult freezes clusters and rings into a Result, fixing each
+// ring's direction to the one minimising its longest signal path.
+func assembleResult(app *netlist.Application, clusters []grown, clusterOf map[netlist.NodeID]int, interOrder []netlist.NodeID) *Result {
+	res := &Result{}
+	ringID := 0
+	intraRingOf := make(map[int]int) // cluster index -> ring ID
+	for ci, g := range clusters {
+		memberList := make([]netlist.NodeID, 0, len(g.members))
+		for m := range g.members {
+			memberList = append(memberList, m)
+		}
+		sort.Slice(memberList, func(i, j int) bool { return memberList[i] < memberList[j] })
+		res.Clusters = append(res.Clusters, memberList)
+		if len(g.order) >= 2 {
+			order := g.order
+			if _, rev := ringOrderLongest(app, order, messagesWithin(app, g.members)); rev {
+				order = (&ring.Ring{Order: order}).Reversed().Order
+			}
+			res.Rings = append(res.Rings, &ring.Ring{ID: ringID, Kind: ring.Intra, Order: order})
+			intraRingOf[ci] = ringID
+			ringID++
+		} else {
+			intraRingOf[ci] = -1
+		}
+	}
+	sort.Slice(res.Clusters, func(i, j int) bool { return res.Clusters[i][0] < res.Clusters[j][0] })
+
+	if interOrder != nil {
+		set := make(map[netlist.NodeID]bool, len(interOrder))
+		for _, id := range interOrder {
+			set[id] = true
+		}
+		order := interOrder
+		if _, rev := ringOrderLongest(app, order, interMessages(app, clusterOf)); rev {
+			order = (&ring.Ring{Order: order}).Reversed().Order
+		}
+		res.InterRing = &ring.Ring{ID: ringID, Kind: ring.Inter, Order: order}
+		res.Rings = append(res.Rings, res.InterRing)
+	}
+
+	res.RingForMessage = make([]int, len(app.Messages))
+	for i, m := range app.Messages {
+		if clusterOf[m.Src] == clusterOf[m.Dst] {
+			res.RingForMessage[i] = intraRingOf[clusterOf[m.Src]]
+		} else if res.InterRing != nil {
+			res.RingForMessage[i] = res.InterRing.ID
+		} else {
+			res.RingForMessage[i] = -1 // cannot happen: inter ring built when needed
+		}
+	}
+	return res
+}
+
+// interMessages returns the messages crossing clusters.
+func interMessages(app *netlist.Application, clusterOf map[netlist.NodeID]int) []netlist.Message {
+	var out []netlist.Message
+	for _, m := range app.Messages {
+		if clusterOf[m.Src] != clusterOf[m.Dst] {
+			out = append(out, m)
+		}
+	}
+	return out
+}

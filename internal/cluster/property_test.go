@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"sring/internal/netlist"
+	"sring/internal/ring"
+)
+
+// Structural invariants over randomly generated applications: the paper's
+// guarantees must hold for any input, not just the benchmarks.
+func TestSynthesizeRandomApplications(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 4 + int(seed)%10
+		m := n + int(seed*7)%(n*(n-1)-n) + 1
+		if m > n*(n-1) {
+			m = n * (n - 1)
+		}
+		app := netlist.Random(n, m, seed)
+		res, err := Synthesize(app, Options{TreeHeight: 4})
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, app, err)
+		}
+		checkSolution(t, app, res)
+	}
+}
+
+// Growing clusters never orphan a message: every message's endpoints end up
+// on a common ring even for pathological shapes (stars, chains, two
+// disconnected components).
+func TestSynthesizeShapes(t *testing.T) {
+	mk := func(name string, n int, msgs [][2]int) *netlist.Application {
+		app := &netlist.Application{Name: name}
+		cols := 1
+		for cols*cols < n {
+			cols++
+		}
+		for i := 0; i < n; i++ {
+			app.Nodes = append(app.Nodes, netlist.Node{
+				ID: netlist.NodeID(i),
+				Pos: netlist.MWD().Nodes[0].Pos.Add(
+					float64(i%cols)*0.2, float64(i/cols)*0.2),
+			})
+		}
+		for _, e := range msgs {
+			app.Messages = append(app.Messages, netlist.Message{
+				Src: netlist.NodeID(e[0]), Dst: netlist.NodeID(e[1]), Bandwidth: 8,
+			})
+		}
+		return app
+	}
+	cases := []*netlist.Application{
+		mk("star-out", 6, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}),
+		mk("star-in", 6, [][2]int{{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}}),
+		mk("chain", 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}),
+		mk("two-components", 8, [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 2}, {4, 5}, {6, 7}}),
+		mk("bidir-pair", 2, [][2]int{{0, 1}, {1, 0}}),
+		mk("dense-4", 4, [][2]int{
+			{0, 1}, {1, 0}, {0, 2}, {2, 0}, {0, 3}, {3, 0},
+			{1, 2}, {2, 1}, {1, 3}, {3, 1}, {2, 3}, {3, 2},
+		}),
+	}
+	for _, app := range cases {
+		if err := app.Validate(); err != nil {
+			t.Fatalf("%s: bad fixture: %v", app.Name, err)
+		}
+		res, err := Synthesize(app, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		checkSolution(t, app, res)
+	}
+}
+
+// Two disconnected communication components must never need an inter ring.
+func TestDisconnectedComponentsNoInterRing(t *testing.T) {
+	app := netlist.Clustered(2, 3, 0, 1) // no inter flows
+	res, err := Synthesize(app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InterRing != nil {
+		t.Error("inter ring built without inter-cluster traffic")
+	}
+	intra := 0
+	for _, r := range res.Rings {
+		if r.Kind == ring.Intra {
+			intra++
+		}
+	}
+	if intra != 2 {
+		t.Errorf("%d intra rings, want 2", intra)
+	}
+}
+
+// The solution's real longest path can only improve (or stay) when the
+// search tree gets taller, across a spread of random apps.
+func TestTallerTreeNeverWorse(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		app := netlist.Random(8, 14, seed)
+		worst := func(h int) float64 {
+			res, err := Synthesize(app, Options{TreeHeight: h})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ringByID := make(map[int]*ring.Ring)
+			for _, r := range res.Rings {
+				ringByID[r.ID] = r
+			}
+			var w float64
+			for i, m := range app.Messages {
+				l, err := ringByID[res.RingForMessage[i]].PathLength(app, m.Src, m.Dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w = math.Max(w, l)
+			}
+			return w
+		}
+		if w8, w2 := worst(8), worst(2); w8 > w2+1e-9 {
+			t.Errorf("seed %d: h=8 longest path %v worse than h=2's %v", seed, w8, w2)
+		}
+	}
+}
+
+// The initial-vertex cap preserves all structural guarantees; only solution
+// quality may differ.
+func TestMaxInitialTrials(t *testing.T) {
+	app := netlist.Random(20, 34, 1)
+	capped, err := Synthesize(app, Options{MaxInitialTrials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, app, capped)
+	full, err := Synthesize(app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, app, full)
+	// The uncapped search considers a superset of initial vertices, so its
+	// chosen Lmax is never larger.
+	if full.Lmax > capped.Lmax+1e-9 {
+		t.Errorf("uncapped Lmax %v above capped %v", full.Lmax, capped.Lmax)
+	}
+}

@@ -1,0 +1,139 @@
+// Package crosstalk performs worst-case first-order crosstalk analysis of
+// synthesised WRONoC ring-router designs.
+//
+// The SRing paper (Sec. II-B) notes that crosstalk noise is far less
+// critical in ring routers than in crossbar routers because ring routers
+// need no optical switching elements and no waveguide crossings on the
+// data path; this package quantifies that claim, following the worst-case
+// methodology of the paper's references [16] (Le Beux et al.) and [24]
+// (Truppel et al.), restricted to first order:
+//
+//   - The victim signal arrives at its receiver with the laser power of its
+//     wavelength minus its worst-case insertion loss.
+//   - Every other signal riding the same waveguide into the victim's
+//     receiver node (a different wavelength, by construction) leaks into
+//     the victim's drop port with a finite suppression (default 25 dB);
+//     conservatively, aggressors are charged at their launch power with no
+//     en-route attenuation.
+//   - SNR is the ratio of the victim's arriving power to the sum of the
+//     leaked aggressor powers.
+package crosstalk
+
+import (
+	"fmt"
+	"math"
+
+	"sring/internal/design"
+)
+
+// Options parameterises the analysis.
+type Options struct {
+	// DropSuppressionDB is the crosstalk suppression of a drop MRR against
+	// off-resonance channels. Zero means 25 dB.
+	DropSuppressionDB float64
+}
+
+// PathReport is the analysis of one signal path.
+type PathReport struct {
+	// SignalDBm is the victim's power at its photodetector.
+	SignalDBm float64
+	// NoiseDBm is the aggregate first-order crosstalk power, -Inf if the
+	// path has no aggressors.
+	NoiseDBm float64
+	// SNRdB = SignalDBm - NoiseDBm (+Inf without aggressors).
+	SNRdB float64
+	// Aggressors counts the co-propagating signals leaking into the
+	// victim's receiver.
+	Aggressors int
+}
+
+// Report is the whole-design analysis.
+type Report struct {
+	PerPath []PathReport
+	// WorstSNRdB is the minimum SNR over all paths (+Inf if no path has
+	// any aggressor).
+	WorstSNRdB float64
+	// TotalAggressorPairs counts (victim, aggressor) pairs.
+	TotalAggressorPairs int
+}
+
+// Analyze computes the report for a finished design.
+func Analyze(d *design.Design, opt Options) (*Report, error) {
+	supp := opt.DropSuppressionDB
+	if supp == 0 {
+		supp = 25
+	}
+	if supp < 0 {
+		return nil, fmt.Errorf("crosstalk: negative suppression %v dB", supp)
+	}
+	met, err := d.Metrics()
+	if err != nil {
+		return nil, err
+	}
+
+	// Per wavelength launch budget: laser power covers that wavelength's
+	// worst-case loss.
+	laserDBm := make([]float64, d.Assignment.NumLambda)
+	for l, il := range met.PerLambdaWorstILdB {
+		laserDBm[l] = d.Tech.DetectorSensitivityDBm + il
+	}
+
+	rep := &Report{
+		PerPath:    make([]PathReport, len(d.Infos)),
+		WorstSNRdB: math.Inf(1),
+	}
+	for i, victim := range d.Infos {
+		feed, err := d.PDN.FeedLossDB(victim.SenderNode(), d.Tech)
+		if err != nil {
+			return nil, err
+		}
+		signal := laserDBm[d.Assignment.Lambda[i]] - (victim.LossDB + feed)
+
+		// The segment entering the victim's receiver: on a directed ring,
+		// every signal reaching or passing the receiver node traverses it.
+		entry := victim.Path.Segs[len(victim.Path.Segs)-1]
+
+		noiseLin := 0.0
+		aggressors := 0
+		for j, agg := range d.Infos {
+			if j == i || agg.Path.RingID != victim.Path.RingID {
+				continue
+			}
+			onEntry := false
+			for _, s := range agg.Path.Segs {
+				if s == entry {
+					onEntry = true
+					break
+				}
+			}
+			if !onEntry {
+				continue
+			}
+			aggressors++
+			// Conservative: the aggressor at its launch power (laser minus
+			// its PDN feed, modulator and input coupling only).
+			aggFeed, err := d.PDN.FeedLossDB(agg.SenderNode(), d.Tech)
+			if err != nil {
+				return nil, err
+			}
+			launch := laserDBm[d.Assignment.Lambda[j]] - aggFeed -
+				d.Tech.ModulatorDB - d.Tech.DropDB
+			leak := launch - supp
+			noiseLin += math.Pow(10, leak/10)
+		}
+		pr := PathReport{SignalDBm: signal, Aggressors: aggressors}
+		if aggressors == 0 {
+			pr.NoiseDBm = math.Inf(-1)
+			pr.SNRdB = math.Inf(1)
+		} else {
+			pr.NoiseDBm = 10 * math.Log10(noiseLin)
+			pr.SNRdB = signal - pr.NoiseDBm
+		}
+		rep.PerPath[i] = pr
+		rep.TotalAggressorPairs += aggressors
+		if pr.SNRdB < rep.WorstSNRdB {
+			rep.WorstSNRdB = pr.SNRdB
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,147 @@
+package crosstalk
+
+import (
+	"math"
+	"testing"
+
+	"sring/internal/ctoring"
+	"sring/internal/design"
+	"sring/internal/netlist"
+	"sring/internal/ornoc"
+	"sring/internal/pdn"
+	"sring/internal/ring"
+)
+
+func lineDesign(t *testing.T, msgs []netlist.Message) *design.Design {
+	t.Helper()
+	app := &netlist.Application{
+		Name: "line",
+		Nodes: []netlist.Node{
+			{ID: 0, Pos: netlist.MWD().Nodes[0].Pos},
+			{ID: 1, Pos: netlist.MWD().Nodes[1].Pos},
+			{ID: 2, Pos: netlist.MWD().Nodes[2].Pos},
+			{ID: 3, Pos: netlist.MWD().Nodes[3].Pos},
+		},
+		Messages: msgs,
+	}
+	r := &ring.Ring{ID: 0, Kind: ring.Base, Order: []netlist.NodeID{0, 1, 2, 3}}
+	var paths []ring.Path
+	for _, m := range app.Messages {
+		p, err := ring.Route(app, r, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	d, err := design.Finish(app, "test", []*ring.Ring{r}, paths, design.Options{PDN: pdn.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNoAggressorsInfiniteSNR(t *testing.T) {
+	// Two disjoint single-hop messages: no shared entry segments.
+	d := lineDesign(t, []netlist.Message{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}})
+	rep, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rep.WorstSNRdB, 1) {
+		t.Errorf("WorstSNR = %v, want +Inf", rep.WorstSNRdB)
+	}
+	if rep.TotalAggressorPairs != 0 {
+		t.Errorf("aggressor pairs = %d, want 0", rep.TotalAggressorPairs)
+	}
+}
+
+func TestSharedEntryCreatesAggressors(t *testing.T) {
+	// 0->2 and 1->2 share the entry segment into node 2; 0->2 also passes
+	// node 1 where 1->2 couples on. Both see one aggressor each.
+	d := lineDesign(t, []netlist.Message{{Src: 0, Dst: 2}, {Src: 1, Dst: 2}})
+	rep, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range rep.PerPath {
+		if pr.Aggressors != 1 {
+			t.Errorf("path %d: %d aggressors, want 1", i, pr.Aggressors)
+		}
+		if math.IsInf(pr.SNRdB, 1) || pr.SNRdB <= 0 {
+			t.Errorf("path %d: SNR = %v, want finite positive", i, pr.SNRdB)
+		}
+	}
+	if math.IsInf(rep.WorstSNRdB, 1) {
+		t.Error("worst SNR should be finite")
+	}
+}
+
+func TestSuppressionImprovesSNR(t *testing.T) {
+	d := lineDesign(t, []netlist.Message{{Src: 0, Dst: 2}, {Src: 1, Dst: 2}})
+	low, err := Analyze(d, Options{DropSuppressionDB: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Analyze(d, Options{DropSuppressionDB: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.WorstSNRdB <= low.WorstSNRdB {
+		t.Errorf("more suppression should improve SNR: %v vs %v", high.WorstSNRdB, low.WorstSNRdB)
+	}
+	// 20 dB more suppression with a single aggressor: exactly +20 dB SNR.
+	if math.Abs((high.WorstSNRdB-low.WorstSNRdB)-20) > 1e-9 {
+		t.Errorf("delta = %v, want 20", high.WorstSNRdB-low.WorstSNRdB)
+	}
+}
+
+func TestNegativeSuppressionRejected(t *testing.T) {
+	d := lineDesign(t, []netlist.Message{{Src: 0, Dst: 1}})
+	if _, err := Analyze(d, Options{DropSuppressionDB: -1}); err == nil {
+		t.Error("negative suppression accepted")
+	}
+}
+
+// The paper's claim, quantified: ring-router designs keep worst-case SNR
+// comfortably positive on all benchmarks (crosstalk "not a critical
+// concern", Sec. II-B).
+func TestBenchmarksKeepPositiveSNR(t *testing.T) {
+	for _, app := range netlist.Benchmarks() {
+		d, err := ctoring.Synthesize(app, ctoring.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Analyze(d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.WorstSNRdB < 3 {
+			t.Errorf("%s: worst-case SNR %.1f dB, want >= 3 dB", app.Name, rep.WorstSNRdB)
+		}
+	}
+}
+
+func TestMoreTrafficMoreAggressors(t *testing.T) {
+	// ORNoC on 8PM-44 concentrates far more signals per waveguide than on
+	// 8PM-24: aggressor pairs must grow.
+	d24, err := ornoc.Synthesize(netlist.PM24(), ornoc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d44, err := ornoc.Synthesize(netlist.PM44(), ornoc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r24, err := Analyze(d24, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r44, err := Analyze(d44, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r44.TotalAggressorPairs <= r24.TotalAggressorPairs {
+		t.Errorf("aggressor pairs: 8PM-44 %d <= 8PM-24 %d",
+			r44.TotalAggressorPairs, r24.TotalAggressorPairs)
+	}
+}

@@ -1,0 +1,64 @@
+// Package ctoring implements the CTORing baseline (Ortín-Obón et al.,
+// ASP-DAC'17): the same sequential dual-ring structure as ORNoC, but each
+// message is routed in its shorter direction and the wavelength assignment
+// is optimised (rather than first-fit), reducing wavelength usage — the
+// difference the paper credits CTORing with (Sec. II-C).
+//
+// PDN convention (paper Sec. II-C): every node carries a sender per ring
+// waveguide, every sender pair joined by a splitter, so the assignment
+// optimiser runs splitter-blind (L_sp = 0 inside the objective).
+package ctoring
+
+import (
+	"fmt"
+	"time"
+
+	"sring/internal/baseline"
+	"sring/internal/design"
+	"sring/internal/netlist"
+	"sring/internal/pdn"
+	"sring/internal/ring"
+	"sring/internal/wavelength"
+)
+
+// Options configures the synthesis.
+type Options struct {
+	// Design carries the shared downstream configuration; PDN settings are
+	// overwritten by the method's convention.
+	Design design.Options
+	// UseMILP enables the exact assignment polish.
+	UseMILP bool
+	// MILPTimeLimit bounds the exact solve (zero: wavelength default).
+	MILPTimeLimit time.Duration
+}
+
+// Synthesize builds the CTORing design for the application.
+func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
+	start := time.Now()
+	cw, ccw, err := baseline.DualRing(app)
+	if err != nil {
+		return nil, fmt.Errorf("ctoring: %w", err)
+	}
+	paths, err := baseline.RouteShorter(app, cw, ccw)
+	if err != nil {
+		return nil, fmt.Errorf("ctoring: %w", err)
+	}
+
+	dopt := opt.Design
+	dopt.PDN = pdn.Config{Style: pdn.StyleShared, ForceNodeSplitter: true, LaserPos: dopt.PDN.LaserPos, RoutePhysical: dopt.PDN.RoutePhysical}
+	dopt.PDNAllTwoSender = true
+	dopt.MRRFullComplement = true
+	dopt.Assign = wavelength.Options{
+		// Splitters are forced by convention, so the optimiser must not
+		// spend wavelengths avoiding them: L_sp = 0 in the objective.
+		Weights:       wavelength.Weights{Alpha: 1, Beta: 1, Gamma: 1, SplitterStageDB: 0},
+		UseMILP:       opt.UseMILP,
+		MILPTimeLimit: opt.MILPTimeLimit,
+	}
+	d, err := design.Finish(app, "CTORing", []*ring.Ring{cw, ccw}, paths, dopt)
+	if err != nil {
+		return nil, fmt.Errorf("ctoring: %w", err)
+	}
+	d.SynthesisTime = time.Since(start)
+	return d, nil
+}

@@ -1,0 +1,82 @@
+package ctoring
+
+import (
+	"testing"
+
+	"sring/internal/netlist"
+	"sring/internal/ornoc"
+)
+
+func TestSynthesizeBenchmarks(t *testing.T) {
+	for _, app := range netlist.Benchmarks() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			d, err := Synthesize(app, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("design invalid: %v", err)
+			}
+			if len(d.Rings) != 2 {
+				t.Errorf("CTORing uses %d rings, want 2", len(d.Rings))
+			}
+		})
+	}
+}
+
+// CTORing's two claimed advantages over ORNoC (paper Sec. II-C): shorter
+// longest paths (shorter-direction routing) and no more wavelengths
+// (optimised assignment).
+func TestBeatsORNoC(t *testing.T) {
+	for _, app := range netlist.Benchmarks() {
+		cto, err := Synthesize(app, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orn, err := ornoc.Synthesize(app, ornoc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := cto.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mo, err := orn.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.LongestPathMM > mo.LongestPathMM+1e-9 {
+			t.Errorf("%s: CTORing L %v > ORNoC L %v", app.Name, mc.LongestPathMM, mo.LongestPathMM)
+		}
+		if mc.NumWavelengths > mo.NumWavelengths {
+			t.Errorf("%s: CTORing #wl %d > ORNoC #wl %d", app.Name, mc.NumWavelengths, mo.NumWavelengths)
+		}
+	}
+}
+
+func TestSameStructureAsORNoC(t *testing.T) {
+	// Both methods share the sequential dual-ring structure: identical
+	// ring orders, different assignments.
+	app := netlist.MWD()
+	cto, err := Synthesize(app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orn, err := ornoc.Synthesize(app, ornoc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cto.Rings {
+		if cto.Rings[i].String() != orn.Rings[i].String() {
+			t.Errorf("ring %d differs between CTORing and ORNoC", i)
+		}
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	bad := &netlist.Application{Name: "bad"}
+	if _, err := Synthesize(bad, Options{}); err == nil {
+		t.Error("invalid app accepted")
+	}
+}

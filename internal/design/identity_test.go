@@ -1,0 +1,99 @@
+package design_test
+
+import (
+	"math"
+	"testing"
+
+	"sring/internal/ctoring"
+	"sring/internal/netlist"
+	"sring/internal/ornoc"
+)
+
+// The paper's Table I identity: il_w_all equals il_w plus the PDN losses of
+// the worst wavelength's worst path — splitter stages (L_sp each) plus feed
+// propagation. This test verifies the decomposition path by path on real
+// designs.
+func TestILAllDecomposition(t *testing.T) {
+	for _, app := range netlist.Benchmarks() {
+		d, err := ctoring.Synthesize(app, ctoring.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := d.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recompute il_w_all by hand.
+		var want float64
+		for _, pi := range d.Infos {
+			feed, err := d.PDN.FeedLossDB(pi.SenderNode(), d.Tech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := d.PDN.SplittersOnFeed(pi.SenderNode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Feed loss decomposes into stages + propagation.
+			prop := d.PDN.FeedLengthMM[pi.SenderNode()] * d.Tech.PropagationDBPerMM
+			if math.Abs(feed-(float64(sp)*d.Tech.SplitterStageDB()+prop)) > 1e-9 {
+				t.Fatalf("%s: feed loss decomposition broken", app.Name)
+			}
+			want = math.Max(want, pi.LossDB+feed)
+		}
+		if math.Abs(want-m.WorstILAlldB) > 1e-9 {
+			t.Errorf("%s: il_w_all = %v, decomposed %v", app.Name, m.WorstILAlldB, want)
+		}
+		// And il_w_all >= il_w + minimum PDN stages.
+		if m.WorstILAlldB < m.WorstILdB {
+			t.Errorf("%s: il_w_all below il_w", app.Name)
+		}
+	}
+}
+
+// Laser power must be reproducible from the per-wavelength losses alone,
+// and monotone: removing the worst wavelength strictly decreases it.
+func TestPowerAggregationConsistency(t *testing.T) {
+	d, err := ornoc.Synthesize(netlist.VOPD(), ornoc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, il := range m.PerLambdaWorstILdB {
+		sum += d.Tech.LaserPowerMW(il)
+	}
+	if math.Abs(sum-m.TotalLaserPowerMW) > 1e-12 {
+		t.Errorf("power %v != per-λ sum %v", m.TotalLaserPowerMW, sum)
+	}
+	if len(m.PerLambdaWorstILdB) > 1 {
+		partial := d.Tech.TotalLaserPowerMW(m.PerLambdaWorstILdB[1:])
+		if partial >= m.TotalLaserPowerMW {
+			t.Error("dropping a wavelength did not reduce power")
+		}
+	}
+}
+
+// Metrics must be stable: calling Metrics twice returns identical values
+// (no internal mutation).
+func TestMetricsIdempotent(t *testing.T) {
+	d, err := ctoring.Synthesize(netlist.MWD(), ctoring.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalLaserPowerMW != b.TotalLaserPowerMW || a.WorstILAlldB != b.WorstILAlldB ||
+		a.MaxSplitters != b.MaxSplitters {
+		t.Error("Metrics not idempotent")
+	}
+}

@@ -1,0 +1,109 @@
+package design
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sring/internal/netlist"
+)
+
+// jsonDesign is the export schema: everything a downstream tool (layout
+// viewer, power budgeting spreadsheet, tape-out flow) needs to consume a
+// synthesised router without re-running the synthesis.
+type jsonDesign struct {
+	Application string       `json:"application"`
+	Method      string       `json:"method"`
+	Rings       []jsonRing   `json:"rings"`
+	Paths       []jsonPath   `json:"paths"`
+	Metrics     *Metrics     `json:"metrics"`
+	PDN         jsonPDN      `json:"pdn"`
+	Nodes       []jsonNodeEx `json:"nodes"`
+}
+
+type jsonRing struct {
+	ID    int    `json:"id"`
+	Kind  string `json:"kind"`
+	Order []int  `json:"order"`
+}
+
+type jsonPath struct {
+	Src        int     `json:"src"`
+	Dst        int     `json:"dst"`
+	Ring       int     `json:"ring"`
+	Wavelength int     `json:"wavelength"`
+	LengthMM   float64 `json:"length_mm"`
+	LossDB     float64 `json:"loss_db"`
+}
+
+type jsonPDN struct {
+	TreeStages     int   `json:"tree_stages"`
+	ExtraStages    int   `json:"extra_stages"`
+	NodeSplitters  []int `json:"node_splitters"`
+	TotalSplitters int   `json:"total_splitters"`
+}
+
+type jsonNodeEx struct {
+	ID   int     `json:"id"`
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+// EncodeJSON writes the design (structure, assignment, metrics, PDN) as
+// JSON.
+func EncodeJSON(w io.Writer, d *Design) error {
+	met, err := d.Metrics()
+	if err != nil {
+		return err
+	}
+	jd := jsonDesign{
+		Application: d.App.Name,
+		Method:      d.Method,
+		Metrics:     met,
+	}
+	for _, n := range d.App.Nodes {
+		jd.Nodes = append(jd.Nodes, jsonNodeEx{ID: int(n.ID), Name: n.Name, X: n.Pos.X, Y: n.Pos.Y})
+	}
+	for _, r := range d.Rings {
+		jr := jsonRing{ID: r.ID, Kind: r.Kind.String()}
+		for _, id := range r.Order {
+			jr.Order = append(jr.Order, int(id))
+		}
+		jd.Rings = append(jd.Rings, jr)
+	}
+	for i, pi := range d.Infos {
+		jd.Paths = append(jd.Paths, jsonPath{
+			Src:        int(pi.Path.Msg.Src),
+			Dst:        int(pi.Path.Msg.Dst),
+			Ring:       pi.Path.RingID,
+			Wavelength: d.Assignment.Lambda[i],
+			LengthMM:   pi.Path.Length,
+			LossDB:     pi.LossDB,
+		})
+	}
+	jd.PDN = jsonPDN{
+		TreeStages:     d.PDN.TreeStages,
+		ExtraStages:    d.PDN.ExtraStages,
+		TotalSplitters: d.PDN.TotalSplitters,
+	}
+	var spNodes []netlist.NodeID
+	for n := range d.PDN.NodeSplitter {
+		spNodes = append(spNodes, n)
+	}
+	for i := 0; i < len(spNodes); i++ { // insertion sort keeps output stable
+		for j := i; j > 0 && spNodes[j] < spNodes[j-1]; j-- {
+			spNodes[j], spNodes[j-1] = spNodes[j-1], spNodes[j]
+		}
+	}
+	for _, n := range spNodes {
+		jd.PDN.NodeSplitters = append(jd.PDN.NodeSplitters, int(n))
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jd); err != nil {
+		return fmt.Errorf("design: encode: %w", err)
+	}
+	return nil
+}

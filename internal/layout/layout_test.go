@@ -1,0 +1,228 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"sring/internal/geom"
+	"sring/internal/netlist"
+	"sring/internal/ring"
+)
+
+func gridApp(n, cols int, pitch float64) *netlist.Application {
+	app := &netlist.Application{Name: "grid"}
+	for i := 0; i < n; i++ {
+		app.Nodes = append(app.Nodes, netlist.Node{
+			ID:  netlist.NodeID(i),
+			Pos: geom.Pt(float64(i%cols)*pitch, float64(i/cols)*pitch),
+		})
+	}
+	return app
+}
+
+func TestRouteSquareRing(t *testing.T) {
+	// 2x2 grid, ring around it: all segments straight, no bends/crossings.
+	app := gridApp(4, 2, 1)
+	r := &ring.Ring{ID: 0, Order: []netlist.NodeID{0, 1, 3, 2}}
+	res, err := Route(app, []*ring.Ring{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBends != 0 {
+		t.Errorf("TotalBends = %d, want 0 (all segments axis-aligned)", res.TotalBends)
+	}
+	if res.TotalCrossings != 0 {
+		t.Errorf("TotalCrossings = %d, want 0", res.TotalCrossings)
+	}
+	if math.Abs(res.TotalWaveguideMM-4) > geom.Eps {
+		t.Errorf("TotalWaveguideMM = %v, want 4", res.TotalWaveguideMM)
+	}
+}
+
+func TestRouteDiagonalSegmentsBend(t *testing.T) {
+	// Ring visiting diagonal corners needs L-shapes with one bend each.
+	app := gridApp(4, 2, 1)
+	r := &ring.Ring{ID: 0, Order: []netlist.NodeID{0, 3}}
+	res, err := Route(app, []*ring.Ring{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBends != 2 {
+		t.Errorf("TotalBends = %d, want 2 (one per L-segment)", res.TotalBends)
+	}
+	// Out-and-back two-node ring must not route both segments on the same
+	// track: total length 2 Manhattan = 4.
+	if math.Abs(res.TotalWaveguideMM-4) > geom.Eps {
+		t.Errorf("TotalWaveguideMM = %v, want 4", res.TotalWaveguideMM)
+	}
+	// The two L-shapes use opposite corners (proper loop).
+	pl0 := res.Routes[SegKey{0, 0}]
+	pl1 := res.Routes[SegKey{0, 1}]
+	if len(pl0.Points) != 3 || len(pl1.Points) != 3 {
+		t.Fatal("expected L-shaped segments")
+	}
+	if pl0.Points[1].Eq(pl1.Points[1]) {
+		t.Errorf("both segments bend at the same corner %v", pl0.Points[1])
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	app := gridApp(4, 2, 1)
+	bad := &ring.Ring{ID: 0, Order: []netlist.NodeID{0}}
+	if _, err := Route(app, []*ring.Ring{bad}); err == nil {
+		t.Error("accepted invalid ring")
+	}
+	offApp := &ring.Ring{ID: 0, Order: []netlist.NodeID{0, 9}}
+	if _, err := Route(app, []*ring.Ring{offApp}); err == nil {
+		t.Error("accepted ring with node outside application")
+	}
+	dup := []*ring.Ring{
+		{ID: 0, Order: []netlist.NodeID{0, 1}},
+		{ID: 0, Order: []netlist.NodeID{2, 3}},
+	}
+	if _, err := Route(app, dup); err == nil {
+		t.Error("accepted duplicate ring IDs")
+	}
+}
+
+func TestCrossingsBetweenRings(t *testing.T) {
+	// Two 2-node rings forced to cross: ring A spans (0,1)..(2,1)
+	// horizontally, ring B spans (1,0)..(1,2) vertically.
+	app := &netlist.Application{
+		Nodes: []netlist.Node{
+			{ID: 0, Pos: geom.Pt(0, 1)},
+			{ID: 1, Pos: geom.Pt(2, 1)},
+			{ID: 2, Pos: geom.Pt(1, 0)},
+			{ID: 3, Pos: geom.Pt(1, 2)},
+		},
+	}
+	ra := &ring.Ring{ID: 0, Order: []netlist.NodeID{0, 1}}
+	rb := &ring.Ring{ID: 1, Order: []netlist.NodeID{2, 3}}
+	res, err := Route(app, []*ring.Ring{ra, rb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both rings route straight on the same tracks out and back; each of
+	// B's two vertical segments crosses each of A's two horizontal ones.
+	if res.TotalCrossings != 4 {
+		t.Errorf("TotalCrossings = %d, want 4", res.TotalCrossings)
+	}
+	// Each segment carries 2 crossings.
+	for _, key := range []SegKey{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		if res.SegCrossings[key] != 2 {
+			t.Errorf("SegCrossings[%v] = %d, want 2", key, res.SegCrossings[key])
+		}
+	}
+}
+
+func TestPathBendsAndCrossings(t *testing.T) {
+	app := gridApp(4, 2, 1)
+	r := &ring.Ring{ID: 0, Order: []netlist.NodeID{0, 1, 3, 2}}
+	res, err := Route(app, []*ring.Ring{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ring.Route(app, r, netlist.Message{Src: 0, Dst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bends, err := res.PathBends(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0(0,0) -> 1(1,0) -> 3(1,1): one junction turn at node 1.
+	if bends != 1 {
+		t.Errorf("PathBends = %d, want 1 (junction turn)", bends)
+	}
+	crossings, err := res.PathCrossings(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossings != 0 {
+		t.Errorf("PathCrossings = %d, want 0", crossings)
+	}
+}
+
+func TestPathOnUnroutedSegment(t *testing.T) {
+	app := gridApp(4, 2, 1)
+	r := &ring.Ring{ID: 0, Order: []netlist.NodeID{0, 1, 3, 2}}
+	res, err := Route(app, []*ring.Ring{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost := ring.Path{RingID: 5, Segs: []int{0}}
+	if _, err := res.PathBends(ghost); err == nil {
+		t.Error("PathBends accepted unrouted ring")
+	}
+	if _, err := res.PathCrossings(ghost); err == nil {
+		t.Error("PathCrossings accepted unrouted ring")
+	}
+}
+
+func TestRingWaveguideMM(t *testing.T) {
+	app := gridApp(4, 2, 1)
+	r := &ring.Ring{ID: 3, Order: []netlist.NodeID{0, 1, 3, 2}}
+	res, err := Route(app, []*ring.Ring{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.RingWaveguideMM(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > geom.Eps {
+		t.Errorf("RingWaveguideMM = %v, want 4", got)
+	}
+	if _, err := res.RingWaveguideMM(9); err == nil {
+		t.Error("accepted unknown ring ID")
+	}
+}
+
+// Routed length always equals the Manhattan (minimum) length: the router
+// never detours.
+func TestNoDetours(t *testing.T) {
+	app := gridApp(9, 3, 0.5)
+	r := &ring.Ring{ID: 0, Order: []netlist.NodeID{0, 4, 2, 8, 6}}
+	res, err := Route(app, []*ring.Ring{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalWaveguideMM-r.Perimeter(app)) > geom.Eps {
+		t.Errorf("routed %v mm, Manhattan perimeter %v mm", res.TotalWaveguideMM, r.Perimeter(app))
+	}
+}
+
+// The greedy corner choice must never do worse than the worst single
+// orientation on a crossing-heavy instance, and the layout must be
+// deterministic.
+func TestDeterminism(t *testing.T) {
+	app := gridApp(12, 4, 0.15)
+	rings := []*ring.Ring{
+		{ID: 0, Order: []netlist.NodeID{0, 5, 10, 3}},
+		{ID: 1, Order: []netlist.NodeID{1, 6, 11, 2}},
+		{ID: 2, Order: []netlist.NodeID{4, 9, 7}},
+	}
+	a, err := Route(app, rings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Route(app, rings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCrossings != b.TotalCrossings || a.TotalBends != b.TotalBends ||
+		math.Abs(a.TotalWaveguideMM-b.TotalWaveguideMM) > geom.Eps {
+		t.Error("layout not deterministic")
+	}
+	for key, pl := range a.Routes {
+		plb := b.Routes[key]
+		if len(pl.Points) != len(plb.Points) {
+			t.Fatalf("segment %v routed differently across runs", key)
+		}
+		for i := range pl.Points {
+			if !pl.Points[i].Eq(plb.Points[i]) {
+				t.Fatalf("segment %v point %d differs", key, i)
+			}
+		}
+	}
+}

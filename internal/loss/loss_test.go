@@ -1,0 +1,119 @@
+package loss
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default parameters invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := Default()
+	bad.DropDB = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative DropDB accepted")
+	}
+	bad = Default()
+	bad.PropagationDBPerMM = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN propagation accepted")
+	}
+	bad = Default()
+	bad.DetectorSensitivityDBm = math.Inf(-1)
+	if err := bad.Validate(); err == nil {
+		t.Error("infinite sensitivity accepted")
+	}
+}
+
+func TestSplitterStageCalibration(t *testing.T) {
+	// DESIGN.md §2: the paper's Table I numbers imply L_sp ≈ 3.3 dB.
+	if got := Default().SplitterStageDB(); math.Abs(got-3.3) > 1e-12 {
+		t.Errorf("SplitterStageDB = %v, want 3.3", got)
+	}
+}
+
+func TestPathDBComponents(t *testing.T) {
+	tech := Default()
+	// Zero-geometry path: fixed sender/receiver losses only.
+	base := tech.PathDB(PathGeometry{})
+	want := tech.ModulatorDB + tech.PhotodetectorDB + 2*tech.DropDB
+	if math.Abs(base-want) > 1e-12 {
+		t.Errorf("base PathDB = %v, want %v", base, want)
+	}
+	// Each component adds linearly.
+	g := PathGeometry{LengthMM: 10, Bends: 4, Crossings: 3, MRRsPassed: 50}
+	got := tech.PathDB(g)
+	want = base + 10*tech.PropagationDBPerMM + 4*tech.BendDB + 3*tech.CrossingDB + 50*tech.ThroughDB
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PathDB = %v, want %v", got, want)
+	}
+}
+
+func TestPathDBMonotone(t *testing.T) {
+	tech := Default()
+	f := func(lenRaw, bendsRaw, crossRaw, mrrRaw uint8) bool {
+		g := PathGeometry{
+			LengthMM:   float64(lenRaw) / 10,
+			Bends:      int(bendsRaw),
+			Crossings:  int(crossRaw),
+			MRRsPassed: int(mrrRaw),
+		}
+		base := tech.PathDB(g)
+		worse := g
+		worse.LengthMM += 1
+		worse.Bends++
+		worse.Crossings++
+		worse.MRRsPassed++
+		return tech.PathDB(worse) > base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("PathDB not monotone: %v", err)
+	}
+}
+
+func TestLaserPowerMW(t *testing.T) {
+	tech := Default()
+	// At 0 dB loss, power is the sensitivity itself: -26 dBm ≈ 0.00251 mW.
+	p0 := tech.LaserPowerMW(0)
+	if math.Abs(p0-math.Pow(10, -2.6)) > 1e-12 {
+		t.Errorf("LaserPowerMW(0) = %v", p0)
+	}
+	// +3 dB loss doubles required power (within rounding of 10^0.3).
+	ratio := tech.LaserPowerMW(3) / p0
+	if math.Abs(ratio-math.Pow(10, 0.3)) > 1e-9 {
+		t.Errorf("3 dB ratio = %v", ratio)
+	}
+	// +10 dB is exactly 10x.
+	if r := tech.LaserPowerMW(10) / p0; math.Abs(r-10) > 1e-9 {
+		t.Errorf("10 dB ratio = %v, want 10", r)
+	}
+}
+
+func TestTotalLaserPowerMW(t *testing.T) {
+	tech := Default()
+	single := tech.LaserPowerMW(5)
+	total := tech.TotalLaserPowerMW([]float64{5, 5, 5})
+	if math.Abs(total-3*single) > 1e-12 {
+		t.Errorf("TotalLaserPowerMW = %v, want %v", total, 3*single)
+	}
+	if got := tech.TotalLaserPowerMW(nil); got != 0 {
+		t.Errorf("empty total = %v, want 0", got)
+	}
+}
+
+// The headline power effect in the paper: removing one splitter stage
+// (3.3 dB) from the worst-case loss cuts that wavelength's laser power by
+// more than half.
+func TestSplitterRemovalPowerShape(t *testing.T) {
+	tech := Default()
+	with := tech.LaserPowerMW(20)
+	without := tech.LaserPowerMW(20 - tech.SplitterStageDB())
+	if without >= with/2 {
+		t.Errorf("removing a splitter stage: %v -> %v, want >2x reduction", with, without)
+	}
+}

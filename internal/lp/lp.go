@@ -1,0 +1,465 @@
+// Package lp implements a linear-programming solver: minimisation of a
+// linear objective over linear constraints with non-negative variables,
+// solved by the two-phase primal simplex method on a dense tableau.
+//
+// It is the LP substrate underneath the branch-and-bound MILP solver in
+// sring/internal/milp, replacing the commercial solver (Gurobi) used by the
+// SRing paper. Problems at WRONoC-benchmark scale (hundreds to a few
+// thousand variables and rows) solve in milliseconds to seconds.
+//
+// Pivoting uses Dantzig pricing with a ratio-test tie-break; if the
+// iteration count suggests cycling the solver switches to Bland's rule,
+// which guarantees termination.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Rel is the relation of a constraint row.
+type Rel int
+
+const (
+	// LE is "<=".
+	LE Rel = iota
+	// GE is ">=".
+	GE
+	// EQ is "=".
+	EQ
+)
+
+// String returns the relation symbol.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Constraint is a sparse linear constraint sum(Coeffs[i]*x[i]) Rel RHS.
+type Constraint struct {
+	Coeffs map[int]float64
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is an LP in the form
+//
+//	minimise  c . x
+//	subject to constraints, x >= 0.
+//
+// Maximisation is expressed by negating the objective.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // length NumVars; nil means all-zero
+	Constraints []Constraint
+}
+
+// AddConstraint appends a constraint built from (variable, coefficient)
+// pairs and returns its row index.
+func (p *Problem) AddConstraint(rel Rel, rhs float64, terms map[int]float64) int {
+	cp := make(map[int]float64, len(terms))
+	for v, c := range terms {
+		if c != 0 {
+			cp[v] = c
+		}
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: cp, Rel: rel, RHS: rhs})
+	return len(p.Constraints) - 1
+}
+
+// Validate checks variable indices and dimensions.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return errors.New("lp: problem has no variables")
+	}
+	if p.Objective != nil && len(p.Objective) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		for v := range c.Coeffs {
+			if v < 0 || v >= p.NumVars {
+				return fmt.Errorf("lp: constraint %d references variable %d (NumVars=%d)", i, v, p.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective is unbounded below.
+	Unbounded
+	// IterLimit: the iteration limit was hit before convergence.
+	IterLimit
+)
+
+// String returns the status label.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (length NumVars), valid when Optimal
+	Objective float64   // c . X, valid when Optimal
+}
+
+const (
+	eps = 1e-9
+	// blandTrigger is the iteration count after which the solver switches
+	// from Dantzig pricing to Bland's rule to escape potential cycling.
+	blandTriggerFactor = 4
+)
+
+// tableau is a dense simplex tableau.
+//
+// Layout: rows 0..m-1 are constraints, row m is the objective. Columns
+// 0..n-1 are variables (structural + slack/surplus + artificial), column n
+// is the RHS.
+type tableau struct {
+	m, n  int
+	a     [][]float64
+	basis []int // basis[r] = column basic in row r
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{m: m, n: n, basis: make([]int, m)}
+	t.a = make([][]float64, m+1)
+	cells := make([]float64, (m+1)*(n+1))
+	for i := range t.a {
+		t.a[i] = cells[i*(n+1) : (i+1)*(n+1)]
+	}
+	return t
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j <= t.n; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := 0; i <= t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j <= t.n; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0 // exact
+	}
+	t.basis[row] = col
+}
+
+// chooseColumn selects an entering column with a negative reduced cost.
+// Returns -1 when the tableau is optimal. allowed limits the candidate set
+// (nil means all columns).
+func (t *tableau) chooseColumn(bland bool, allowed []bool) int {
+	obj := t.a[t.m]
+	if bland {
+		for j := 0; j < t.n; j++ {
+			if (allowed == nil || allowed[j]) && obj[j] < -eps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -eps
+	for j := 0; j < t.n; j++ {
+		if (allowed == nil || allowed[j]) && obj[j] < bestVal {
+			best, bestVal = j, obj[j]
+		}
+	}
+	return best
+}
+
+// chooseRow performs the minimum-ratio test for entering column col.
+// Returns -1 if the column is unbounded. Ties break toward the smallest
+// basis index (lexicographic enough in combination with Bland's column
+// rule to prevent cycling).
+func (t *tableau) chooseRow(col int) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		aij := t.a[i][col]
+		if aij <= eps {
+			continue
+		}
+		ratio := t.a[i][t.n] / aij
+		if ratio < bestRatio-eps ||
+			(ratio < bestRatio+eps && (bestRow == -1 || t.basis[i] < t.basis[bestRow])) {
+			bestRatio = ratio
+			bestRow = i
+		}
+	}
+	return bestRow
+}
+
+// runSimplex iterates to optimality. allowed restricts entering columns;
+// a non-zero deadline aborts with IterLimit when exceeded (checked every
+// few iterations).
+func (t *tableau) runSimplex(maxIter int, allowed []bool, deadline time.Time) Status {
+	blandAfter := blandTriggerFactor * (t.m + t.n)
+	checkEvery := 16
+	for iter := 0; iter < maxIter; iter++ {
+		if !deadline.IsZero() && iter%checkEvery == 0 && time.Now().After(deadline) {
+			return IterLimit
+		}
+		col := t.chooseColumn(iter > blandAfter, allowed)
+		if col < 0 {
+			return Optimal
+		}
+		row := t.chooseRow(col)
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+	return IterLimit
+}
+
+// Solve solves the problem with the two-phase simplex method.
+//
+// The returned error is non-nil only for malformed input; infeasibility and
+// unboundedness are reported through Solution.Status.
+func Solve(p *Problem) (*Solution, error) {
+	return SolveDeadline(p, time.Time{})
+}
+
+// SolveDeadline is Solve with a wall-clock cutoff: when the deadline passes
+// mid-solve the result carries Status IterLimit. A zero deadline means no
+// cutoff.
+func SolveDeadline(p *Problem, deadline time.Time) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(p.Constraints)
+	nStruct := p.NumVars
+
+	// Count extra columns: one slack/surplus per inequality, one artificial
+	// per GE/EQ row (and per LE row with negative RHS after normalisation).
+	type rowPlan struct {
+		rel    Rel
+		negate bool
+		slack  int // column of slack/surplus, -1 if none
+		artif  int // column of artificial, -1 if none
+	}
+	plans := make([]rowPlan, m)
+	col := nStruct
+	for i, c := range p.Constraints {
+		pl := rowPlan{rel: c.Rel, slack: -1, artif: -1}
+		rhs := c.RHS
+		rel := c.Rel
+		if rhs < 0 {
+			pl.negate = true
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+			pl.rel = rel
+		}
+		switch rel {
+		case LE:
+			pl.slack = col
+			col++
+		case GE:
+			pl.slack = col // surplus (coefficient -1)
+			col++
+			pl.artif = col
+			col++
+		case EQ:
+			pl.artif = col
+			col++
+		}
+		plans[i] = pl
+	}
+	n := col
+
+	t := newTableau(m, n)
+	// Fill constraint rows.
+	for i, c := range p.Constraints {
+		pl := plans[i]
+		sign := 1.0
+		rhs := c.RHS
+		if pl.negate {
+			sign = -1
+			rhs = -rhs
+		}
+		row := t.a[i]
+		for v, coeff := range c.Coeffs {
+			row[v] = sign * coeff
+		}
+		row[n] = rhs
+		if pl.slack >= 0 {
+			if pl.rel == LE {
+				row[pl.slack] = 1
+			} else {
+				row[pl.slack] = -1
+			}
+		}
+		if pl.artif >= 0 {
+			row[pl.artif] = 1
+			t.basis[i] = pl.artif
+		} else {
+			t.basis[i] = pl.slack
+		}
+	}
+
+	maxIter := 200 * (m + n + 10)
+
+	// Phase 1: minimise the sum of artificials.
+	hasArtif := false
+	for _, pl := range plans {
+		if pl.artif >= 0 {
+			hasArtif = true
+			break
+		}
+	}
+	if hasArtif {
+		obj := t.a[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for _, pl := range plans {
+			if pl.artif >= 0 {
+				obj[pl.artif] = 1
+			}
+		}
+		// Price out the artificial basis.
+		for i, pl := range plans {
+			if pl.artif >= 0 {
+				for j := 0; j <= n; j++ {
+					obj[j] -= t.a[i][j]
+				}
+			}
+		}
+		switch t.runSimplex(maxIter, nil, deadline) {
+		case IterLimit:
+			return &Solution{Status: IterLimit}, nil
+		case Unbounded:
+			// Phase-1 objective is bounded below by 0; cannot happen.
+			return nil, errors.New("lp: phase 1 reported unbounded")
+		}
+		if -t.a[m][n] > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificials still in the basis out (degenerate rows).
+		artifSet := make(map[int]bool)
+		for _, pl := range plans {
+			if pl.artif >= 0 {
+				artifSet[pl.artif] = true
+			}
+		}
+		for i := 0; i < m; i++ {
+			if !artifSet[t.basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n && !pivoted; j++ {
+				if artifSet[j] {
+					continue
+				}
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+				}
+			}
+			// If no pivot column exists the row is redundant (all zero);
+			// the artificial stays basic at value zero, which is harmless
+			// as long as it cannot re-enter (blocked below).
+		}
+		// Block artificial columns from ever re-entering: zero them out.
+		for i := 0; i <= m; i++ {
+			for j := range artifSet {
+				t.a[i][j] = 0
+			}
+		}
+	}
+
+	// Phase 2: install the real objective and price out the basis.
+	obj := t.a[m]
+	for j := 0; j <= n; j++ {
+		obj[j] = 0
+	}
+	if p.Objective != nil {
+		copy(obj, p.Objective)
+	}
+	for i := 0; i < m; i++ {
+		b := t.basis[i]
+		if b < len(obj) && obj[b] != 0 {
+			f := obj[b]
+			for j := 0; j <= n; j++ {
+				obj[j] -= f * t.a[i][j]
+			}
+			obj[b] = 0
+		}
+	}
+	// Exclude artificial columns from pricing.
+	allowed := make([]bool, n)
+	for j := 0; j < n; j++ {
+		allowed[j] = true
+	}
+	for _, pl := range plans {
+		if pl.artif >= 0 {
+			allowed[pl.artif] = false
+		}
+	}
+	switch t.runSimplex(maxIter, allowed, deadline) {
+	case IterLimit:
+		return &Solution{Status: IterLimit}, nil
+	case Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, p.NumVars)
+	for i := 0; i < m; i++ {
+		if b := t.basis[i]; b < p.NumVars {
+			x[b] = t.a[i][n]
+		}
+	}
+	var objVal float64
+	for v, c := range x {
+		if p.Objective != nil {
+			objVal += p.Objective[v] * c
+		}
+	}
+	return &Solution{Status: Optimal, X: x, Objective: objVal}, nil
+}

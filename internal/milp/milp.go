@@ -1,0 +1,402 @@
+// Package milp implements a mixed-integer linear programming solver by
+// LP-based branch and bound on top of sring/internal/lp.
+//
+// It stands in for the commercial MILP solver (Gurobi) used by the SRing
+// paper: the wavelength-assignment model of paper Sec. III-B is built and
+// solved through this package. The solver is exact when run to completion;
+// with a time or node limit it returns the best incumbent found and the
+// remaining optimality gap.
+package milp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sring/internal/lp"
+)
+
+// Problem is a minimisation MILP: the embedded LP plus integrality marks.
+type Problem struct {
+	LP lp.Problem
+	// Integer[i] marks variable i as integral. Length must equal NumVars.
+	Integer []bool
+}
+
+// Validate checks dimensions.
+func (p *Problem) Validate() error {
+	if err := p.LP.Validate(); err != nil {
+		return err
+	}
+	if len(p.Integer) != p.LP.NumVars {
+		return fmt.Errorf("milp: Integer has length %d, want %d", len(p.Integer), p.LP.NumVars)
+	}
+	return nil
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// TimeLimit bounds the wall-clock search time. Zero means 60 s.
+	TimeLimit time.Duration
+	// NodeLimit bounds the number of explored branch-and-bound nodes.
+	// Zero means 200000.
+	NodeLimit int
+	// Incumbent optionally seeds the search with a known feasible solution
+	// (e.g. from a heuristic); it is validated before use.
+	Incumbent []float64
+	// Gap is the relative optimality gap at which the search stops early.
+	// Zero means solve to proven optimality.
+	Gap float64
+	// DisablePresolve skips the bound-propagation reduction.
+	DisablePresolve bool
+}
+
+// Status reports the outcome of a MILP solve.
+type Status int
+
+const (
+	// Optimal: proven optimal within the requested gap.
+	Optimal Status = iota
+	// Feasible: a limit was reached; the returned solution is the best
+	// incumbent but optimality is unproven.
+	Feasible
+	// Infeasible: no integral solution exists.
+	Infeasible
+	// Unknown: a limit was reached before any incumbent was found.
+	Unknown
+)
+
+// String returns the status label.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status    Status
+	X         []float64 // best integral solution (valid for Optimal/Feasible)
+	Objective float64   // objective of X
+	Bound     float64   // proven lower bound on the optimum
+	Nodes     int       // branch-and-bound nodes explored
+}
+
+const intTol = 1e-6
+
+// node is an unexplored subproblem: variable bound tightenings relative to
+// the root, plus the parent's LP bound used as its search priority.
+type node struct {
+	lower map[int]float64
+	upper map[int]float64
+	bound float64
+	depth int
+	seq   int // tie-break for determinism
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	if h[i].depth != h[j].depth {
+		return h[i].depth > h[j].depth // deeper first: find incumbents sooner
+	}
+	return h[i].seq > h[j].seq
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs presolve followed by branch and bound. The returned error is
+// non-nil only for malformed input (including an infeasible or fractional
+// seeded incumbent).
+func Solve(p *Problem, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Incumbent != nil {
+		// Validate against the original problem before any reduction so
+		// the error contract is independent of presolve.
+		if _, err := checkIncumbent(p, opt.Incumbent); err != nil {
+			return nil, fmt.Errorf("milp: bad incumbent: %w", err)
+		}
+	}
+	if !opt.DisablePresolve {
+		pr := presolve(p)
+		if pr.infeasible {
+			return &Result{Status: Infeasible, Objective: math.Inf(1), Bound: math.Inf(1)}, nil
+		}
+		if len(pr.fixed) > 0 {
+			if pr.reduced == nil {
+				// Every variable fixed; verify the assignment satisfies
+				// all rows.
+				x := pr.expand(nil, p.LP.NumVars)
+				obj, err := checkIncumbent(p, x)
+				if err != nil {
+					return &Result{Status: Infeasible, Objective: math.Inf(1), Bound: math.Inf(1)}, nil
+				}
+				return &Result{Status: Optimal, X: x, Objective: obj, Bound: obj}, nil
+			}
+			sub := opt
+			sub.DisablePresolve = true
+			if opt.Incumbent != nil {
+				shrunk, err := pr.shrink(opt.Incumbent)
+				if err != nil {
+					return nil, err
+				}
+				sub.Incumbent = shrunk
+			}
+			res, err := solveBB(pr.reduced, sub)
+			if err != nil {
+				return nil, err
+			}
+			if res.X != nil {
+				res.X = pr.expand(res.X, p.LP.NumVars)
+			}
+			if res.Status == Optimal || res.Status == Feasible {
+				res.Objective += pr.constant
+			}
+			if !math.IsInf(res.Bound, 0) {
+				res.Bound += pr.constant
+			}
+			return res, nil
+		}
+	}
+	return solveBB(p, opt)
+}
+
+// solveBB is the branch-and-bound core.
+func solveBB(p *Problem, opt Options) (*Result, error) {
+	timeLimit := opt.TimeLimit
+	if timeLimit == 0 {
+		timeLimit = 60 * time.Second
+	}
+	nodeLimit := opt.NodeLimit
+	if nodeLimit == 0 {
+		nodeLimit = 200000
+	}
+	deadline := time.Now().Add(timeLimit)
+	// LP solves respect the same deadline with a small grace period so a
+	// single long relaxation cannot overshoot the budget.
+	lpDeadline := deadline.Add(timeLimit / 4)
+
+	res := &Result{Status: Unknown, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	if opt.Incumbent != nil {
+		obj, err := checkIncumbent(p, opt.Incumbent)
+		if err != nil {
+			return nil, fmt.Errorf("milp: bad incumbent: %w", err)
+		}
+		res.X = append([]float64(nil), opt.Incumbent...)
+		res.Objective = obj
+		res.Status = Feasible
+	}
+
+	seq := 0
+	unresolved := false // an LP hit its limit: the optimality proof is lost
+	open := &nodeHeap{{lower: map[int]float64{}, upper: map[int]float64{}, bound: math.Inf(-1)}}
+	heap.Init(open)
+
+	for open.Len() > 0 {
+		if res.Nodes >= nodeLimit || time.Now().After(deadline) {
+			// The best open bound is the proven lower bound.
+			res.Bound = math.Max(res.Bound, (*open)[0].bound)
+			return res, nil
+		}
+		nd := heap.Pop(open).(*node)
+		if nd.bound >= res.Objective-1e-9 {
+			// Everything remaining is at least as bad; done.
+			res.Bound = math.Max(res.Bound, math.Min(nd.bound, res.Objective))
+			break
+		}
+		res.Nodes++
+
+		sol, err := solveRelaxation(p, nd, lpDeadline)
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return nil, errors.New("milp: LP relaxation unbounded; bound integer variables")
+		case lp.IterLimit:
+			// Cannot trust this node's bound; skip it conservatively
+			// (incumbents stay correct, the optimality proof is lost).
+			unresolved = true
+			continue
+		}
+		if sol.Objective >= res.Objective-1e-9 {
+			continue // bound: cannot improve
+		}
+		branchVar := mostFractional(p, sol.X)
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			x := append([]float64(nil), sol.X...)
+			for i, isInt := range p.Integer {
+				if isInt {
+					x[i] = math.Round(x[i])
+				}
+			}
+			res.X = x
+			res.Objective = sol.Objective
+			res.Status = Feasible
+			if opt.Gap > 0 && gapClosed(res, open, opt.Gap) {
+				res.Status = Optimal
+				return res, nil
+			}
+			continue
+		}
+		v := sol.X[branchVar]
+		down := child(nd, &seq, sol.Objective)
+		down.upper[branchVar] = math.Floor(v)
+		up := child(nd, &seq, sol.Objective)
+		up.lower[branchVar] = math.Ceil(v)
+		heap.Push(open, down)
+		heap.Push(open, up)
+	}
+
+	switch {
+	case res.X != nil && !unresolved:
+		res.Status = Optimal
+		if res.Bound == math.Inf(-1) || res.Bound > res.Objective {
+			res.Bound = res.Objective
+		}
+	case res.X != nil:
+		res.Status = Feasible // unresolved nodes were skipped: unproven
+	case unresolved:
+		res.Status = Unknown
+	default:
+		res.Status = Infeasible
+	}
+	return res, nil
+}
+
+func child(parent *node, seq *int, bound float64) *node {
+	c := &node{
+		lower: make(map[int]float64, len(parent.lower)+1),
+		upper: make(map[int]float64, len(parent.upper)+1),
+		bound: bound,
+		depth: parent.depth + 1,
+	}
+	for k, v := range parent.lower {
+		c.lower[k] = v
+	}
+	for k, v := range parent.upper {
+		c.upper[k] = v
+	}
+	*seq++
+	c.seq = *seq
+	return c
+}
+
+// solveRelaxation solves the node's LP: the root LP plus bound rows.
+func solveRelaxation(p *Problem, nd *node, deadline time.Time) (*lp.Solution, error) {
+	sub := lp.Problem{
+		NumVars:     p.LP.NumVars,
+		Objective:   p.LP.Objective,
+		Constraints: make([]lp.Constraint, len(p.LP.Constraints), len(p.LP.Constraints)+len(nd.lower)+len(nd.upper)),
+	}
+	copy(sub.Constraints, p.LP.Constraints)
+	for v, lo := range nd.lower {
+		if lo > 0 {
+			sub.AddConstraint(lp.GE, lo, map[int]float64{v: 1})
+		}
+	}
+	for v, hi := range nd.upper {
+		sub.AddConstraint(lp.LE, hi, map[int]float64{v: 1})
+	}
+	return lp.SolveDeadline(&sub, deadline)
+}
+
+// mostFractional returns the integer variable whose LP value is farthest
+// from integral, or -1 if all integer variables are integral.
+func mostFractional(p *Problem, x []float64) int {
+	best, bestDist := -1, intTol
+	for i, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		f := x[i] - math.Floor(x[i])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}
+
+// gapClosed reports whether the incumbent is within the relative gap of the
+// best open bound.
+func gapClosed(res *Result, open *nodeHeap, gap float64) bool {
+	if open.Len() == 0 {
+		return true
+	}
+	bound := (*open)[0].bound
+	if math.IsInf(bound, -1) {
+		return false
+	}
+	denom := math.Max(math.Abs(res.Objective), 1e-9)
+	return (res.Objective-bound)/denom <= gap
+}
+
+// checkIncumbent verifies feasibility and integrality of a candidate
+// solution and returns its objective value.
+func checkIncumbent(p *Problem, x []float64) (float64, error) {
+	if len(x) != p.LP.NumVars {
+		return 0, fmt.Errorf("length %d, want %d", len(x), p.LP.NumVars)
+	}
+	for i, v := range x {
+		if v < -intTol {
+			return 0, fmt.Errorf("variable %d negative (%v)", i, v)
+		}
+		if p.Integer[i] && math.Abs(v-math.Round(v)) > intTol {
+			return 0, fmt.Errorf("variable %d not integral (%v)", i, v)
+		}
+	}
+	for i, c := range p.LP.Constraints {
+		var lhs float64
+		for v, coeff := range c.Coeffs {
+			lhs += coeff * x[v]
+		}
+		feasible := true
+		switch c.Rel {
+		case lp.LE:
+			feasible = lhs <= c.RHS+1e-6
+		case lp.GE:
+			feasible = lhs >= c.RHS-1e-6
+		case lp.EQ:
+			feasible = math.Abs(lhs-c.RHS) <= 1e-6
+		}
+		if !feasible {
+			return 0, fmt.Errorf("constraint %d violated (lhs=%v rhs=%v)", i, lhs, c.RHS)
+		}
+	}
+	var obj float64
+	if p.LP.Objective != nil {
+		for i, v := range x {
+			obj += p.LP.Objective[i] * v
+		}
+	}
+	return obj, nil
+}

@@ -1,0 +1,371 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sring/internal/lp"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func allInt(n int) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+// binaryBox adds 0 <= x_i <= 1 rows for all variables.
+func binaryBox(p *lp.Problem) {
+	for i := 0; i < p.NumVars; i++ {
+		p.AddConstraint(lp.LE, 1, map[int]float64{i: 1})
+	}
+}
+
+// Knapsack: max 10x0 + 13x1 + 7x2 + 4x3 s.t. 5x0+7x1+4x2+3x3 <= 10, binary.
+// Optimum: x1 + x3 = 17? Check: {0,1}: 12w? w(0)+w(1)=12 > 10.
+// {1,2}: w=11 no. {0,2}: w=9 val=17. {1,3}: w=10 val=17. {0,3}: w=8 val=14.
+// {2,3}: w=7 val=11. Best = 17.
+func TestKnapsack(t *testing.T) {
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   4,
+			Objective: []float64{-10, -13, -7, -4},
+		},
+		Integer: allInt(4),
+	}
+	p.LP.AddConstraint(lp.LE, 10, map[int]float64{0: 5, 1: 7, 2: 4, 3: 3})
+	binaryBox(&p.LP)
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.Objective, -17, 1e-6) {
+		t.Errorf("objective = %v, want -17", res.Objective)
+	}
+}
+
+// Integer rounding matters: LP relaxation optimum is fractional.
+func TestFractionalRelaxation(t *testing.T) {
+	// max x + y s.t. 2x + 2y <= 3, integers => LP opt 1.5, IP opt 1.
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 2, Objective: []float64{-1, -1}},
+		Integer: allInt(2),
+	}
+	p.LP.AddConstraint(lp.LE, 3, map[int]float64{0: 2, 1: 2})
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.Objective, -1, 1e-6) {
+		t.Errorf("objective = %v, want -1 (IP), not -1.5 (LP)", res.Objective)
+	}
+	if !approx(res.X[0]+res.X[1], 1, 1e-6) {
+		t.Errorf("X = %v, want sum 1", res.X)
+	}
+}
+
+func TestSetCover(t *testing.T) {
+	// Universe {1..5}; sets A={1,2,3}, B={2,4}, C={3,4}, D={4,5}, E={1,5}.
+	// min #sets covering all. Optimum 2: A + D.
+	sets := [][]int{{0, 1, 2}, {1, 3}, {2, 3}, {3, 4}, {0, 4}}
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 5, Objective: []float64{1, 1, 1, 1, 1}},
+		Integer: allInt(5),
+	}
+	for elem := 0; elem < 5; elem++ {
+		terms := map[int]float64{}
+		for si, s := range sets {
+			for _, e := range s {
+				if e == elem {
+					terms[si] = 1
+				}
+			}
+		}
+		p.LP.AddConstraint(lp.GE, 1, terms)
+	}
+	binaryBox(&p.LP)
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, 2, 1e-6) {
+		t.Fatalf("status=%v objective=%v, want optimal 2", res.Status, res.Objective)
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	// x + y = 1.5 with x, y integer and 0 <= x,y <= 1... wait 1.5 infeasible
+	// only for integers: LP feasible (0.5, 1), integrality infeasible? No:
+	// x=1, y=0.5 not integral; x=0,y=1.5 violates bound. So IP infeasible.
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 2, Objective: []float64{1, 1}},
+		Integer: allInt(2),
+	}
+	p.LP.AddConstraint(lp.EQ, 1.5, map[int]float64{0: 1, 1: 1})
+	binaryBox(&p.LP)
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestLPInfeasibleRoot(t *testing.T) {
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 1, Objective: []float64{1}},
+		Integer: allInt(1),
+	}
+	p.LP.AddConstraint(lp.GE, 2, map[int]float64{0: 1})
+	p.LP.AddConstraint(lp.LE, 1, map[int]float64{0: 1})
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -x - 10y, x continuous <= 2.5, y binary, x + 4y <= 5.
+	// y=1: x <= 1 => obj -11. y=0: x <= 2.5 => obj -2.5. Optimum -11.
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 2, Objective: []float64{-1, -10}},
+		Integer: []bool{false, true},
+	}
+	p.LP.AddConstraint(lp.LE, 2.5, map[int]float64{0: 1})
+	p.LP.AddConstraint(lp.LE, 5, map[int]float64{0: 1, 1: 4})
+	p.LP.AddConstraint(lp.LE, 1, map[int]float64{1: 1})
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, -11, 1e-6) {
+		t.Fatalf("status=%v objective=%v, want optimal -11", res.Status, res.Objective)
+	}
+	if !approx(res.X[1], 1, 1e-6) || !approx(res.X[0], 1, 1e-6) {
+		t.Errorf("X = %v, want [1 1]", res.X)
+	}
+}
+
+func TestIncumbentSeeding(t *testing.T) {
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 2, Objective: []float64{1, 1}},
+		Integer: allInt(2),
+	}
+	p.LP.AddConstraint(lp.GE, 2, map[int]float64{0: 1, 1: 1})
+	binaryBox(&p.LP)
+	// Incumbent [1, 1] is optimal already.
+	res, err := Solve(p, Options{Incumbent: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, 2, 1e-6) {
+		t.Fatalf("status=%v objective=%v", res.Status, res.Objective)
+	}
+}
+
+func TestBadIncumbentRejected(t *testing.T) {
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 1, Objective: []float64{1}},
+		Integer: allInt(1),
+	}
+	p.LP.AddConstraint(lp.GE, 1, map[int]float64{0: 1})
+	if _, err := Solve(p, Options{Incumbent: []float64{0}}); err == nil {
+		t.Error("infeasible incumbent accepted")
+	}
+	if _, err := Solve(p, Options{Incumbent: []float64{1.5}}); err == nil {
+		t.Error("fractional incumbent accepted")
+	}
+	if _, err := Solve(p, Options{Incumbent: []float64{1, 2}}); err == nil {
+		t.Error("wrong-length incumbent accepted")
+	}
+}
+
+func TestNodeLimitReturnsIncumbent(t *testing.T) {
+	// A problem needing branching, with node limit 1 and a seeded incumbent:
+	// must return the incumbent with Feasible status.
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 2, Objective: []float64{-1, -1}},
+		Integer: allInt(2),
+	}
+	p.LP.AddConstraint(lp.LE, 3, map[int]float64{0: 2, 1: 2})
+	binaryBox(&p.LP)
+	res, err := Solve(p, Options{NodeLimit: 1, Incumbent: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Feasible {
+		t.Fatalf("status = %v, want feasible", res.Status)
+	}
+	if !approx(res.Objective, -1, 1e-6) {
+		t.Errorf("objective = %v", res.Objective)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	p := &Problem{LP: lp.Problem{NumVars: 2, Objective: []float64{1, 1}}, Integer: []bool{true}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("accepted Integer of wrong length")
+	}
+}
+
+// Brute-force cross-check on random small binary programs.
+func TestRandomBinaryProgramsVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5) // up to 6 binaries
+		m := 1 + rng.Intn(4)
+		p := &Problem{
+			LP:      lp.Problem{NumVars: n, Objective: make([]float64, n)},
+			Integer: allInt(n),
+		}
+		for j := range p.LP.Objective {
+			p.LP.Objective[j] = math.Round(rng.Float64()*20 - 10)
+		}
+		type row struct {
+			coeffs []float64
+			rhs    float64
+			rel    lp.Rel
+		}
+		var rows []row
+		for i := 0; i < m; i++ {
+			r := row{coeffs: make([]float64, n), rel: lp.LE}
+			terms := map[int]float64{}
+			for j := 0; j < n; j++ {
+				c := math.Round(rng.Float64() * 5)
+				r.coeffs[j] = c
+				if c != 0 {
+					terms[j] = c
+				}
+			}
+			r.rhs = math.Round(rng.Float64() * float64(3*n))
+			rows = append(rows, r)
+			p.LP.AddConstraint(lp.LE, r.rhs, terms)
+		}
+		binaryBox(&p.LP)
+
+		// Brute force.
+		bestObj := math.Inf(1)
+		feasibleExists := false
+		for mask := 0; mask < 1<<n; mask++ {
+			ok := true
+			for _, r := range rows {
+				var lhs float64
+				for j := 0; j < n; j++ {
+					if mask&(1<<j) != 0 {
+						lhs += r.coeffs[j]
+					}
+				}
+				if lhs > r.rhs+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			feasibleExists = true
+			var obj float64
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					obj += p.LP.Objective[j]
+				}
+			}
+			if obj < bestObj {
+				bestObj = obj
+			}
+		}
+
+		res, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !feasibleExists {
+			if res.Status != Infeasible {
+				t.Fatalf("trial %d: status %v, want infeasible", trial, res.Status)
+			}
+			continue
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal", trial, res.Status)
+		}
+		if !approx(res.Objective, bestObj, 1e-6) {
+			t.Fatalf("trial %d: objective %v, brute force %v", trial, res.Objective, bestObj)
+		}
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	// Tiny time limit on a nontrivial problem: must return promptly without
+	// error; with a seeded incumbent, the incumbent survives.
+	n := 14
+	p := &Problem{
+		LP:      lp.Problem{NumVars: n, Objective: make([]float64, n)},
+		Integer: allInt(n),
+	}
+	rng := rand.New(rand.NewSource(3))
+	for j := 0; j < n; j++ {
+		p.LP.Objective[j] = -1 - rng.Float64()
+	}
+	terms := map[int]float64{}
+	for j := 0; j < n; j++ {
+		terms[j] = 1 + rng.Float64()
+	}
+	p.LP.AddConstraint(lp.LE, 5.5, terms)
+	binaryBox(&p.LP)
+	start := time.Now()
+	zero := make([]float64, n)
+	res, err := Solve(p, Options{TimeLimit: time.Millisecond, Incumbent: zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("time limit not respected")
+	}
+	if res.Status != Feasible && res.Status != Optimal {
+		t.Errorf("status = %v", res.Status)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Feasible.String() != "feasible" ||
+		Infeasible.String() != "infeasible" || Unknown.String() != "unknown" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Error("unknown status string wrong")
+	}
+}
+
+func TestBoundReported(t *testing.T) {
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 2, Objective: []float64{-1, -1}},
+		Integer: allInt(2),
+	}
+	p.LP.AddConstraint(lp.LE, 3, map[int]float64{0: 2, 1: 2})
+	binaryBox(&p.LP)
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Bound > res.Objective+1e-9 {
+		t.Errorf("bound %v exceeds objective %v", res.Bound, res.Objective)
+	}
+}

@@ -1,0 +1,185 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sring/internal/lp"
+)
+
+func TestPresolveFixesSingletons(t *testing.T) {
+	// x0 <= 0 with x0 binary: fixed to 0. x1 = 1: fixed to 1.
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 3, Objective: []float64{-1, -1, -1}},
+		Integer: []bool{true, true, true},
+	}
+	p.LP.AddConstraint(lp.LE, 0, map[int]float64{0: 1})
+	p.LP.AddConstraint(lp.EQ, 1, map[int]float64{1: 1})
+	p.LP.AddConstraint(lp.LE, 1, map[int]float64{2: 1})
+	pr := presolve(p)
+	if pr.infeasible {
+		t.Fatal("presolve reported infeasible")
+	}
+	if pr.fixed[0] != 0 {
+		t.Errorf("x0 not fixed to 0: %v", pr.fixed)
+	}
+	if pr.fixed[1] != 1 {
+		t.Errorf("x1 not fixed to 1: %v", pr.fixed)
+	}
+	if _, done := pr.fixed[2]; done {
+		t.Error("x2 wrongly fixed")
+	}
+	if pr.reduced == nil || pr.reduced.LP.NumVars != 1 {
+		t.Fatalf("reduced problem wrong: %+v", pr.reduced)
+	}
+	// Objective constant: fixing x1 = 1 contributes -1.
+	if math.Abs(pr.constant-(-1)) > 1e-9 {
+		t.Errorf("constant = %v, want -1", pr.constant)
+	}
+}
+
+func TestPresolveDetectsInfeasibleSingleton(t *testing.T) {
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 1, Objective: []float64{1}},
+		Integer: []bool{true},
+	}
+	p.LP.AddConstraint(lp.GE, 2, map[int]float64{0: 1})
+	p.LP.AddConstraint(lp.LE, 1, map[int]float64{0: 1})
+	pr := presolve(p)
+	if !pr.infeasible {
+		t.Error("contradictory bounds not detected")
+	}
+}
+
+func TestPresolvePinsOversizedCoefficients(t *testing.T) {
+	// 5 x0 + x1 <= 3 with binaries: x0 must be 0 (its step of 5 breaks the
+	// row), x1 stays free.
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 2, Objective: []float64{-1, -1}},
+		Integer: []bool{true, true},
+	}
+	p.LP.AddConstraint(lp.LE, 3, map[int]float64{0: 5, 1: 1})
+	p.LP.AddConstraint(lp.LE, 1, map[int]float64{0: 1})
+	p.LP.AddConstraint(lp.LE, 1, map[int]float64{1: 1})
+	pr := presolve(p)
+	if pr.infeasible {
+		t.Fatal("presolve reported infeasible")
+	}
+	if v, done := pr.fixed[0]; !done || v != 0 {
+		t.Errorf("x0 not pinned to 0: %v", pr.fixed)
+	}
+}
+
+func TestPresolveIntegerRounding(t *testing.T) {
+	// 2 x0 <= 3 with x0 integer: ub rounds to 1... then x0 in {0, 1}, not
+	// fixed. 2 x0 <= 1: ub rounds to 0 -> fixed.
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 1, Objective: []float64{-1}},
+		Integer: []bool{true},
+	}
+	p.LP.AddConstraint(lp.LE, 1, map[int]float64{0: 2})
+	pr := presolve(p)
+	if v, done := pr.fixed[0]; !done || v != 0 {
+		t.Errorf("integer rounding missed the fix: %v", pr.fixed)
+	}
+}
+
+// Solving with and without presolve must agree on random binary programs.
+func TestPresolveEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(5)
+		p := &Problem{
+			LP:      lp.Problem{NumVars: n, Objective: make([]float64, n)},
+			Integer: make([]bool, n),
+		}
+		for j := 0; j < n; j++ {
+			p.LP.Objective[j] = math.Round(rng.Float64()*10 - 5)
+			p.Integer[j] = true
+			p.LP.AddConstraint(lp.LE, 1, map[int]float64{j: 1})
+		}
+		// A mix of rows, some of which trigger the presolve rules.
+		terms := map[int]float64{}
+		for j := 0; j < n; j++ {
+			terms[j] = math.Round(rng.Float64() * 6)
+		}
+		p.LP.AddConstraint(lp.LE, math.Round(rng.Float64()*4)+1, terms)
+		if rng.Float64() < 0.5 {
+			p.LP.AddConstraint(lp.EQ, 1, map[int]float64{rng.Intn(n): 1})
+		}
+		if rng.Float64() < 0.5 {
+			p.LP.AddConstraint(lp.LE, 0, map[int]float64{rng.Intn(n): 1})
+		}
+
+		with, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (with): %v", trial, err)
+		}
+		without, err := Solve(p, Options{DisablePresolve: true})
+		if err != nil {
+			t.Fatalf("trial %d (without): %v", trial, err)
+		}
+		if with.Status != without.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, with.Status, without.Status)
+		}
+		if with.Status == Optimal && math.Abs(with.Objective-without.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective %v vs %v", trial, with.Objective, without.Objective)
+		}
+	}
+}
+
+func TestPresolveFullyFixedProblem(t *testing.T) {
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 2, Objective: []float64{3, 4}},
+		Integer: []bool{true, true},
+	}
+	p.LP.AddConstraint(lp.EQ, 1, map[int]float64{0: 1})
+	p.LP.AddConstraint(lp.EQ, 1, map[int]float64{1: 1})
+	p.LP.AddConstraint(lp.LE, 3, map[int]float64{0: 1, 1: 1}) // satisfied
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-7) > 1e-9 {
+		t.Fatalf("status=%v obj=%v, want optimal 7", res.Status, res.Objective)
+	}
+	// And the infeasible variant: fixed values violating a row.
+	p2 := &Problem{
+		LP:      lp.Problem{NumVars: 2, Objective: []float64{3, 4}},
+		Integer: []bool{true, true},
+	}
+	p2.LP.AddConstraint(lp.EQ, 1, map[int]float64{0: 1})
+	p2.LP.AddConstraint(lp.EQ, 1, map[int]float64{1: 1})
+	p2.LP.AddConstraint(lp.LE, 1, map[int]float64{0: 1, 1: 1}) // violated
+	res, err = Solve(p2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestPresolveWithIncumbent(t *testing.T) {
+	// Incumbent must survive the reduction.
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 3, Objective: []float64{1, 1, 1}},
+		Integer: []bool{true, true, true},
+	}
+	p.LP.AddConstraint(lp.EQ, 1, map[int]float64{0: 1})
+	p.LP.AddConstraint(lp.GE, 1, map[int]float64{1: 1, 2: 1})
+	p.LP.AddConstraint(lp.LE, 1, map[int]float64{1: 1})
+	p.LP.AddConstraint(lp.LE, 1, map[int]float64{2: 1})
+	res, err := Solve(p, Options{Incumbent: []float64{1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-2) > 1e-9 {
+		t.Fatalf("status=%v obj=%v, want optimal 2", res.Status, res.Objective)
+	}
+	// Incumbent disagreeing with a fixing is rejected as infeasible input.
+	if _, err := Solve(p, Options{Incumbent: []float64{0, 1, 1}}); err == nil {
+		t.Error("incumbent violating x0 = 1 accepted")
+	}
+}

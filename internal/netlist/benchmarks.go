@@ -1,0 +1,239 @@
+package netlist
+
+import (
+	"fmt"
+
+	"sring/internal/geom"
+)
+
+// The seven benchmark applications evaluated in the SRing paper (Table I):
+// four large-scale low-density multimedia systems (MWD, VOPD, MPEG, D26) and
+// three small-scale high-density processor-memory networks (8PM-24/32/44).
+//
+// MWD, VOPD and MPEG follow the task graphs commonly used in the NoC
+// synthesis literature ([17], [19], [29]); D26 is a synthesized 26-node
+// multimedia SoC with 68 flows standing in for the SunFloor 3D design [21]
+// (not publicly distributed); the 8PM networks are 4-processor/4-memory
+// systems at three communication densities. See DESIGN.md §2 for the
+// substitution rationale.
+
+// grid places n nodes row-major on a cols-wide grid with the given pitch in
+// millimetres, naming them from names (or "n<i>" if names is nil).
+func grid(n, cols int, pitch float64, names []string) []Node {
+	nodes := make([]Node, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%d", i+1)
+		if names != nil {
+			name = names[i]
+		}
+		nodes[i] = Node{
+			ID:   NodeID(i),
+			Name: name,
+			Pos:  geom.Pt(float64(i%cols)*pitch, float64(i/cols)*pitch),
+		}
+	}
+	return nodes
+}
+
+func msgs(list [][3]float64) []Message {
+	out := make([]Message, len(list))
+	for i, m := range list {
+		out[i] = Message{Src: NodeID(m[0]), Dst: NodeID(m[1]), Bandwidth: m[2]}
+	}
+	return out
+}
+
+// MWD returns the 12-node, 13-message multi-window display application
+// (paper Fig. 2). Node numbering follows the paper's 1-based figure shifted
+// to 0-based IDs: the paper's node 3 (ID 2) sends to exactly one node, and
+// the paper's nodes 4 and 11 (IDs 3 and 10) exchange traffic while sitting
+// far apart on a sequential ring.
+func MWD() *Application {
+	return &Application{
+		Name:  "MWD",
+		Nodes: grid(12, 4, 0.15, nil),
+		Messages: msgs([][3]float64{
+			{2, 3, 96},  // node 3 -> node 4 (its only message)
+			{10, 3, 64}, // node 11 -> node 4
+			{3, 10, 64}, // node 4 -> node 11
+			{0, 1, 128}, // node 1 -> node 2
+			{1, 5, 96},  // node 2 -> node 6
+			{5, 4, 96},  // node 6 -> node 5
+			{4, 0, 64},  // node 5 -> node 1
+			{6, 7, 96},  // node 7 -> node 8
+			{7, 11, 96}, // node 8 -> node 12
+			{11, 6, 64}, // node 12 -> node 7
+			{8, 9, 96},  // node 9 -> node 10
+			{9, 8, 64},  // node 10 -> node 9
+			{4, 9, 64},  // node 5 -> node 10  (inter-cluster)
+		}),
+	}
+}
+
+// VOPD returns the 16-node, 21-message video object plane decoder.
+func VOPD() *Application {
+	names := []string{
+		"vld", "run_le_dec", "inv_scan", "acdc_pred",
+		"stripe_mem", "iquan", "idct", "up_samp",
+		"vop_rec", "pad", "vop_mem", "arm",
+		"mem_ctrl", "dsp", "risc", "audio",
+	}
+	return &Application{
+		Name:  "VOPD",
+		Nodes: grid(16, 4, 0.15, names),
+		Messages: msgs([][3]float64{
+			{0, 1, 70},   // vld -> run_le_dec
+			{1, 2, 362},  // run_le_dec -> inv_scan
+			{2, 3, 362},  // inv_scan -> acdc_pred
+			{3, 4, 49},   // acdc_pred -> stripe_mem
+			{4, 3, 27},   // stripe_mem -> acdc_pred
+			{3, 5, 362},  // acdc_pred -> iquan
+			{5, 6, 357},  // iquan -> idct
+			{6, 7, 353},  // idct -> up_samp
+			{7, 8, 300},  // up_samp -> vop_rec
+			{8, 9, 313},  // vop_rec -> pad
+			{9, 10, 313}, // pad -> vop_mem
+			{10, 9, 94},  // vop_mem -> pad
+			{11, 6, 16},  // arm -> idct
+			{6, 11, 16},  // idct -> arm
+			{11, 12, 32}, // arm -> mem_ctrl
+			{12, 11, 32}, // mem_ctrl -> arm
+			{13, 5, 27},  // dsp -> iquan
+			{14, 11, 24}, // risc -> arm
+			{11, 14, 24}, // arm -> risc
+			{15, 13, 48}, // audio -> dsp
+			{13, 15, 48}, // dsp -> audio
+		}),
+	}
+}
+
+// MPEG returns the 12-node, 26-message MPEG4 decoder. The SDRAM node is a
+// hub exchanging traffic with every other node, the paper's example of "a
+// node needs to talk to almost all other nodes".
+func MPEG() *Application {
+	names := []string{
+		"vu", "au", "med_cpu", "idct", "rast", "sdram",
+		"sram1", "sram2", "bab", "risc", "adsp", "up_samp",
+	}
+	list := [][3]float64{
+		{2, 9, 0.5}, {9, 2, 0.5}, // med_cpu <-> risc
+		{0, 11, 75}, {11, 0, 75}, // vu <-> up_samp
+	}
+	bw := []float64{190, 0.5, 60, 600, 40, 910, 32, 670, 173, 500, 910}
+	other := []float64{1, 2, 3, 4, 0, 6, 7, 8, 9, 10, 11}
+	for i, o := range other {
+		// sdram (node 5) exchanges traffic with every other node.
+		list = append(list, [3]float64{5, o, bw[i]}, [3]float64{o, 5, bw[i]})
+	}
+	return &Application{
+		Name:     "MPEG",
+		Nodes:    grid(12, 4, 0.15, names),
+		Messages: msgs(list),
+	}
+}
+
+// D26 returns the synthesized 26-node, 68-message multimedia SoC standing in
+// for the SunFloor 3D media design of [21] (see DESIGN.md §2).
+func D26() *Application {
+	names := []string{
+		"cam", "vfe", "venc", "vdec", "scaler", "disp", "vmem", // video
+		"amic", "adsp", "acodec", "amem", "aspk", // audio
+		"cpu0", "cpu1", "l2", "dram0", "dram1", // cpu cluster
+		"dma", "usb", "eth", "flash", "sd", // dma / io
+		"gpu", "gmem", "isp", "sec", // gpu / misc
+	}
+	return &Application{
+		Name:  "D26",
+		Nodes: grid(26, 6, 0.2, names),
+		Messages: msgs([][3]float64{
+			// Video pipeline.
+			{0, 1, 400}, {1, 2, 350}, {1, 4, 200}, {4, 5, 250}, {3, 4, 300},
+			{2, 6, 320}, {6, 2, 120}, {3, 6, 280}, {6, 3, 280}, {1, 6, 200},
+			{6, 5, 220}, {24, 1, 380}, {0, 24, 400}, {24, 6, 260},
+			// Audio subsystem.
+			{7, 8, 12}, {8, 9, 12}, {9, 11, 12}, {8, 10, 24}, {10, 8, 24},
+			{9, 10, 16}, {10, 9, 16},
+			// CPU cluster.
+			{12, 14, 800}, {14, 12, 800}, {13, 14, 800}, {14, 13, 800},
+			{14, 15, 640}, {15, 14, 640}, {14, 16, 640}, {16, 14, 640},
+			{12, 13, 96}, {13, 12, 96},
+			// DRAM hub traffic.
+			{17, 15, 480}, {15, 17, 480}, {17, 16, 480}, {16, 17, 480},
+			{6, 15, 360}, {15, 6, 360}, {10, 15, 60}, {23, 16, 420}, {16, 23, 420},
+			// DMA / IO.
+			{17, 18, 60}, {18, 17, 60}, {17, 19, 120}, {19, 17, 120},
+			{17, 20, 40}, {20, 17, 40}, {17, 21, 48}, {21, 17, 48},
+			{12, 17, 32}, {17, 12, 32},
+			// GPU.
+			{22, 23, 720}, {23, 22, 720}, {14, 22, 320}, {22, 14, 320},
+			{23, 5, 400}, {22, 16, 380}, {16, 22, 380},
+			// Security block.
+			{25, 14, 20}, {14, 25, 20}, {25, 20, 16}, {20, 25, 16},
+			// Cross-subsystem spill traffic.
+			{2, 15, 300}, {15, 3, 300}, {12, 15, 240}, {15, 12, 240},
+			{13, 16, 240}, {16, 13, 240}, {19, 15, 96},
+		}),
+	}
+}
+
+// pm8 builds an 8-node processor-memory network: processors P0..P3 on the
+// bottom row, memories M0..M3 on the top row of a 4x2 grid.
+func pm8(name string, memsPerCPU int, cpuPairs bool) *Application {
+	names := []string{"P0", "P1", "P2", "P3", "M0", "M1", "M2", "M3"}
+	var list [][3]float64
+	for p := 0; p < 4; p++ {
+		for k := 0; k < memsPerCPU; k++ {
+			m := 4 + (p+k)%4
+			list = append(list, [3]float64{float64(p), float64(m), 800})
+			list = append(list, [3]float64{float64(m), float64(p), 800})
+		}
+	}
+	if cpuPairs {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				list = append(list, [3]float64{float64(i), float64(j), 200})
+				list = append(list, [3]float64{float64(j), float64(i), 200})
+			}
+		}
+	}
+	return &Application{
+		Name:     name,
+		Nodes:    grid(8, 4, 0.1, names),
+		Messages: msgs(list),
+	}
+}
+
+// PM24 returns the 8-node, 24-message processor-memory network (each
+// processor exchanges traffic with three of the four memories).
+func PM24() *Application { return pm8("8PM-24", 3, false) }
+
+// PM32 returns the 8-node, 32-message processor-memory network (full
+// processor-memory bipartite traffic).
+func PM32() *Application { return pm8("8PM-32", 4, false) }
+
+// PM44 returns the 8-node, 44-message network (full processor-memory traffic
+// plus all-pairs inter-processor traffic).
+func PM44() *Application { return pm8("8PM-44", 4, true) }
+
+// Benchmarks returns all seven paper benchmarks in Table I order.
+func Benchmarks() []*Application {
+	return []*Application{MWD(), VOPD(), MPEG(), D26(), PM24(), PM32(), PM44()}
+}
+
+// ByName returns the builtin benchmark with the given (case-sensitive) name,
+// or an error listing the available names.
+func ByName(name string) (*Application, error) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	avail := ""
+	for i, b := range Benchmarks() {
+		if i > 0 {
+			avail += ", "
+		}
+		avail += b.Name
+	}
+	return nil, fmt.Errorf("netlist: unknown benchmark %q (available: %s)", name, avail)
+}

@@ -1,0 +1,51 @@
+package netlist
+
+import "testing"
+
+func TestExtendedSignatures(t *testing.T) {
+	want := map[string][2]int{
+		"PIP":  {8, 8},
+		"H263": {14, 18},
+		"MP3":  {13, 14},
+		"MMS":  {25, 33},
+	}
+	got := map[string]bool{}
+	for _, app := range Extended() {
+		sig, ok := want[app.Name]
+		if !ok {
+			t.Errorf("unexpected extended benchmark %q", app.Name)
+			continue
+		}
+		got[app.Name] = true
+		if app.N() != sig[0] || app.M() != sig[1] {
+			t.Errorf("%s: (#N=%d, #M=%d), want (#N=%d, #M=%d)",
+				app.Name, app.N(), app.M(), sig[0], sig[1])
+		}
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", app.Name, err)
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("extended benchmark %q missing", name)
+		}
+	}
+}
+
+func TestExtendedAllNodesActive(t *testing.T) {
+	for _, app := range Extended() {
+		if got := len(app.ActiveNodes()); got != app.N() {
+			t.Errorf("%s: %d active of %d nodes", app.Name, got, app.N())
+		}
+	}
+}
+
+func TestExtendedAreLowDensity(t *testing.T) {
+	// The extended suite targets the clusterable regime SRing is built
+	// for: density below 2 messages per node.
+	for _, app := range Extended() {
+		if d := app.Density(); d >= 2 {
+			t.Errorf("%s: density %.2f, want < 2", app.Name, d)
+		}
+	}
+}

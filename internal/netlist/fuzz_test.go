@@ -1,0 +1,49 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the JSON front door: Decode must never panic and must
+// either return a validated application or an error, for arbitrary input.
+// The seed corpus covers the accepted shapes and common malformations; `go
+// test` replays the corpus, `go test -fuzz=FuzzDecode` explores further.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		`{"name":"x","nodes":[{"name":"a","x":0,"y":0},{"name":"b","x":1,"y":0}],"messages":[{"src":0,"dst":1}]}`,
+		`{"name":"x","nodes":[],"messages":[]}`,
+		`{"nodes":[{"x":0,"y":0},{"x":0,"y":0}],"messages":[{"src":0,"dst":1}]}`,
+		`{"nodes":[{"x":0,"y":0},{"x":1,"y":0}],"messages":[{"src":-1,"dst":9}]}`,
+		`{`,
+		`null`,
+		`[]`,
+		`{"nodes":[{"x":1e308,"y":-1e308},{"x":0,"y":0}],"messages":[{"src":0,"dst":1,"bandwidth":-5}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	// A serialized benchmark as a rich seed.
+	var buf bytes.Buffer
+	if err := Encode(&buf, MWD()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		app, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		// Anything accepted must be fully valid.
+		if verr := app.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid application: %v", verr)
+		}
+		// And re-encodable.
+		var out strings.Builder
+		if eerr := Encode(&out, app); eerr != nil {
+			t.Fatalf("accepted application does not re-encode: %v", eerr)
+		}
+	})
+}

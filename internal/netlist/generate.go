@@ -1,0 +1,129 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sring/internal/geom"
+)
+
+// Random returns a deterministic pseudo-random application with n nodes on a
+// grid and m distinct directed messages. The communication graph is kept
+// connected by threading a random spanning path through all nodes first, so
+// generated applications always admit a single-ring solution.
+//
+// Random panics if the requested message count is infeasible
+// (m < n-1 or m > n*(n-1)).
+func Random(n, m int, seed int64) *Application {
+	if n < 2 {
+		panic(fmt.Sprintf("netlist: Random needs n >= 2, got %d", n))
+	}
+	if m < n-1 || m > n*(n-1) {
+		panic(fmt.Sprintf("netlist: Random with n=%d cannot place m=%d messages", n, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	app := &Application{
+		Name:  fmt.Sprintf("rand-n%d-m%d-s%d", n, m, seed),
+		Nodes: grid(n, cols, 0.15, nil),
+	}
+	// Random spanning path keeps every node active.
+	perm := rng.Perm(n)
+	used := make(map[[2]NodeID]bool)
+	add := func(src, dst NodeID) bool {
+		key := [2]NodeID{src, dst}
+		if src == dst || used[key] {
+			return false
+		}
+		used[key] = true
+		app.Messages = append(app.Messages, Message{
+			Src: src, Dst: dst, Bandwidth: float64(8 * (1 + rng.Intn(64))),
+		})
+		return true
+	}
+	for i := 1; i < n; i++ {
+		add(NodeID(perm[i-1]), NodeID(perm[i]))
+	}
+	for len(app.Messages) < m {
+		add(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return app
+}
+
+// Ring returns an n-node application whose messages form a directed cycle
+// 0 -> 1 -> ... -> n-1 -> 0: the simplest workload that exercises a full
+// ring. Useful in tests and examples.
+func Ring(n int) *Application {
+	if n < 2 {
+		panic(fmt.Sprintf("netlist: Ring needs n >= 2, got %d", n))
+	}
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	app := &Application{Name: fmt.Sprintf("ring-%d", n), Nodes: grid(n, cols, 0.15, nil)}
+	for i := 0; i < n; i++ {
+		app.Messages = append(app.Messages, Message{
+			Src: NodeID(i), Dst: NodeID((i + 1) % n), Bandwidth: 64,
+		})
+	}
+	return app
+}
+
+// Clustered returns an application with k well-separated clusters of size
+// csize each, dense traffic inside clusters and a few inter-cluster flows:
+// the workload shape SRing is designed for. interFlows inter-cluster
+// messages are threaded between consecutive clusters' first nodes.
+func Clustered(k, csize, interFlows int, seed int64) *Application {
+	if k < 1 || csize < 2 {
+		panic(fmt.Sprintf("netlist: Clustered needs k >= 1, csize >= 2, got k=%d csize=%d", k, csize))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	app := &Application{Name: fmt.Sprintf("clustered-k%d-c%d", k, csize)}
+	// Clusters sit on a coarse grid, members on a fine grid inside.
+	clusterCols := 1
+	for clusterCols*clusterCols < k {
+		clusterCols++
+	}
+	memberCols := 1
+	for memberCols*memberCols < csize {
+		memberCols++
+	}
+	id := 0
+	for c := 0; c < k; c++ {
+		base := geom.Pt(float64(c%clusterCols)*2.0, float64(c/clusterCols)*2.0)
+		for i := 0; i < csize; i++ {
+			app.Nodes = append(app.Nodes, Node{
+				ID:   NodeID(id),
+				Name: fmt.Sprintf("c%d_n%d", c, i),
+				Pos:  base.Add(float64(i%memberCols)*0.1, float64(i/memberCols)*0.1),
+			})
+			id++
+		}
+	}
+	// Intra-cluster: a cycle through the cluster members.
+	for c := 0; c < k; c++ {
+		base := c * csize
+		for i := 0; i < csize; i++ {
+			app.Messages = append(app.Messages, Message{
+				Src:       NodeID(base + i),
+				Dst:       NodeID(base + (i+1)%csize),
+				Bandwidth: float64(8 * (1 + rng.Intn(32))),
+			})
+		}
+	}
+	// Inter-cluster flows between cluster heads.
+	for f := 0; f < interFlows && k > 1; f++ {
+		a := f % k
+		b := (f + 1) % k
+		app.Messages = append(app.Messages, Message{
+			Src:       NodeID(a * csize),
+			Dst:       NodeID(b * csize),
+			Bandwidth: 32,
+		})
+	}
+	return app
+}

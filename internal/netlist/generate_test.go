@@ -1,0 +1,177 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomValid(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{2, 1}, {5, 8}, {12, 13}, {20, 60}} {
+		app := Random(tc.n, tc.m, 1)
+		if err := app.Validate(); err != nil {
+			t.Errorf("Random(%d,%d) invalid: %v", tc.n, tc.m, err)
+		}
+		if app.N() != tc.n || app.M() != tc.m {
+			t.Errorf("Random(%d,%d) = (#N=%d, #M=%d)", tc.n, tc.m, app.N(), app.M())
+		}
+		if got := len(app.ActiveNodes()); got != tc.n {
+			t.Errorf("Random(%d,%d): only %d active nodes", tc.n, tc.m, got)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(10, 20, 42)
+	b := Random(10, 20, 42)
+	if a.String() != b.String() || len(a.Messages) != len(b.Messages) {
+		t.Fatal("Random not deterministic in shape")
+	}
+	for i := range a.Messages {
+		if a.Messages[i] != b.Messages[i] {
+			t.Fatalf("Random not deterministic at message %d: %v vs %v", i, a.Messages[i], b.Messages[i])
+		}
+	}
+	c := Random(10, 20, 43)
+	same := true
+	for i := range a.Messages {
+		if a.Messages[i] != c.Messages[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical message lists")
+	}
+}
+
+func TestRandomProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := 2 + int(nRaw)%14
+		maxM := n * (n - 1)
+		span := maxM - (n - 1)
+		m := n - 1 + int(mRaw)%(span+1)
+		app := Random(n, m, seed)
+		return app.Validate() == nil && app.M() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("Random property violated: %v", err)
+	}
+}
+
+func TestRandomPanics(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{1, 1}, {3, 1}, {3, 7}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Random(%d,%d) should panic", tc.n, tc.m)
+				}
+			}()
+			Random(tc.n, tc.m, 1)
+		}()
+	}
+}
+
+func TestRing(t *testing.T) {
+	app := Ring(6)
+	if err := app.Validate(); err != nil {
+		t.Fatalf("Ring invalid: %v", err)
+	}
+	if app.N() != 6 || app.M() != 6 {
+		t.Errorf("Ring(6) = %s", app)
+	}
+	for i, m := range app.Messages {
+		if int(m.Src) != i || int(m.Dst) != (i+1)%6 {
+			t.Errorf("Ring message %d = %v", i, m)
+		}
+	}
+}
+
+func TestClustered(t *testing.T) {
+	app := Clustered(3, 4, 3, 7)
+	if err := app.Validate(); err != nil {
+		t.Fatalf("Clustered invalid: %v", err)
+	}
+	if app.N() != 12 {
+		t.Errorf("Clustered N = %d, want 12", app.N())
+	}
+	if app.M() != 3*4+3 {
+		t.Errorf("Clustered M = %d, want 15", app.M())
+	}
+	// Clusters are spatially separated: intra-cluster distances must be much
+	// smaller than inter-cluster distances.
+	intra := app.Pos(0).Manhattan(app.Pos(1))
+	inter := app.Pos(0).Manhattan(app.Pos(4))
+	if intra >= inter {
+		t.Errorf("intra distance %v should be < inter distance %v", intra, inter)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := MWD()
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Name != orig.Name || got.N() != orig.N() || got.M() != orig.M() {
+		t.Fatalf("round trip mismatch: %s vs %s", got, orig)
+	}
+	for i := range orig.Nodes {
+		if !got.Nodes[i].Pos.Eq(orig.Nodes[i].Pos) || got.Nodes[i].Name != orig.Nodes[i].Name {
+			t.Errorf("node %d mismatch: %+v vs %+v", i, got.Nodes[i], orig.Nodes[i])
+		}
+	}
+	for i := range orig.Messages {
+		if got.Messages[i] != orig.Messages[i] {
+			t.Errorf("message %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad json", `{`},
+		{"self message", `{"name":"x","nodes":[{"name":"a","x":0,"y":0},{"name":"b","x":1,"y":0}],"messages":[{"src":0,"dst":0}]}`},
+		{"unknown node", `{"name":"x","nodes":[{"name":"a","x":0,"y":0},{"name":"b","x":1,"y":0}],"messages":[{"src":0,"dst":7}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: Decode accepted invalid input", c.name)
+		}
+	}
+}
+
+func TestDecodeDefaultsNames(t *testing.T) {
+	in := `{"name":"x","nodes":[{"x":0,"y":0},{"x":1,"y":0}],"messages":[{"src":0,"dst":1}]}`
+	app, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if app.Nodes[0].Name != "n1" || app.Nodes[1].Name != "n2" {
+		t.Errorf("default names = %q, %q", app.Nodes[0].Name, app.Nodes[1].Name)
+	}
+}
+
+func TestDecodeRawSkipsValidation(t *testing.T) {
+	// All nodes at the origin: Decode rejects, DecodeRaw accepts (for
+	// later placement).
+	in := `{"name":"bare","nodes":[{"name":"a"},{"name":"b"}],"messages":[{"src":0,"dst":1}]}`
+	if _, err := Decode(strings.NewReader(in)); err == nil {
+		t.Error("Decode accepted coincident nodes")
+	}
+	app, err := DecodeRaw(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("DecodeRaw: %v", err)
+	}
+	if app.N() != 2 || app.M() != 1 {
+		t.Errorf("DecodeRaw shape wrong: %s", app)
+	}
+	if _, err := DecodeRaw(strings.NewReader("{")); err == nil {
+		t.Error("DecodeRaw accepted malformed JSON")
+	}
+}

@@ -1,0 +1,86 @@
+package netlist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sring/internal/geom"
+)
+
+// jsonApp is the on-disk JSON schema for an application. Coordinates are in
+// millimetres; bandwidths in MB/s.
+type jsonApp struct {
+	Name     string        `json:"name"`
+	Nodes    []jsonNode    `json:"nodes"`
+	Messages []jsonMessage `json:"messages"`
+}
+
+type jsonNode struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+type jsonMessage struct {
+	Src       int     `json:"src"`
+	Dst       int     `json:"dst"`
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+}
+
+// Encode writes the application to w as JSON.
+func Encode(w io.Writer, app *Application) error {
+	ja := jsonApp{Name: app.Name}
+	for _, n := range app.Nodes {
+		ja.Nodes = append(ja.Nodes, jsonNode{Name: n.Name, X: n.Pos.X, Y: n.Pos.Y})
+	}
+	for _, m := range app.Messages {
+		ja.Messages = append(ja.Messages, jsonMessage{Src: int(m.Src), Dst: int(m.Dst), Bandwidth: m.Bandwidth})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ja); err != nil {
+		return fmt.Errorf("netlist: encode %q: %w", app.Name, err)
+	}
+	return nil
+}
+
+// Decode reads a JSON application from r and validates it.
+func Decode(r io.Reader) (*Application, error) {
+	app, err := DecodeRaw(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// DecodeRaw reads a JSON application without validating it — for inputs
+// that lack placements (all nodes at the origin) and will be placed by
+// sring/internal/floorplan before use.
+func DecodeRaw(r io.Reader) (*Application, error) {
+	var ja jsonApp
+	if err := json.NewDecoder(r).Decode(&ja); err != nil {
+		return nil, fmt.Errorf("netlist: decode: %w", err)
+	}
+	app := &Application{Name: ja.Name}
+	for i, n := range ja.Nodes {
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", i+1)
+		}
+		app.Nodes = append(app.Nodes, Node{
+			ID:   NodeID(i),
+			Name: name,
+			Pos:  geom.Pt(n.X, n.Y),
+		})
+	}
+	for _, m := range ja.Messages {
+		app.Messages = append(app.Messages, Message{
+			Src: NodeID(m.Src), Dst: NodeID(m.Dst), Bandwidth: m.Bandwidth,
+		})
+	}
+	return app, nil
+}

@@ -1,0 +1,102 @@
+// Package ornoc implements the ORNoC baseline (Le Beux et al., DATE'11):
+// a conventional sequential dual-ring router whose wavelengths are assigned
+// by first-fit reuse — each message takes the first (wavelength, ring) slot
+// whose arc is completely free, scanning wavelengths from zero and the
+// clockwise ring before the counter-clockwise one.
+//
+// First-fit reuse is ORNoC's defining mechanism. Relative to CTORing's
+// optimised assignment it tends to use more wavelengths and to route
+// messages the long way around (whenever the long arc of a low wavelength
+// happens to be free), which is why the paper's Table I shows ORNoC with
+// the largest longest-path lengths and wavelength counts.
+package ornoc
+
+import (
+	"fmt"
+	"time"
+
+	"sring/internal/baseline"
+	"sring/internal/design"
+	"sring/internal/netlist"
+	"sring/internal/pdn"
+	"sring/internal/ring"
+	"sring/internal/wavelength"
+)
+
+// Options configures the synthesis.
+type Options struct {
+	// Design carries the shared downstream configuration. PDN settings
+	// and the preset assignment are overwritten by the method.
+	Design design.Options
+}
+
+// Synthesize builds the ORNoC design for the application.
+func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
+	start := time.Now()
+	cw, ccw, err := baseline.DualRing(app)
+	if err != nil {
+		return nil, fmt.Errorf("ornoc: %w", err)
+	}
+	rings := []*ring.Ring{cw, ccw}
+
+	// First-fit placement: occupancy[ring][lambda] marks used segments.
+	type slot map[int]bool
+	occupancy := map[int][]slot{cw.ID: {}, ccw.ID: {}}
+	free := func(r *ring.Ring, lambda int, segs []int) bool {
+		slots := occupancy[r.ID]
+		if lambda >= len(slots) {
+			return true
+		}
+		for _, s := range segs {
+			if slots[lambda][s] {
+				return false
+			}
+		}
+		return true
+	}
+	reserve := func(r *ring.Ring, lambda int, segs []int) {
+		for len(occupancy[r.ID]) <= lambda {
+			occupancy[r.ID] = append(occupancy[r.ID], slot{})
+		}
+		for _, s := range segs {
+			occupancy[r.ID][lambda][s] = true
+		}
+	}
+
+	paths := make([]ring.Path, 0, len(app.Messages))
+	lambdas := make([]int, 0, len(app.Messages))
+	maxLambda := 0
+	for i, m := range app.Messages {
+		// ORNoC balances signals across the two rings without optimising
+		// for path length or wavelength reuse: message i rides ring i mod 2
+		// and takes the first wavelength whose arc is free there.
+		r := rings[i%2]
+		p, err := ring.Route(app, r, m)
+		if err != nil {
+			return nil, fmt.Errorf("ornoc: %w", err)
+		}
+		for lambda := 0; ; lambda++ {
+			if free(r, lambda, p.Segs) {
+				reserve(r, lambda, p.Segs)
+				paths = append(paths, p)
+				lambdas = append(lambdas, lambda)
+				if lambda > maxLambda {
+					maxLambda = lambda
+				}
+				break
+			}
+		}
+	}
+
+	dopt := opt.Design
+	dopt.PresetAssignment = &wavelength.Assignment{Lambda: lambdas, NumLambda: maxLambda + 1}
+	dopt.PDN = pdn.Config{Style: pdn.StyleShared, ForceNodeSplitter: true, LaserPos: dopt.PDN.LaserPos, RoutePhysical: dopt.PDN.RoutePhysical}
+	dopt.PDNAllTwoSender = true
+	dopt.MRRFullComplement = true
+	d, err := design.Finish(app, "ORNoC", rings, paths, dopt)
+	if err != nil {
+		return nil, fmt.Errorf("ornoc: %w", err)
+	}
+	d.SynthesisTime = time.Since(start)
+	return d, nil
+}

@@ -1,0 +1,93 @@
+package ornoc
+
+import (
+	"testing"
+
+	"sring/internal/baseline"
+	"sring/internal/netlist"
+)
+
+func TestSynthesizeBenchmarks(t *testing.T) {
+	for _, app := range netlist.Benchmarks() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			d, err := Synthesize(app, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("design invalid: %v", err)
+			}
+			if d.Method != "ORNoC" {
+				t.Errorf("method = %q", d.Method)
+			}
+			if len(d.Rings) != 2 {
+				t.Errorf("ORNoC uses %d rings, want 2", len(d.Rings))
+			}
+			if d.SynthesisTime <= 0 {
+				t.Error("synthesis time not recorded")
+			}
+		})
+	}
+}
+
+func TestFirstFitKeepsAssignment(t *testing.T) {
+	// The design must carry ORNoC's own first-fit assignment, not an
+	// optimised one: with first-fit, the first message always gets λ0 on
+	// the CW ring.
+	app := netlist.MWD()
+	d, err := Synthesize(app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Assignment.Lambda[0] != 0 {
+		t.Errorf("first message got λ%d, want λ0", d.Assignment.Lambda[0])
+	}
+	if d.Infos[0].Path.RingID != baseline.CWRingID {
+		t.Errorf("first message on ring %d, want CW", d.Infos[0].Path.RingID)
+	}
+}
+
+func TestForcedSplitterConvention(t *testing.T) {
+	// ORNoC's PDN joins every node's two senders with a splitter: the max
+	// splitters per path is the tree depth + 1.
+	app := netlist.PM24()
+	d, err := Synthesize(app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 sender nodes: ceil(log2 8) = 3 tree stages + 1 node splitter.
+	if m.MaxSplitters != 4 {
+		t.Errorf("MaxSplitters = %d, want 4", m.MaxSplitters)
+	}
+	if m.NodeSplitters != 8 {
+		t.Errorf("NodeSplitters = %d, want 8 (every node)", m.NodeSplitters)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Synthesize(netlist.VOPD(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(netlist.VOPD(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment.Lambda {
+		if a.Assignment.Lambda[i] != b.Assignment.Lambda[i] {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	bad := &netlist.Application{Name: "bad"}
+	if _, err := Synthesize(bad, Options{}); err == nil {
+		t.Error("invalid app accepted")
+	}
+}

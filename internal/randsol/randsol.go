@@ -1,0 +1,227 @@
+// Package randsol generates random ring-router solutions for the paper's
+// solution-quality study (Sec. IV-B, Fig. 8): nodes are clustered randomly,
+// the nodes of each cluster are connected sequentially into sub-rings, and
+// wavelengths are assigned to signal paths uniformly at random. A solution
+// is feasible iff no two signal paths that overlap on a waveguide segment
+// share a wavelength.
+//
+// Comparing 100 000 such samples against SRing's solution shows both how
+// rare feasible solutions are (only MWD and VOPD yield any) and how much
+// better SRing's wavelength usage and worst-case insertion loss are than
+// even the best random feasible solution.
+package randsol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sring/internal/loss"
+	"sring/internal/netlist"
+	"sring/internal/ring"
+)
+
+// Sample is one random solution.
+type Sample struct {
+	// Feasible reports whether the random wavelength assignment is
+	// collision-free.
+	Feasible bool
+	// NumWavelengths is the number of distinct wavelengths used
+	// (only meaningful when Feasible).
+	NumWavelengths int
+	// WorstILdB is the worst-case insertion loss excluding PDN losses
+	// (il_w), computed with the reduced loss model of ReducedWorstIL.
+	WorstILdB float64
+}
+
+// Generator draws random solutions for one application.
+type Generator struct {
+	app  *netlist.Application
+	tech loss.Tech
+	rng  *rand.Rand
+}
+
+// NewGenerator returns a deterministic generator for the application.
+func NewGenerator(app *netlist.Application, tech loss.Tech, seed int64) (*Generator, error) {
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("randsol: %w", err)
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{app: app, tech: tech, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Draw generates the next random solution (paper footnote f): random
+// clustering, sequential sub-ring connection, random wavelength assignment
+// from a palette of |messages| wavelengths.
+func (g *Generator) Draw() Sample {
+	app := g.app
+	active := app.ActiveNodes()
+	n := len(active)
+
+	// Random clustering: each active node picks one of k random clusters.
+	k := 1 + g.rng.Intn(n)
+	clusterOf := make(map[netlist.NodeID]int, n)
+	memberLists := make([][]netlist.NodeID, k)
+	for _, id := range active {
+		c := g.rng.Intn(k)
+		clusterOf[id] = c
+		memberLists[c] = append(memberLists[c], id)
+	}
+
+	// Sequential sub-rings: cluster members in random order.
+	rings := make([]*ring.Ring, 0, k+1)
+	ringOf := make(map[int]*ring.Ring, k)
+	id := 0
+	for c, members := range memberLists {
+		if len(members) < 2 {
+			continue
+		}
+		order := append([]netlist.NodeID(nil), members...)
+		g.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		r := &ring.Ring{ID: id, Kind: ring.Intra, Order: order}
+		rings = append(rings, r)
+		ringOf[c] = r
+		id++
+	}
+	// Inter ring over all nodes with cross-cluster traffic (or traffic in a
+	// ring-less cluster), in random order.
+	interSet := make(map[netlist.NodeID]bool)
+	for _, m := range app.Messages {
+		if clusterOf[m.Src] != clusterOf[m.Dst] || ringOf[clusterOf[m.Src]] == nil {
+			interSet[m.Src] = true
+			interSet[m.Dst] = true
+		}
+	}
+	var interRing *ring.Ring
+	if len(interSet) >= 2 {
+		order := make([]netlist.NodeID, 0, len(interSet))
+		for _, nid := range active { // deterministic base order before shuffle
+			if interSet[nid] {
+				order = append(order, nid)
+			}
+		}
+		g.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		interRing = &ring.Ring{ID: id, Kind: ring.Inter, Order: order}
+		rings = append(rings, interRing)
+	}
+
+	// Route each message; if any message cannot be carried (e.g. needs an
+	// inter ring that could not be formed) the sample is infeasible.
+	paths := make([]ring.Path, 0, len(app.Messages))
+	for _, m := range app.Messages {
+		var r *ring.Ring
+		if clusterOf[m.Src] == clusterOf[m.Dst] && ringOf[clusterOf[m.Src]] != nil {
+			r = ringOf[clusterOf[m.Src]]
+		} else {
+			r = interRing
+		}
+		if r == nil || !r.Contains(m.Src) || !r.Contains(m.Dst) {
+			return Sample{}
+		}
+		p, err := ring.Route(app, r, m)
+		if err != nil {
+			return Sample{}
+		}
+		paths = append(paths, p)
+	}
+
+	// Random wavelength assignment from a palette of |S| wavelengths.
+	palette := len(app.Messages)
+	lambda := make([]int, len(paths))
+	for i := range lambda {
+		lambda[i] = g.rng.Intn(palette)
+	}
+
+	// Feasibility: overlapping paths on the same ring must differ.
+	occupied := make(map[[3]int]bool) // (ringID, segment, lambda)
+	for i, p := range paths {
+		for _, s := range p.Segs {
+			key := [3]int{p.RingID, s, lambda[i]}
+			if occupied[key] {
+				return Sample{}
+			}
+			occupied[key] = true
+		}
+	}
+
+	used := make(map[int]bool)
+	for _, l := range lambda {
+		used[l] = true
+	}
+	return Sample{
+		Feasible:       true,
+		NumWavelengths: len(used),
+		WorstILdB:      ReducedWorstIL(g.app, g.tech, rings, paths),
+	}
+}
+
+// ReducedWorstIL computes il_w with the reduced loss model used for the
+// 100 000-sample study: fixed sender/receiver losses, propagation over the
+// path length, and through loss over the MRRs passed — omitting the layout
+// bend/crossing terms, which are negligible at these scales and identical
+// in character across solutions. Use the same function on SRing's rings
+// and paths when placing its marker in the histogram, so the comparison is
+// like-for-like.
+func ReducedWorstIL(app *netlist.Application, tech loss.Tech, rings []*ring.Ring, paths []ring.Path) float64 {
+	mrrs := make(map[[2]int]int)
+	for _, p := range paths {
+		mrrs[[2]int{int(p.Msg.Src), p.RingID}]++
+		mrrs[[2]int{int(p.Msg.Dst), p.RingID}]++
+	}
+	ringByID := make(map[int]*ring.Ring, len(rings))
+	for _, r := range rings {
+		ringByID[r.ID] = r
+	}
+	var worst float64
+	for _, p := range paths {
+		passed := 0
+		if r := ringByID[p.RingID]; r != nil {
+			for k := 1; k < len(p.Segs); k++ {
+				node := r.Order[p.Segs[k]] // entry node of the k-th segment
+				passed += mrrs[[2]int{int(node), p.RingID}]
+			}
+		}
+		il := tech.PathDB(loss.PathGeometry{LengthMM: p.Length, MRRsPassed: passed})
+		if il > worst {
+			worst = il
+		}
+	}
+	return worst
+}
+
+// Study is an aggregate over many samples.
+type Study struct {
+	Total    int
+	Feasible int
+	// WavelengthCounts and WorstILs hold the per-feasible-sample values.
+	WavelengthCounts []int
+	WorstILs         []float64
+}
+
+// Run draws total samples and aggregates the feasible ones.
+func Run(app *netlist.Application, tech loss.Tech, seed int64, total int) (*Study, error) {
+	g, err := NewGenerator(app, tech, seed)
+	if err != nil {
+		return nil, err
+	}
+	st := &Study{Total: total}
+	for i := 0; i < total; i++ {
+		s := g.Draw()
+		if !s.Feasible {
+			continue
+		}
+		st.Feasible++
+		st.WavelengthCounts = append(st.WavelengthCounts, s.NumWavelengths)
+		st.WorstILs = append(st.WorstILs, s.WorstILdB)
+	}
+	return st, nil
+}
+
+// FeasibleRate returns the fraction of feasible samples.
+func (s *Study) FeasibleRate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Feasible) / float64(s.Total)
+}

@@ -1,0 +1,138 @@
+package randsol
+
+import (
+	"testing"
+
+	"sring/internal/loss"
+	"sring/internal/netlist"
+	"sring/internal/ring"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	app := netlist.MWD()
+	tech := loss.Default()
+	g1, err := NewGenerator(app, tech, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(app, tech, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		a, b := g1.Draw(), g2.Draw()
+		if a != b {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestNewGeneratorErrors(t *testing.T) {
+	if _, err := NewGenerator(&netlist.Application{}, loss.Default(), 1); err == nil {
+		t.Error("invalid app accepted")
+	}
+	bad := loss.Tech{DropDB: -1}
+	if _, err := NewGenerator(netlist.MWD(), bad, 1); err == nil {
+		t.Error("invalid tech accepted")
+	}
+}
+
+func TestFeasibleSamplesAreConsistent(t *testing.T) {
+	app := netlist.MWD()
+	g, err := NewGenerator(app, loss.Default(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := 0
+	for i := 0; i < 5000 && feasible < 50; i++ {
+		s := g.Draw()
+		if !s.Feasible {
+			continue
+		}
+		feasible++
+		if s.NumWavelengths < 1 || s.NumWavelengths > app.M() {
+			t.Errorf("NumWavelengths = %d out of range", s.NumWavelengths)
+		}
+		if s.WorstILdB <= 0 {
+			t.Errorf("WorstILdB = %v", s.WorstILdB)
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible MWD samples in 5000 draws; paper reports ~7%")
+	}
+}
+
+// The paper's Fig. 8 narrative: MWD has a few percent feasible samples,
+// VOPD under 1%, and denser benchmarks none (at practical sample counts).
+func TestFeasibilityRatesShape(t *testing.T) {
+	tech := loss.Default()
+	mwd, err := Run(netlist.MWD(), tech, 1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vopd, err := Run(netlist.VOPD(), tech, 1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d26, err := Run(netlist.D26(), tech, 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mwd.Feasible == 0 {
+		t.Error("MWD: no feasible random solutions")
+	}
+	if mwd.FeasibleRate() <= vopd.FeasibleRate() {
+		t.Errorf("feasibility should drop with density: MWD %.4f vs VOPD %.4f",
+			mwd.FeasibleRate(), vopd.FeasibleRate())
+	}
+	if d26.Feasible != 0 {
+		t.Errorf("D26: %d feasible random solutions, expected none", d26.Feasible)
+	}
+}
+
+func TestStudyAggregates(t *testing.T) {
+	st, err := Run(netlist.MWD(), loss.Default(), 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 1000 {
+		t.Errorf("Total = %d", st.Total)
+	}
+	if len(st.WavelengthCounts) != st.Feasible || len(st.WorstILs) != st.Feasible {
+		t.Error("aggregate lengths inconsistent")
+	}
+	if st.FeasibleRate() < 0 || st.FeasibleRate() > 1 {
+		t.Errorf("FeasibleRate = %v", st.FeasibleRate())
+	}
+	empty := &Study{}
+	if empty.FeasibleRate() != 0 {
+		t.Error("empty study rate should be 0")
+	}
+}
+
+func TestReducedWorstIL(t *testing.T) {
+	app := &netlist.Application{
+		Nodes: []netlist.Node{
+			{ID: 0, Pos: netlist.MWD().Nodes[0].Pos},
+			{ID: 1, Pos: netlist.MWD().Nodes[1].Pos},
+			{ID: 2, Pos: netlist.MWD().Nodes[2].Pos},
+		},
+		Messages: []netlist.Message{{Src: 0, Dst: 2}, {Src: 1, Dst: 2}},
+	}
+	r := &ring.Ring{ID: 0, Order: []netlist.NodeID{0, 1, 2}}
+	var paths []ring.Path
+	for _, m := range app.Messages {
+		p, err := ring.Route(app, r, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	tech := loss.Default()
+	got := ReducedWorstIL(app, tech, []*ring.Ring{r}, paths)
+	// Worst path is 0->2 (two hops, passes node 1 with its 1 sender MRR).
+	want := tech.PathDB(loss.PathGeometry{LengthMM: paths[0].Length, MRRsPassed: 1})
+	if got != want {
+		t.Errorf("ReducedWorstIL = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,105 @@
+// Package render draws synthesised designs as SVG: node placements, the
+// routed waveguide of every ring in a distinct colour, and transmission
+// direction arrows — the visual counterpart of the paper's layout figures
+// (Fig. 1(d), Fig. 6(b)).
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"sring/internal/design"
+	"sring/internal/geom"
+	"sring/internal/layout"
+)
+
+// palette holds visually distinct stroke colours, cycled per ring.
+var palette = []string{
+	"#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4",
+	"#46f0f0", "#f032e6", "#bcf60c", "#008080", "#9a6324",
+}
+
+// SVG writes the design's layout as a standalone SVG document.
+func SVG(w io.Writer, d *design.Design) error {
+	var pts []geom.Point
+	for _, n := range d.App.Nodes {
+		pts = append(pts, n.Pos)
+	}
+	min, max := geom.BoundingBox(pts)
+	spanX := math.Max(max.X-min.X, 0.1)
+	spanY := math.Max(max.Y-min.Y, 0.1)
+	margin := 0.15 * math.Max(spanX, spanY)
+	scale := 720 / math.Max(spanX+2*margin, spanY+2*margin)
+	// Rings are offset slightly so coincident tracks stay distinguishable.
+	offset := 0.008 * math.Max(spanX, spanY)
+
+	X := func(x float64) float64 { return (x - min.X + margin) * scale }
+	Y := func(y float64) float64 { return (y - min.Y + margin) * scale }
+
+	width := (spanX + 2*margin) * scale
+	height := (spanY + 2*margin) * scale
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">
+<rect width="100%%" height="100%%" fill="white"/>
+<title>%s router for %s</title>
+<defs>
+`, width, height+40, width, height+40, d.Method, d.App.Name); err != nil {
+		return err
+	}
+	for ri := range d.Rings {
+		color := palette[ri%len(palette)]
+		fmt.Fprintf(w, `<marker id="arrow%d" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="5" markerHeight="5" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z" fill="%s"/></marker>
+`, ri, color)
+	}
+	fmt.Fprintln(w, "</defs>")
+
+	// PDN tree (when physically routed): dashed grey underlay.
+	if d.PDN != nil && d.PDN.Tree != nil {
+		for _, s := range d.PDN.Tree.Segments() {
+			fmt.Fprintf(w, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#999" stroke-width="1.5" stroke-dasharray="4 3"/>
+`, X(s.A.X), Y(s.A.Y), X(s.B.X), Y(s.B.Y))
+		}
+	}
+
+	// Waveguides: one polyline per routed segment, offset per ring.
+	for ri, r := range d.Rings {
+		color := palette[ri%len(palette)]
+		dx := float64(ri) * offset
+		for si := 0; si < r.Len(); si++ {
+			pl, ok := d.Layout.Routes[layout.SegKey{RingID: r.ID, Seg: si}]
+			if !ok {
+				return fmt.Errorf("render: segment %d of ring %d not routed", si, r.ID)
+			}
+			points := ""
+			for _, p := range pl.Points {
+				points += fmt.Sprintf("%.2f,%.2f ", X(p.X+dx), Y(p.Y+dx))
+			}
+			marker := ""
+			if si == 0 {
+				marker = fmt.Sprintf(` marker-end="url(#arrow%d)"`, ri)
+			}
+			fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>
+`, points, color, marker)
+		}
+	}
+
+	// Nodes.
+	for _, n := range d.App.Nodes {
+		fmt.Fprintf(w, `<circle cx="%.2f" cy="%.2f" r="7" fill="#222"/>
+<text x="%.2f" y="%.2f" font-size="11" font-family="sans-serif" fill="#222">%s</text>
+`, X(n.Pos.X), Y(n.Pos.Y), X(n.Pos.X)+9, Y(n.Pos.Y)-9, n.Name)
+	}
+
+	// Legend.
+	lx := 8.0
+	for ri, r := range d.Rings {
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>
+<text x="%.1f" y="%.1f" font-size="12" font-family="sans-serif">ring %d (%s)</text>
+`, lx, height+8, palette[ri%len(palette)], lx+16, height+18, r.ID, r.Kind)
+		lx += 110
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}

@@ -1,0 +1,71 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sring/internal/ctoring"
+	"sring/internal/netlist"
+)
+
+func TestSVG(t *testing.T) {
+	d, err := ctoring.Synthesize(netlist.MWD(), ctoring.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "CTORing router for MWD",
+		"polyline", "circle", "ring 0 (base)", "ring 1 (base)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One polyline per routed segment: 2 rings x 12 segments.
+	if got := strings.Count(out, "<polyline"); got != 24 {
+		t.Errorf("polyline count = %d, want 24", got)
+	}
+	// One circle per node.
+	if got := strings.Count(out, "<circle"); got != 12 {
+		t.Errorf("circle count = %d, want 12", got)
+	}
+}
+
+func TestSVGAllBenchmarks(t *testing.T) {
+	for _, app := range netlist.Benchmarks() {
+		d, err := ctoring.Synthesize(app, ctoring.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := SVG(&buf, d); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+		if buf.Len() < 500 {
+			t.Errorf("%s: suspiciously small SVG (%d bytes)", app.Name, buf.Len())
+		}
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	d, err := ctoring.Synthesize(netlist.VOPD(), ctoring.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := SVG(&a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := SVG(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("SVG output not deterministic")
+	}
+}

@@ -1,0 +1,25 @@
+package wavelength
+
+import (
+	"testing"
+)
+
+// BenchmarkDSATUR and BenchmarkImprove measure the assignment stages on a
+// clique-heavy instance.
+func BenchmarkDSATUR(b *testing.B) {
+	infos := cliqueInfos(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DSATUR(infos)
+	}
+}
+
+func BenchmarkImprove(b *testing.B) {
+	infos := cliqueInfos(20)
+	w := DefaultWeights()
+	start := DSATUR(infos)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Improve(infos, start, w)
+	}
+}

@@ -1,0 +1,122 @@
+package wavelength
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sring/internal/netlist"
+	"sring/internal/ring"
+)
+
+// bruteForce enumerates every assignment of the paths to wavelengths
+// 0..maxLambda-1 and returns the best Eq. 8 objective over the
+// collision-free ones (+Inf if none).
+func bruteForce(infos []PathInfo, maxLambda int, w Weights) float64 {
+	adj := conflictAdj(infos)
+	lambda := make([]int, len(infos))
+	best := math.Inf(1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(infos) {
+			a := &Assignment{Lambda: append([]int(nil), lambda...), NumLambda: maxLambda}
+			a.Normalize()
+			if v := Evaluate(infos, a, w).Value; v < best {
+				best = v
+			}
+			return
+		}
+		for c := 0; c < maxLambda; c++ {
+			ok := true
+			for _, j := range adj[i] {
+				if j < i && lambda[j] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				lambda[i] = c
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+// randomTinyInstance builds a small random path set over one or two rings
+// with contiguous arcs, suitable for exhaustive checking.
+func randomTinyInstance(rng *rand.Rand) []PathInfo {
+	nPaths := 3 + rng.Intn(3) // 3..5
+	infos := make([]PathInfo, nPaths)
+	for i := range infos {
+		ringID := rng.Intn(2)
+		ringLen := 5
+		start := rng.Intn(ringLen)
+		length := 1 + rng.Intn(3)
+		segs := make([]int, length)
+		for k := range segs {
+			segs[k] = (start + k) % ringLen
+		}
+		infos[i] = PathInfo{
+			Path: ring.Path{
+				Msg:    netlist.Message{Src: netlist.NodeID(rng.Intn(4)), Dst: netlist.NodeID(90 + i)},
+				RingID: ringID,
+				Segs:   segs,
+			},
+			LossDB: 3 + rng.Float64()*2,
+		}
+	}
+	return infos
+}
+
+// The full Assign pipeline (heuristic + MILP) must reach the brute-force
+// optimum of Eq. 8 on exhaustively checkable instances.
+func TestAssignMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		infos := randomTinyInstance(rng)
+		w := DefaultWeights()
+		a, _, err := Assign(infos, Options{
+			Weights:       w,
+			UseMILP:       true,
+			MILPTimeLimit: 30 * time.Second,
+			ExtraLambda:   2,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := Evaluate(infos, a, w).Value
+		// Brute force over the same palette the pipeline could reach.
+		want := bruteForce(infos, a.NumLambda+2, w)
+		if got > want+1e-6 {
+			t.Errorf("trial %d: Assign objective %v, brute force %v (paths %d)",
+				trial, got, want, len(infos))
+		}
+	}
+}
+
+// DSATUR alone must always be within the brute-force optimum's wavelength
+// count + a small slack on tiny instances (sanity on the heuristic floor).
+func TestDSATURNearOptimalColours(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		infos := randomTinyInstance(rng)
+		a := DSATUR(infos)
+		// Optimal colour count: smallest k admitting a feasible assignment.
+		opt := 0
+		for k := 1; k <= len(infos); k++ {
+			if !math.IsInf(bruteForce(infos, k, Weights{Alpha: 1, SplitterStageDB: 0}), 1) {
+				opt = k
+				break
+			}
+		}
+		if opt == 0 {
+			t.Fatalf("trial %d: no feasible colouring found by brute force", trial)
+		}
+		if a.NumLambda > opt+1 {
+			t.Errorf("trial %d: DSATUR used %d colours, optimum %d", trial, a.NumLambda, opt)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package wavelength
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sring/internal/lp"
+	"sring/internal/milp"
+	"sring/internal/netlist"
+)
+
+// SolveInfo reports how a SolveMILP call went.
+type SolveInfo struct {
+	// Exact is true when optimality was proven.
+	Exact bool
+	// Bound is the proven lower bound on the Eq. 8 objective (for the
+	// model's palette); meaningful whenever Nodes > 0.
+	Bound float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// SolveMILP builds and solves the SRing wavelength-assignment MILP
+// (paper Sec. III-B) over a palette of numLambda wavelengths, seeded with
+// the incumbent assignment (which must use at most numLambda wavelengths).
+// It returns the best assignment found and the solver telemetry.
+//
+// Model notes relative to the paper:
+//   - Eq. 2 (collision avoidance) is implemented as per-segment clique
+//     constraints — for every waveguide segment and wavelength, at most one
+//     of the paths crossing that segment may use it — which is equivalent
+//     for overlap-defined conflicts and yields a tighter LP relaxation than
+//     pairwise rows. (Read literally, Eq. 2's star form would also forbid
+//     two mutually non-conflicting paths that each conflict with a third
+//     from sharing a wavelength, which is over-strict.)
+//   - Eq. 3's min(·, 1) is linearised with indicator binaries y_λ and rows
+//     b_{s,λ} ≤ y_λ, plus symmetry-breaking y_λ ≥ y_{λ+1}.
+//   - Eq. 5's il_s is substituted directly into Eqs. 6-7: il_s = L_s +
+//     L_sp · b_sp^{n(s)}, removing one continuous variable per path.
+func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration) (*Assignment, SolveInfo, error) {
+	if numLambda < 1 {
+		return nil, SolveInfo{}, fmt.Errorf("wavelength: SolveMILP needs numLambda >= 1, got %d", numLambda)
+	}
+	if incumbent != nil && incumbent.NumLambda > numLambda {
+		return nil, SolveInfo{}, fmt.Errorf("wavelength: incumbent uses %d wavelengths, palette has %d", incumbent.NumLambda, numLambda)
+	}
+	S := len(infos)
+	L := numLambda
+
+	// Two-sender nodes get a b_sp variable (single-sender nodes never need
+	// a node splitter).
+	nodeRings := make(map[netlist.NodeID]map[int]bool)
+	for _, pi := range infos {
+		n := pi.SenderNode()
+		if nodeRings[n] == nil {
+			nodeRings[n] = make(map[int]bool)
+		}
+		nodeRings[n][pi.SenderRing()] = true
+	}
+	var spNodes []netlist.NodeID
+	for n, rings := range nodeRings {
+		if len(rings) >= 2 {
+			spNodes = append(spNodes, n)
+		}
+	}
+	sort.Slice(spNodes, func(i, j int) bool { return spNodes[i] < spNodes[j] })
+	spIndex := make(map[netlist.NodeID]int, len(spNodes))
+	for i, n := range spNodes {
+		spIndex[n] = i
+	}
+
+	// Variable layout:
+	//   b_{s,λ}   : s*L + λ                      (binary)   [0, S*L)
+	//   y_λ       : S*L + λ                      (binary)
+	//   sp_n      : S*L + L + spIndex[n]         (binary)
+	//   ilSmax    : S*L + L + |sp|               (continuous)
+	//   ilmax_λ   : S*L + L + |sp| + 1 + λ       (continuous)
+	bVar := func(s, l int) int { return s*L + l }
+	yVar := func(l int) int { return S*L + l }
+	spVar := func(i int) int { return S*L + L + i }
+	ilSmaxVar := S*L + L + len(spNodes)
+	ilMaxVar := func(l int) int { return ilSmaxVar + 1 + l }
+	numVars := ilSmaxVar + 1 + L
+
+	var maxLs float64
+	for _, pi := range infos {
+		if pi.LossDB > maxLs {
+			maxLs = pi.LossDB
+		}
+	}
+	xi := maxLs + w.SplitterStageDB + 1 // the paper's Ξ
+
+	prob := &milp.Problem{
+		LP:      lp.Problem{NumVars: numVars, Objective: make([]float64, numVars)},
+		Integer: make([]bool, numVars),
+	}
+	for s := 0; s < S; s++ {
+		for l := 0; l < L; l++ {
+			prob.Integer[bVar(s, l)] = true
+		}
+	}
+	for l := 0; l < L; l++ {
+		prob.Integer[yVar(l)] = true
+		prob.LP.Objective[yVar(l)] = w.Alpha     // α · i_wl
+		prob.LP.Objective[ilMaxVar(l)] = w.Gamma // γ · Σ il_λ^max
+	}
+	for i := range spNodes {
+		prob.Integer[spVar(i)] = true
+	}
+	prob.LP.Objective[ilSmaxVar] = w.Beta // β · il^Smax
+
+	// Eq. 1: each path gets exactly one wavelength.
+	for s := 0; s < S; s++ {
+		terms := make(map[int]float64, L)
+		for l := 0; l < L; l++ {
+			terms[bVar(s, l)] = 1
+		}
+		prob.LP.AddConstraint(lp.EQ, 1, terms)
+	}
+
+	// Eq. 2 (clique form): per (ring, segment) with >= 2 paths, per λ.
+	segPaths := make(map[[2]int][]int)
+	for s, pi := range infos {
+		for _, seg := range pi.Path.Segs {
+			key := [2]int{pi.Path.RingID, seg}
+			segPaths[key] = append(segPaths[key], s)
+		}
+	}
+	var segKeys [][2]int
+	for key, ps := range segPaths {
+		if len(ps) >= 2 {
+			segKeys = append(segKeys, key)
+		}
+	}
+	sort.Slice(segKeys, func(i, j int) bool {
+		if segKeys[i][0] != segKeys[j][0] {
+			return segKeys[i][0] < segKeys[j][0]
+		}
+		return segKeys[i][1] < segKeys[j][1]
+	})
+	for _, key := range segKeys {
+		for l := 0; l < L; l++ {
+			terms := make(map[int]float64, len(segPaths[key]))
+			for _, s := range segPaths[key] {
+				terms[bVar(s, l)] = 1
+			}
+			prob.LP.AddConstraint(lp.LE, 1, terms)
+		}
+	}
+
+	// Eq. 3 linearisation: b_{s,λ} ≤ y_λ; y binary; symmetry y_λ ≥ y_{λ+1}.
+	for s := 0; s < S; s++ {
+		for l := 0; l < L; l++ {
+			prob.LP.AddConstraint(lp.LE, 0, map[int]float64{bVar(s, l): 1, yVar(l): -1})
+		}
+	}
+	for l := 0; l < L; l++ {
+		prob.LP.AddConstraint(lp.LE, 1, map[int]float64{yVar(l): 1})
+	}
+	for l := 0; l+1 < L; l++ {
+		prob.LP.AddConstraint(lp.LE, 0, map[int]float64{yVar(l + 1): 1, yVar(l): -1})
+	}
+
+	// Eq. 4: per multi-sender node and λ, sharing forces the splitter
+	// binary. The paper states the constraint for SRing's two-sender
+	// nodes; with R_n sender rings (XRing chords can exceed two) the
+	// generalisation is Σ b ≤ 1 + (R_n − 1)·sp: without a splitter only
+	// one sender may use λ, with one the node's full complement may.
+	for i, n := range spNodes {
+		var fromNode []int
+		for s, pi := range infos {
+			if pi.SenderNode() == n {
+				fromNode = append(fromNode, s)
+			}
+		}
+		ringCount := float64(len(nodeRings[n]))
+		for l := 0; l < L; l++ {
+			terms := make(map[int]float64, len(fromNode)+1)
+			for _, s := range fromNode {
+				terms[bVar(s, l)] = 1
+			}
+			terms[spVar(i)] = -(ringCount - 1)
+			prob.LP.AddConstraint(lp.LE, 1, terms)
+		}
+		prob.LP.AddConstraint(lp.LE, 1, map[int]float64{spVar(i): 1})
+	}
+
+	// Eqs. 5+6: il^Smax ≥ L_s + L_sp · sp_{n(s)}.
+	for _, pi := range infos {
+		terms := map[int]float64{ilSmaxVar: 1}
+		if i, ok := spIndex[pi.SenderNode()]; ok {
+			terms[spVar(i)] = -w.SplitterStageDB
+		}
+		prob.LP.AddConstraint(lp.GE, pi.LossDB, terms)
+	}
+
+	// Eqs. 5+7: ilmax_λ ≥ L_s + L_sp·sp_{n(s)} − Ξ(1 − b_{s,λ}).
+	for s, pi := range infos {
+		for l := 0; l < L; l++ {
+			terms := map[int]float64{ilMaxVar(l): 1, bVar(s, l): -xi}
+			if i, ok := spIndex[pi.SenderNode()]; ok {
+				terms[spVar(i)] = -w.SplitterStageDB
+			}
+			prob.LP.AddConstraint(lp.GE, pi.LossDB-xi, terms)
+		}
+	}
+
+	opts := milp.Options{TimeLimit: timeLimit}
+	if incumbent != nil {
+		opts.Incumbent = incumbentVector(infos, incumbent, numVars, L, bVar, yVar, spVar, ilSmaxVar, ilMaxVar, w)
+	}
+	res, err := milp.Solve(prob, opts)
+	if err != nil {
+		return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP solve: %w", err)
+	}
+	info := SolveInfo{Exact: res.Status == milp.Optimal, Bound: res.Bound, Nodes: res.Nodes}
+	switch res.Status {
+	case milp.Optimal, milp.Feasible:
+		a := &Assignment{Lambda: make([]int, S), NumLambda: L}
+		for s := 0; s < S; s++ {
+			found := false
+			for l := 0; l < L; l++ {
+				if res.X[bVar(s, l)] > 0.5 {
+					a.Lambda[s] = l
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP solution assigns no wavelength to path %d", s)
+			}
+		}
+		a.Normalize()
+		return a, info, nil
+	case milp.Infeasible:
+		return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP infeasible with %d wavelengths", numLambda)
+	default:
+		return nil, info, nil // no solution found within limits
+	}
+}
+
+// incumbentVector lifts a heuristic assignment into the MILP variable space
+// so branch and bound starts with a cutoff.
+func incumbentVector(infos []PathInfo, a *Assignment, numVars, L int,
+	bVar func(int, int) int, yVar func(int) int, spVar func(int) int,
+	ilSmaxVar int, ilMaxVar func(int) int, w Weights) []float64 {
+
+	x := make([]float64, numVars)
+	for s, l := range a.Lambda {
+		x[bVar(s, l)] = 1
+	}
+	for l := 0; l < a.NumLambda && l < L; l++ {
+		x[yVar(l)] = 1
+	}
+	sp := NodeSplitters(infos, a)
+	// Recover sp variable order: spVar indices assigned over sorted nodes
+	// with >= 2 sender rings, mirrored from SolveMILP.
+	nodeRings := make(map[netlist.NodeID]map[int]bool)
+	for _, pi := range infos {
+		n := pi.SenderNode()
+		if nodeRings[n] == nil {
+			nodeRings[n] = make(map[int]bool)
+		}
+		nodeRings[n][pi.SenderRing()] = true
+	}
+	var spNodes []netlist.NodeID
+	for n, rings := range nodeRings {
+		if len(rings) >= 2 {
+			spNodes = append(spNodes, n)
+		}
+	}
+	sort.Slice(spNodes, func(i, j int) bool { return spNodes[i] < spNodes[j] })
+	for i, n := range spNodes {
+		if sp[n] {
+			x[spVar(i)] = 1
+		}
+	}
+	var worst float64
+	perLambda := make([]float64, L)
+	for i, pi := range infos {
+		il := pi.LossDB
+		if sp[pi.SenderNode()] {
+			il += w.SplitterStageDB
+		}
+		worst = math.Max(worst, il)
+		l := a.Lambda[i]
+		perLambda[l] = math.Max(perLambda[l], il)
+	}
+	x[ilSmaxVar] = worst
+	for l := 0; l < L; l++ {
+		x[ilMaxVar(l)] = perLambda[l]
+	}
+	return x
+}

@@ -1,0 +1,510 @@
+// Package wavelength assigns wavelengths to the reserved signal paths of a
+// WRONoC ring router.
+//
+// It implements the SRing paper's MILP model (Sec. III-B, Eqs. 1-8), which
+// jointly minimises the number of used wavelengths, the worst-case insertion
+// loss over all signal paths, and the sum of per-wavelength worst-case
+// insertion losses — with a binary per node deciding whether its two senders
+// share a wavelength and therefore need a PDN splitter (Eq. 4).
+//
+// Because the MILP is NP-hard, the package also provides a deterministic
+// DSATUR colouring followed by splitter-aware hill climbing on the same
+// objective. The hill-climbing solution seeds the MILP as an incumbent; on
+// instances too large for the exact solver within the time budget, the
+// incumbent is returned.
+package wavelength
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sring/internal/netlist"
+	"sring/internal/ring"
+)
+
+// PathInfo is one signal path plus the data the assignment objective needs:
+// its layout insertion loss L_s (excluding PDN losses) and its sender
+// endpoint.
+type PathInfo struct {
+	Path ring.Path
+	// LossDB is L_s: the path's insertion loss from the physical layout
+	// excluding PDN losses (paper Eq. 5).
+	LossDB float64
+}
+
+// SenderNode returns the node originating the path.
+func (pi PathInfo) SenderNode() netlist.NodeID { return pi.Path.Msg.Src }
+
+// SenderRing returns the ring carrying the path; (SenderNode, SenderRing)
+// identifies the physical sender.
+func (pi PathInfo) SenderRing() int { return pi.Path.RingID }
+
+// Assignment maps each path (by index into the PathInfo slice) to a
+// wavelength index in 0..NumLambda-1.
+type Assignment struct {
+	Lambda    []int
+	NumLambda int
+}
+
+// Clone returns a deep copy.
+func (a *Assignment) Clone() *Assignment {
+	return &Assignment{Lambda: append([]int(nil), a.Lambda...), NumLambda: a.NumLambda}
+}
+
+// Normalize renumbers wavelengths to a dense 0..k-1 range ordered by first
+// use and updates NumLambda.
+func (a *Assignment) Normalize() {
+	remap := make(map[int]int)
+	next := 0
+	for i, l := range a.Lambda {
+		m, ok := remap[l]
+		if !ok {
+			m = next
+			remap[l] = m
+			next++
+		}
+		a.Lambda[i] = m
+	}
+	a.NumLambda = next
+}
+
+// Verify checks that the assignment is collision-free: every path has a
+// wavelength in range and no two conflicting paths (overlapping arcs on the
+// same ring) share one.
+func Verify(infos []PathInfo, a *Assignment) error {
+	if len(a.Lambda) != len(infos) {
+		return fmt.Errorf("wavelength: assignment covers %d paths, want %d", len(a.Lambda), len(infos))
+	}
+	for i, l := range a.Lambda {
+		if l < 0 || l >= a.NumLambda {
+			return fmt.Errorf("wavelength: path %d assigned out-of-range wavelength %d", i, l)
+		}
+	}
+	paths := make([]ring.Path, len(infos))
+	for i, pi := range infos {
+		paths[i] = pi.Path
+	}
+	g := ring.BuildConflictGraph(paths)
+	for i, adj := range g.Adj {
+		for _, j := range adj {
+			if j > i && a.Lambda[i] == a.Lambda[j] {
+				return fmt.Errorf("wavelength: conflicting paths %d and %d share wavelength %d", i, j, a.Lambda[i])
+			}
+		}
+	}
+	return nil
+}
+
+// NodeSplitters derives which sender nodes need a PDN splitter under the
+// assignment: a node whose senders on two different rings share at least
+// one wavelength (paper Sec. III-B). Nodes with a single sender never need
+// one.
+func NodeSplitters(infos []PathInfo, a *Assignment) map[netlist.NodeID]bool {
+	byNode := make(map[netlist.NodeID]map[int]map[int]bool) // node -> ring -> λ set
+	for i, pi := range infos {
+		n, r := pi.SenderNode(), pi.SenderRing()
+		if byNode[n] == nil {
+			byNode[n] = make(map[int]map[int]bool)
+		}
+		if byNode[n][r] == nil {
+			byNode[n][r] = make(map[int]bool)
+		}
+		byNode[n][r][a.Lambda[i]] = true
+	}
+	out := make(map[netlist.NodeID]bool)
+	for n, rings := range byNode {
+		if len(rings) < 2 {
+			continue
+		}
+		// Union-intersection across ring pairs: shared λ anywhere => splitter.
+		var ringIDs []int
+		for r := range rings {
+			ringIDs = append(ringIDs, r)
+		}
+		sort.Ints(ringIDs)
+		shared := false
+	outer:
+		for i := 0; i < len(ringIDs) && !shared; i++ {
+			for j := i + 1; j < len(ringIDs); j++ {
+				for l := range rings[ringIDs[i]] {
+					if rings[ringIDs[j]][l] {
+						shared = true
+						break outer
+					}
+				}
+			}
+		}
+		if shared {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// Objective is the paper's Eq. 8 value and its components for a given
+// assignment.
+type Objective struct {
+	NumLambda    int     // i_wl
+	WorstIL      float64 // il^Smax: worst path loss incl. node splitter
+	SumPerLambda float64 // sum over used λ of il_λ^max
+	Splitters    int     // number of node splitters implied
+	Value        float64 // α·i_wl + β·il^Smax + γ·Σ il_λ^max
+}
+
+// Weights are the objective coefficients (α, β, γ) plus the splitter stage
+// loss L_sp used inside il_s.
+type Weights struct {
+	Alpha, Beta, Gamma float64
+	SplitterStageDB    float64
+}
+
+// DefaultWeights returns the paper's setting α = β = γ = 1 with the
+// calibrated L_sp.
+func DefaultWeights() Weights {
+	return Weights{Alpha: 1, Beta: 1, Gamma: 1, SplitterStageDB: 3.3}
+}
+
+// Evaluate computes the objective of an assignment.
+func Evaluate(infos []PathInfo, a *Assignment, w Weights) Objective {
+	sp := NodeSplitters(infos, a)
+	perLambda := make([]float64, a.NumLambda)
+	var worst float64
+	for i, pi := range infos {
+		il := pi.LossDB
+		if sp[pi.SenderNode()] {
+			il += w.SplitterStageDB
+		}
+		if il > worst {
+			worst = il
+		}
+		if l := a.Lambda[i]; il > perLambda[l] {
+			perLambda[l] = il
+		}
+	}
+	var sum float64
+	used := 0
+	for _, v := range perLambda {
+		sum += v
+		if v > 0 {
+			used++
+		}
+	}
+	obj := Objective{
+		NumLambda:    used,
+		WorstIL:      worst,
+		SumPerLambda: sum,
+		Splitters:    len(sp),
+	}
+	obj.Value = w.Alpha*float64(used) + w.Beta*worst + w.Gamma*sum
+	return obj
+}
+
+// conflictAdj builds the conflict adjacency of the paths.
+func conflictAdj(infos []PathInfo) [][]int {
+	paths := make([]ring.Path, len(infos))
+	for i, pi := range infos {
+		paths[i] = pi.Path
+	}
+	return ring.BuildConflictGraph(paths).Adj
+}
+
+// DSATUR colours the conflict graph with the classic saturation-degree
+// heuristic, deterministically. The result is a valid assignment with a
+// small (not necessarily minimal) number of wavelengths.
+func DSATUR(infos []PathInfo) *Assignment {
+	n := len(infos)
+	adj := conflictAdj(infos)
+	lambda := make([]int, n)
+	for i := range lambda {
+		lambda[i] = -1
+	}
+	satur := make([]map[int]bool, n)
+	for i := range satur {
+		satur[i] = make(map[int]bool)
+	}
+	colored := 0
+	maxColor := -1
+	for colored < n {
+		// Pick uncoloured vertex with max saturation, tie: max degree,
+		// tie: lowest index.
+		best := -1
+		for i := 0; i < n; i++ {
+			if lambda[i] >= 0 {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			si, sb := len(satur[i]), len(satur[best])
+			if si > sb || (si == sb && len(adj[i]) > len(adj[best])) {
+				best = i
+			}
+		}
+		// Smallest feasible colour.
+		c := 0
+		for satur[best][c] {
+			c++
+		}
+		lambda[best] = c
+		if c > maxColor {
+			maxColor = c
+		}
+		for _, j := range adj[best] {
+			satur[j][c] = true
+		}
+		colored++
+	}
+	a := &Assignment{Lambda: lambda, NumLambda: maxColor + 1}
+	a.Normalize()
+	return a
+}
+
+// Improve hill-climbs the assignment under the Eq. 8 objective using
+// single-path recolour moves, including moves to one brand-new wavelength
+// (which is how the optimiser trades wavelength count against splitter
+// usage, the behaviour the paper reports at high communication density).
+// It returns the improved assignment; the input is not modified.
+func Improve(infos []PathInfo, start *Assignment, w Weights) *Assignment {
+	cur := start.Clone()
+	cur.Normalize()
+	adj := conflictAdj(infos)
+	curObj := Evaluate(infos, cur, w)
+
+	feasible := func(i, c int) bool {
+		for _, j := range adj[i] {
+			if cur.Lambda[j] == c {
+				return false
+			}
+		}
+		return true
+	}
+
+	const maxPasses = 60
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := range infos {
+			old := cur.Lambda[i]
+			// Try every existing colour plus one fresh colour.
+			for c := 0; c <= cur.NumLambda; c++ {
+				if c == old || !feasible(i, c) {
+					continue
+				}
+				cur.Lambda[i] = c
+				if c == cur.NumLambda {
+					cur.NumLambda = c + 1
+				}
+				cand := Evaluate(infos, cur, w)
+				if cand.Value < curObj.Value-1e-9 {
+					curObj = cand
+					improved = true
+					cur.Normalize()
+					old = cur.Lambda[i]
+				} else {
+					cur.Lambda[i] = old
+					cur.Normalize()
+				}
+			}
+		}
+		// Compound splitter-elimination moves: recolouring a single path
+		// rarely pays off on its own (the splitter only disappears once
+		// every shared wavelength is resolved), so attempt the whole
+		// elimination for each splitter node and keep it if the objective
+		// improves.
+		if cand, obj, ok := eliminateSplitters(infos, cur, adj, w); ok && obj.Value < curObj.Value-1e-9 {
+			cur = cand
+			curObj = obj
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	cur.Normalize()
+	return cur
+}
+
+// eliminateSplitters tries, for each node currently needing a PDN splitter,
+// to recolour the offending paths so its senders' wavelength sets become
+// disjoint. It returns the best resulting assignment and its objective, or
+// ok=false if no elimination attempt changed anything.
+func eliminateSplitters(infos []PathInfo, start *Assignment, adj [][]int, w Weights) (*Assignment, Objective, bool) {
+	splitters := NodeSplitters(infos, start)
+	if len(splitters) == 0 {
+		return nil, Objective{}, false
+	}
+	nodes := make([]netlist.NodeID, 0, len(splitters))
+	for n := range splitters {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	cur := start.Clone()
+	changed := false
+	for _, n := range nodes {
+		cand := cur.Clone()
+		if resolveNode(infos, cand, adj, n) {
+			// Keep the elimination only if it does not worsen Eq. 8.
+			if Evaluate(infos, cand, w).Value <= Evaluate(infos, cur, w).Value+1e-9 {
+				cur = cand
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return nil, Objective{}, false
+	}
+	cur.Normalize()
+	return cur, Evaluate(infos, cur, w), true
+}
+
+// resolveNode recolours paths sent by node n until its senders' wavelength
+// sets are disjoint, preferring existing wavelengths and opening fresh ones
+// as a last resort. Reports whether full disjointness was achieved.
+func resolveNode(infos []PathInfo, a *Assignment, adj [][]int, n netlist.NodeID) bool {
+	// Paths from n grouped by sender ring.
+	byRing := make(map[int][]int)
+	for i, pi := range infos {
+		if pi.SenderNode() == n {
+			byRing[pi.SenderRing()] = append(byRing[pi.SenderRing()], i)
+		}
+	}
+	if len(byRing) < 2 {
+		return true
+	}
+	ringIDs := make([]int, 0, len(byRing))
+	for r := range byRing {
+		ringIDs = append(ringIDs, r)
+	}
+	sort.Ints(ringIDs)
+	// The first ring keeps its colours; later rings move off any colour
+	// already claimed by earlier rings.
+	claimed := make(map[int]bool)
+	for _, i := range byRing[ringIDs[0]] {
+		claimed[a.Lambda[i]] = true
+	}
+	for _, r := range ringIDs[1:] {
+		for _, i := range byRing[r] {
+			if !claimed[a.Lambda[i]] {
+				continue
+			}
+			moved := false
+			for c := 0; c <= a.NumLambda && !moved; c++ {
+				if claimed[c] {
+					continue
+				}
+				ok := true
+				for _, j := range adj[i] {
+					if a.Lambda[j] == c {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				a.Lambda[i] = c
+				if c == a.NumLambda {
+					a.NumLambda = c + 1
+				}
+				moved = true
+			}
+			if !moved {
+				return false
+			}
+		}
+		for _, i := range byRing[r] {
+			claimed[a.Lambda[i]] = true
+		}
+	}
+	return true
+}
+
+// Options controls Assign.
+type Options struct {
+	// Weights are the objective coefficients; zero value means
+	// DefaultWeights.
+	Weights Weights
+	// UseMILP enables the exact branch-and-bound polish after the
+	// heuristic.
+	UseMILP bool
+	// MILPTimeLimit bounds the exact solve. Zero means 10 s.
+	MILPTimeLimit time.Duration
+	// MaxBinaries skips the MILP when |S| x |Λ| exceeds it (the dense
+	// simplex would be too slow to help within the budget — a single LP
+	// solve can overshoot the time limit). Zero means 500.
+	MaxBinaries int
+	// ExtraLambda lets the MILP use up to this many wavelengths beyond the
+	// heuristic's count, enabling the λ-for-splitter trade. Zero means 1.
+	ExtraLambda int
+}
+
+// Stats reports how an assignment was obtained.
+type Stats struct {
+	Heuristic Objective
+	Final     Objective
+	MILPRan   bool
+	MILPExact bool // true if the MILP proved optimality
+	// MILPBound is the proven lower bound on the Eq. 8 objective over the
+	// MILP's palette (valid when MILPRan).
+	MILPBound float64
+	// MILPNodes counts the branch-and-bound nodes explored.
+	MILPNodes int
+}
+
+// Assign computes a wavelength assignment for the given paths: DSATUR,
+// splitter-aware hill climbing, and (optionally) the paper's MILP seeded
+// with the heuristic incumbent. The best solution found is returned.
+func Assign(infos []PathInfo, opt Options) (*Assignment, *Stats, error) {
+	if len(infos) == 0 {
+		return nil, nil, fmt.Errorf("wavelength: no paths to assign")
+	}
+	w := opt.Weights
+	if w == (Weights{}) {
+		w = DefaultWeights()
+	}
+	best := Improve(infos, DSATUR(infos), w)
+	if err := Verify(infos, best); err != nil {
+		return nil, nil, fmt.Errorf("wavelength: heuristic produced invalid assignment: %w", err)
+	}
+	stats := &Stats{Heuristic: Evaluate(infos, best, w)}
+	stats.Final = stats.Heuristic
+
+	if opt.UseMILP {
+		maxBin := opt.MaxBinaries
+		if maxBin == 0 {
+			maxBin = 500
+		}
+		extra := opt.ExtraLambda
+		if extra == 0 {
+			extra = 1
+		}
+		numLambda := best.NumLambda + extra
+		if len(infos)*numLambda <= maxBin {
+			tl := opt.MILPTimeLimit
+			if tl == 0 {
+				tl = 10 * time.Second
+			}
+			milpA, info, err := SolveMILP(infos, numLambda, w, best, tl)
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.MILPRan = true
+			stats.MILPExact = info.Exact
+			stats.MILPBound = info.Bound
+			stats.MILPNodes = info.Nodes
+			if milpA != nil {
+				if err := Verify(infos, milpA); err != nil {
+					return nil, nil, fmt.Errorf("wavelength: MILP produced invalid assignment: %w", err)
+				}
+				if o := Evaluate(infos, milpA, w); o.Value < stats.Final.Value-1e-9 {
+					best = milpA
+					stats.Final = o
+				}
+			}
+		}
+	}
+	best.Normalize()
+	return best, stats, nil
+}

@@ -1,0 +1,127 @@
+// Package xring implements the XRing baseline (Zheng et al., DATE'23) as a
+// behavioural model: the sequential dual ring is augmented with optical
+// switching elements (OSEs) that create express chords for the worst signal
+// paths, shortening them toward their Manhattan distance; redundant senders
+// are pruned (a node only drives the waveguides its messages actually use);
+// and the wavelength assignment packs aggressively to minimise wavelength
+// count.
+//
+// The chord waveguides physically cross the base rings, so the crossing
+// loss the layout engine counts on chord paths models the OSE insertion
+// penalty. XRing's own PDN adds one distribution stage per feed
+// (pdn.StyleXRing), which is why it passes the most splitters in the
+// paper's Table I despite using the fewest wavelengths.
+package xring
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sring/internal/baseline"
+	"sring/internal/design"
+	"sring/internal/netlist"
+	"sring/internal/pdn"
+	"sring/internal/ring"
+	"sring/internal/wavelength"
+)
+
+// Options configures the synthesis.
+type Options struct {
+	// Design carries the shared downstream configuration; PDN settings are
+	// overwritten by the method's convention.
+	Design design.Options
+	// MaxChords caps the number of OSE express chords. Zero means
+	// max(1, #activeNodes / 3).
+	MaxChords int
+	// UseMILP enables the exact assignment polish.
+	UseMILP bool
+	// MILPTimeLimit bounds the exact solve (zero: wavelength default).
+	MILPTimeLimit time.Duration
+}
+
+// Synthesize builds the XRing design for the application.
+func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
+	start := time.Now()
+	cw, ccw, err := baseline.DualRing(app)
+	if err != nil {
+		return nil, fmt.Errorf("xring: %w", err)
+	}
+	paths, err := baseline.RouteShorter(app, cw, ccw)
+	if err != nil {
+		return nil, fmt.Errorf("xring: %w", err)
+	}
+	rings := []*ring.Ring{cw, ccw}
+
+	maxChords := opt.MaxChords
+	if maxChords == 0 {
+		maxChords = len(app.ActiveNodes()) / 3
+		if maxChords < 1 {
+			maxChords = 1
+		}
+	}
+
+	// Express chords: repeatedly take the message with the longest path
+	// whose length meaningfully exceeds its Manhattan distance and give its
+	// node pair a chord waveguide; all traffic between the pair (both
+	// directions) moves onto the chord.
+	chordOf := make(map[[2]netlist.NodeID]*ring.Ring)
+	pairKey := func(a, b netlist.NodeID) [2]netlist.NodeID {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]netlist.NodeID{a, b}
+	}
+	nextID := 2
+	for len(chordOf) < maxChords {
+		worst, worstGain := -1, 0.0
+		for i, p := range paths {
+			if _, done := chordOf[pairKey(p.Msg.Src, p.Msg.Dst)]; done {
+				continue
+			}
+			direct := app.Pos(p.Msg.Src).Manhattan(app.Pos(p.Msg.Dst))
+			gain := p.Length - direct
+			if gain > worstGain+1e-12 {
+				worst, worstGain = i, gain
+			}
+		}
+		if worst < 0 {
+			break // nothing left to shorten
+		}
+		m := paths[worst].Msg
+		key := pairKey(m.Src, m.Dst)
+		chord := &ring.Ring{ID: nextID, Kind: ring.Base, Order: []netlist.NodeID{key[0], key[1]}}
+		nextID++
+		chordOf[key] = chord
+		rings = append(rings, chord)
+		for i, p := range paths {
+			if pairKey(p.Msg.Src, p.Msg.Dst) == key {
+				np, err := ring.Route(app, chord, p.Msg)
+				if err != nil {
+					return nil, fmt.Errorf("xring: %w", err)
+				}
+				paths[i] = np
+			}
+		}
+	}
+
+	// Drop chord rings in deterministic order for reproducible layouts.
+	sort.Slice(rings, func(i, j int) bool { return rings[i].ID < rings[j].ID })
+
+	dopt := opt.Design
+	dopt.PDN = pdn.Config{Style: pdn.StyleXRing, ForceNodeSplitter: true, LaserPos: dopt.PDN.LaserPos, RoutePhysical: dopt.PDN.RoutePhysical}
+	dopt.Assign = wavelength.Options{
+		// XRing shares wavelengths across senders (splitters are cheap in
+		// its convention), so the optimiser packs for minimum wavelength
+		// count: high α, splitter-blind.
+		Weights:       wavelength.Weights{Alpha: 10, Beta: 1, Gamma: 1, SplitterStageDB: 0},
+		UseMILP:       opt.UseMILP,
+		MILPTimeLimit: opt.MILPTimeLimit,
+	}
+	d, err := design.Finish(app, "XRing", rings, paths, dopt)
+	if err != nil {
+		return nil, fmt.Errorf("xring: %w", err)
+	}
+	d.SynthesisTime = time.Since(start)
+	return d, nil
+}

@@ -1,0 +1,94 @@
+package xring
+
+import (
+	"testing"
+
+	"sring/internal/ctoring"
+	"sring/internal/netlist"
+)
+
+func TestSynthesizeBenchmarks(t *testing.T) {
+	for _, app := range netlist.Benchmarks() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			d, err := Synthesize(app, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("design invalid: %v", err)
+			}
+			if len(d.Rings) < 3 {
+				t.Errorf("XRing built %d rings, want base pair + chords", len(d.Rings))
+			}
+		})
+	}
+}
+
+// XRing's claimed advantages (paper Sec. II-C): shorter worst paths than
+// CTORing (OSE shortcuts) and the fewest wavelengths.
+func TestBeatsCTORingOnPathAndWavelengths(t *testing.T) {
+	for _, app := range netlist.Benchmarks() {
+		xr, err := Synthesize(app, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cto, err := ctoring.Synthesize(app, ctoring.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx, err := xr.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := cto.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mx.LongestPathMM > mc.LongestPathMM+1e-9 {
+			t.Errorf("%s: XRing L %v > CTORing L %v", app.Name, mx.LongestPathMM, mc.LongestPathMM)
+		}
+		if mx.NumWavelengths > mc.NumWavelengths {
+			t.Errorf("%s: XRing #wl %d > CTORing #wl %d", app.Name, mx.NumWavelengths, mc.NumWavelengths)
+		}
+		// And its cost: more splitters passed (StyleXRing extra stage).
+		if mx.MaxSplitters <= mc.MaxSplitters-1 {
+			t.Errorf("%s: XRing #sp_w %d unexpectedly below CTORing %d", app.Name, mx.MaxSplitters, mc.MaxSplitters)
+		}
+	}
+}
+
+func TestChordCap(t *testing.T) {
+	app := netlist.D26()
+	d, err := Synthesize(app, Options{MaxChords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Rings); got != 4 {
+		t.Errorf("rings = %d, want 2 base + 2 chords", got)
+	}
+}
+
+func TestChordsShortenWorstMessages(t *testing.T) {
+	app := netlist.MWD()
+	d, err := Synthesize(app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every chord-routed message travels exactly its Manhattan distance.
+	for _, pi := range d.Infos {
+		if pi.Path.RingID >= 2 {
+			direct := app.Pos(pi.Path.Msg.Src).Manhattan(app.Pos(pi.Path.Msg.Dst))
+			if pi.Path.Length > direct+1e-9 {
+				t.Errorf("chord path %v longer than Manhattan %v", pi.Path.Length, direct)
+			}
+		}
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	bad := &netlist.Application{Name: "bad"}
+	if _, err := Synthesize(bad, Options{}); err == nil {
+		t.Error("invalid app accepted")
+	}
+}

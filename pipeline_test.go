@@ -1,0 +1,62 @@
+package sring
+
+import (
+	"testing"
+)
+
+// Randomised whole-pipeline invariants: for arbitrary valid applications,
+// every method must produce a validating design whose metrics satisfy the
+// structural relations of the model. This is the repository's broadest
+// failure-surface test.
+func TestPipelineInvariantsRandomApps(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		n := 4 + int(seed)%8
+		m := n + int(seed*13)%(2*n)
+		app := RandomApplication(n, m, seed)
+		ctoSp := -1
+		sringSp := -1
+		for _, method := range Methods() {
+			d, err := Synthesize(app, method, Options{})
+			if err != nil {
+				t.Fatalf("seed %d %s/%s: %v", seed, app.Name, method, err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("seed %d %s/%s: invalid design: %v", seed, app.Name, method, err)
+			}
+			met, err := d.Metrics()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if met.WorstILAlldB < met.WorstILdB {
+				t.Errorf("seed %d %s/%s: il_all %.3f below il_w %.3f",
+					seed, app.Name, method, met.WorstILAlldB, met.WorstILdB)
+			}
+			if met.NumWavelengths < 1 || len(met.PerLambdaWorstILdB) != met.NumWavelengths {
+				t.Errorf("seed %d %s/%s: wavelength bookkeeping broken", seed, app.Name, method)
+			}
+			if met.TotalLaserPowerMW <= 0 {
+				t.Errorf("seed %d %s/%s: non-positive power", seed, app.Name, method)
+			}
+			if met.MaxSplitters < d.PDN.TreeStages {
+				t.Errorf("seed %d %s/%s: #sp_w %d below tree depth %d",
+					seed, app.Name, method, met.MaxSplitters, d.PDN.TreeStages)
+			}
+			if met.LongestPathMM <= 0 {
+				t.Errorf("seed %d %s/%s: degenerate longest path", seed, app.Name, method)
+			}
+			switch method {
+			case MethodCTORing:
+				ctoSp = met.MaxSplitters
+			case MethodSRing:
+				sringSp = met.MaxSplitters
+			}
+		}
+		// SRing never passes more splitters than CTORing: its PDN only
+		// adds the node splitter where wavelengths actually share, while
+		// CTORing's convention always pays it.
+		if sringSp > ctoSp {
+			t.Errorf("seed %d %s: SRing #sp_w %d above CTORing's %d",
+				seed, app.Name, sringSp, ctoSp)
+		}
+	}
+}

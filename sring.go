@@ -1,0 +1,247 @@
+// Package sring is a synthesis library for application-specific
+// wavelength-routed optical network-on-chip (WRONoC) ring routers. It
+// reproduces "SRing: A Sub-Ring Construction Method for Application-
+// Specific Wavelength-Routed Optical NoCs" (Zheng et al., DATE 2025).
+//
+// Given an application — nodes with physical placements plus the directed
+// messages they must exchange — the library synthesises a ring router with
+// one of four methods and evaluates its optical power budget:
+//
+//   - SRing (the paper's contribution): nodes are clustered by
+//     communication requirement and physical location, each cluster gets a
+//     short intra-cluster sub-ring waveguide and at most one extra sub-ring
+//     carries the inter-cluster traffic; wavelengths are assigned by a MILP
+//     (with a built-in branch-and-bound solver) that jointly minimises
+//     wavelength usage, worst-case insertion loss, and PDN splitter usage.
+//   - ORNoC, CTORing, XRing: the three state-of-the-art baselines the
+//     paper compares against, sharing the same layout, loss and PDN
+//     substrate.
+//
+// Quick start:
+//
+//	app := sring.MWD()
+//	d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{UseMILP: true})
+//	if err != nil { ... }
+//	m, err := d.Metrics()
+//	fmt.Printf("laser power: %.3f mW on %d wavelengths\n",
+//	    m.TotalLaserPowerMW, m.NumWavelengths)
+package sring
+
+import (
+	"fmt"
+	"time"
+
+	"sring/internal/cluster"
+	"sring/internal/ctoring"
+	"sring/internal/design"
+	"sring/internal/floorplan"
+	"sring/internal/loss"
+	"sring/internal/netlist"
+	"sring/internal/ornoc"
+	"sring/internal/pdn"
+	"sring/internal/ring"
+	"sring/internal/wavelength"
+	"sring/internal/xring"
+)
+
+// Re-exported model types. Aliases keep one set of definitions across the
+// internal packages and the public API.
+type (
+	// Application is a synthesis input: nodes with placements + messages.
+	Application = netlist.Application
+	// Node is a network endpoint.
+	Node = netlist.Node
+	// NodeID identifies a node.
+	NodeID = netlist.NodeID
+	// Message is a directed communication requirement.
+	Message = netlist.Message
+	// Design is a fully synthesised router.
+	Design = design.Design
+	// Metrics are the per-design evaluation results (Table I columns,
+	// Fig. 7 values).
+	Metrics = design.Metrics
+	// Tech is the technology parameter set of the optical layer.
+	Tech = loss.Tech
+)
+
+// DefaultTech returns the calibrated technology parameters (DESIGN.md §2).
+func DefaultTech() Tech { return loss.Default() }
+
+// Builtin benchmarks (paper Table I).
+var (
+	// MWD returns the 12-node multi-window display application.
+	MWD = netlist.MWD
+	// VOPD returns the 16-node video object plane decoder.
+	VOPD = netlist.VOPD
+	// MPEG returns the 12-node MPEG4 decoder.
+	MPEG = netlist.MPEG
+	// D26 returns the 26-node multimedia SoC.
+	D26 = netlist.D26
+	// PM24, PM32 and PM44 return the 8-node processor-memory networks.
+	PM24 = netlist.PM24
+	PM32 = netlist.PM32
+	PM44 = netlist.PM44
+	// Benchmarks returns all seven benchmarks in Table I order.
+	Benchmarks = netlist.Benchmarks
+	// ExtendedBenchmarks returns the four extension task graphs
+	// (PIP, H263, MP3, MMS) not evaluated in the paper.
+	ExtendedBenchmarks = netlist.Extended
+	// Benchmark looks a builtin benchmark up by name.
+	Benchmark = netlist.ByName
+	// RandomApplication generates a deterministic random application.
+	RandomApplication = netlist.Random
+	// ClusteredApplication generates a cluster-structured application.
+	ClusteredApplication = netlist.Clustered
+)
+
+// Method selects a synthesis method.
+type Method string
+
+// The four synthesis methods.
+const (
+	MethodSRing   Method = "SRing"
+	MethodORNoC   Method = "ORNoC"
+	MethodCTORing Method = "CTORing"
+	MethodXRing   Method = "XRing"
+)
+
+// Methods returns all methods in the paper's comparison order.
+func Methods() []Method {
+	return []Method{MethodORNoC, MethodCTORing, MethodXRing, MethodSRing}
+}
+
+// Options configures synthesis.
+type Options struct {
+	// Tech overrides the technology parameters (zero value: DefaultTech).
+	Tech Tech
+	// TreeHeight is the paper's h, the height of the L_max search tree
+	// used by SRing's clustering (zero: 6).
+	TreeHeight int
+	// ClusterTrials caps the initial vertices tried per cluster round
+	// (zero: unlimited, the paper's behaviour). Set for networks much
+	// larger than the benchmarks to bound synthesis time.
+	ClusterTrials int
+	// UseMILP enables the exact MILP wavelength assignment (paper Sec.
+	// III-B) on instances small enough for the built-in solver; the
+	// splitter-aware heuristic always runs and seeds it.
+	UseMILP bool
+	// MILPTimeLimit bounds the exact solve (zero: 10 s).
+	MILPTimeLimit time.Duration
+	// PhysicalPDN routes the power-distribution tree physically (median
+	// splits, rectilinear trunks) instead of the abstract stage-count
+	// model; feed lengths and stage counts then come from the routed tree.
+	PhysicalPDN bool
+}
+
+// Synthesize builds a router design for the application with the chosen
+// method.
+func Synthesize(app *Application, method Method, opt Options) (*Design, error) {
+	switch method {
+	case MethodSRing:
+		return synthesizeSRing(app, opt)
+	case MethodORNoC:
+		return ornoc.Synthesize(app, ornoc.Options{Design: design.Options{
+			Tech: opt.Tech,
+			PDN:  pdn.Config{RoutePhysical: opt.PhysicalPDN},
+		}})
+	case MethodCTORing:
+		return ctoring.Synthesize(app, ctoring.Options{
+			Design: design.Options{
+				Tech: opt.Tech,
+				PDN:  pdn.Config{RoutePhysical: opt.PhysicalPDN},
+			},
+			UseMILP:       opt.UseMILP,
+			MILPTimeLimit: opt.MILPTimeLimit,
+		})
+	case MethodXRing:
+		return xring.Synthesize(app, xring.Options{
+			Design: design.Options{
+				Tech: opt.Tech,
+				PDN:  pdn.Config{RoutePhysical: opt.PhysicalPDN},
+			},
+			UseMILP:       opt.UseMILP,
+			MILPTimeLimit: opt.MILPTimeLimit,
+		})
+	default:
+		return nil, fmt.Errorf("sring: unknown method %q", method)
+	}
+}
+
+// synthesizeSRing runs the paper's flow: sub-ring construction (Sec. III-A)
+// followed by wavelength assignment (Sec. III-B) and PDN construction.
+func synthesizeSRing(app *Application, opt Options) (*Design, error) {
+	start := time.Now()
+	res, err := cluster.Synthesize(app, cluster.Options{
+		TreeHeight:       opt.TreeHeight,
+		MaxInitialTrials: opt.ClusterTrials,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ringByID := make(map[int]*ring.Ring, len(res.Rings))
+	for _, r := range res.Rings {
+		ringByID[r.ID] = r
+	}
+	paths := make([]ring.Path, len(app.Messages))
+	for i, m := range app.Messages {
+		r, ok := ringByID[res.RingForMessage[i]]
+		if !ok {
+			return nil, fmt.Errorf("sring: message %d unmapped", i)
+		}
+		p, err := ring.Route(app, r, m)
+		if err != nil {
+			return nil, err
+		}
+		paths[i] = p
+	}
+	tech := opt.Tech
+	if tech == (Tech{}) {
+		tech = DefaultTech()
+	}
+	weights := wavelength.DefaultWeights()
+	weights.SplitterStageDB = tech.SplitterStageDB()
+	d, err := design.Finish(app, string(MethodSRing), res.Rings, paths, design.Options{
+		Tech: tech,
+		PDN:  pdn.Config{Style: pdn.StyleShared, RoutePhysical: opt.PhysicalPDN},
+		Assign: wavelength.Options{
+			Weights:       weights,
+			UseMILP:       opt.UseMILP,
+			MILPTimeLimit: opt.MILPTimeLimit,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.SynthesisTime = time.Since(start)
+	return d, nil
+}
+
+// PlaceAndSynthesize places the application's nodes by simulated annealing
+// (ignoring any coordinates it carries) and synthesises a router on the
+// resulting floorplan. Use it for inputs that arrive as bare task graphs;
+// the returned design's App field holds the placed application.
+func PlaceAndSynthesize(app *Application, method Method, opt Options) (*Design, error) {
+	placed, err := floorplan.Place(app, floorplan.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return Synthesize(placed, method, opt)
+}
+
+// Evaluate synthesises the application with every method and returns the
+// metrics side by side, in Methods() order — one Table I row group.
+func Evaluate(app *Application, opt Options) (map[Method]*Metrics, error) {
+	out := make(map[Method]*Metrics, 4)
+	for _, m := range Methods() {
+		d, err := Synthesize(app, m, opt)
+		if err != nil {
+			return nil, fmt.Errorf("sring: %s on %s: %w", m, app.Name, err)
+		}
+		met, err := d.Metrics()
+		if err != nil {
+			return nil, err
+		}
+		out[m] = met
+	}
+	return out, nil
+}
