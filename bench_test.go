@@ -292,3 +292,29 @@ func BenchmarkAblationSplitterObjective(b *testing.B) {
 		run(b, w)
 	})
 }
+
+// BenchmarkSynthesizeNoRecorder is the telemetry regression guard: the
+// default nil-Recorder synthesis must not pay for the instrumentation.
+// Compare its ns/op and allocs/op against BenchmarkSynthesizeRecorder to
+// see the observed-run overhead; TestNoRecorderPathZeroAlloc pins the
+// nil path to zero allocations.
+func BenchmarkSynthesizeNoRecorder(b *testing.B) {
+	app := MWD()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(app, MethodSRing, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesizeRecorder is the observed-run counterpart.
+func BenchmarkSynthesizeRecorder(b *testing.B) {
+	app := MWD()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(app, MethodSRing, Options{Recorder: NewRecorder()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

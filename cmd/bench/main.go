@@ -1,0 +1,146 @@
+// Command bench snapshots the repository's headline benchmark timings to a
+// dated JSON file, so performance can be compared across commits without
+// re-parsing `go test -bench` output:
+//
+//	bench               writes BENCH_<yyyy-mm-dd>.json (SRing on all benchmarks)
+//	bench -full         also times the three baseline methods
+//	bench -o file.json  writes to an explicit path
+//	bench -milp         enables the exact MILP assignment during timing
+//
+// Each entry carries ns/op plus the allocation counts from the Go
+// benchmark harness (testing.Benchmark), one entry per method/benchmark
+// pair, named like "Synthesize/MWD/SRing".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sring"
+)
+
+// benchResult condenses a testing.BenchmarkResult plus any synthesis error.
+type benchResult struct {
+	nsPerOp     float64
+	allocsPerOp int64
+	bytesPerOp  int64
+	n           int
+	err         error
+}
+
+// testingBenchmark times fn with the standard benchmark harness (adaptive
+// iteration counts, allocation accounting).
+func testingBenchmark(fn func() error) benchResult {
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return benchResult{err: runErr}
+	}
+	return benchResult{
+		nsPerOp:     float64(r.NsPerOp()),
+		allocsPerOp: r.AllocsPerOp(),
+		bytesPerOp:  r.AllocedBytesPerOp(),
+		n:           r.N,
+	}
+}
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+type snapshot struct {
+	Date      string  `json:"date"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	MILP      bool    `json:"milp"`
+	Entries   []entry `json:"entries"`
+}
+
+func main() {
+	var (
+		out  = flag.String("o", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
+		full = flag.Bool("full", false, "also benchmark the ORNoC/CTORing/XRing baselines")
+		milp = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
+	)
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	methods := []sring.Method{sring.MethodSRing}
+	if *full {
+		methods = sring.Methods()
+	}
+	opt := sring.Options{UseMILP: *milp}
+
+	snap := snapshot{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MILP:      *milp,
+	}
+	for _, app := range sring.Benchmarks() {
+		for _, m := range methods {
+			app, m := app, m
+			r := testingBenchmark(func() error {
+				_, err := sring.Synthesize(app, m, opt)
+				return err
+			})
+			if r.err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %s/%s: %v\n", app.Name, m, r.err)
+				os.Exit(1)
+			}
+			name := fmt.Sprintf("Synthesize/%s/%s", app.Name, m)
+			snap.Entries = append(snap.Entries, entry{
+				Name:        name,
+				NsPerOp:     r.nsPerOp,
+				AllocsPerOp: r.allocsPerOp,
+				BytesPerOp:  r.bytesPerOp,
+				Runs:        r.n,
+			})
+			fmt.Printf("%-28s %12.0f ns/op %10d allocs/op\n", name, r.nsPerOp, r.allocsPerOp)
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("snapshot written to %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sring"
+	"sring/internal/obs"
 	"sring/internal/randsol"
 	"sring/internal/report"
 	"sring/internal/ring"
@@ -36,8 +37,24 @@ func main() {
 		samples  = flag.Int("samples", 100000, "random samples for Fig. 8")
 		seed     = flag.Int64("seed", 2025, "random seed for Fig. 8")
 		extended = flag.Bool("extended", false, "also evaluate the extension benchmarks (PIP, H263, MP3, MMS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 	if *all {
 		*table1, *table2, *fig7, *fig8 = true, true, true, true
 	}
@@ -50,6 +67,7 @@ func main() {
 
 	var rows []report.Row
 	runtimes := make(map[string]time.Duration)
+	stages := make(map[string]report.StageTiming)
 	var benchOrder []string
 	apps := sring.Benchmarks()
 	if *extended {
@@ -59,9 +77,26 @@ func main() {
 		for _, app := range apps {
 			benchOrder = append(benchOrder, app.Name)
 			for _, m := range sring.Methods() {
-				d, err := sring.Synthesize(app, m, opt)
+				mopt := opt
+				var rec *sring.Recorder
+				if *table2 && m == sring.MethodSRing {
+					rec = sring.NewRecorder()
+					mopt.Recorder = rec
+				}
+				d, err := sring.Synthesize(app, m, mopt)
 				if err != nil {
 					fatal(err)
+				}
+				if rec != nil {
+					t := rec.Snapshot()
+					stages[app.Name] = report.StageTiming{
+						Total:   d.SynthesisTime,
+						Cluster: t.SumDuration("cluster.synthesize"),
+						Layout:  t.SumDuration("design.layout"),
+						Assign:  t.SumDuration("wavelength.assign"),
+						MILP:    t.SumDuration("wavelength.milp"),
+						PDN:     t.SumDuration("design.pdn"),
+					}
 				}
 				met, err := d.Metrics()
 				if err != nil {
@@ -105,6 +140,9 @@ func main() {
 	if *table2 {
 		fmt.Println("=== Table II: program runtime of SRing [s] ===")
 		fmt.Print(report.Table2(runtimes, benchOrder))
+		fmt.Println()
+		fmt.Println("per-stage breakdown (from telemetry):")
+		fmt.Print(report.Table2Stages(stages, benchOrder))
 		fmt.Println()
 	}
 	if *fig8 {

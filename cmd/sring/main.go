@@ -41,6 +41,8 @@ func main() {
 		autoplace  = flag.Bool("autoplace", false, "place nodes by simulated annealing, ignoring the input's coordinates")
 		runSim     = flag.Bool("sim", false, "run the packet-level transmission simulation")
 		runXtalk   = flag.Bool("crosstalk", false, "run the worst-case crosstalk/SNR analysis")
+		traceFile  = flag.String("trace", "", "write the synthesis telemetry trace as JSON to this file")
+		timing     = flag.Bool("timing", false, "print the per-stage timing/counter summary tree")
 	)
 	flag.Parse()
 
@@ -54,10 +56,15 @@ func main() {
 			fatal(err)
 		}
 	}
+	var rec *sring.Recorder
+	if *traceFile != "" || *timing {
+		rec = sring.NewRecorder()
+	}
 	d, err := sring.Synthesize(app, sring.Method(*methodName), sring.Options{
 		UseMILP:       *useMILP,
 		MILPTimeLimit: *milpLimit,
 		TreeHeight:    *treeHeight,
+		Recorder:      rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -141,6 +148,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("design written to %s\n", *jsonFile)
+	}
+
+	if *timing {
+		fmt.Println("\nsynthesis timing:")
+		fmt.Print(rec.Summary())
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceFile)
 	}
 }
 

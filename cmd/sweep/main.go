@@ -28,6 +28,7 @@ import (
 	"sring"
 	"sring/internal/fault"
 	"sring/internal/lambdarouter"
+	"sring/internal/obs"
 	"sring/internal/sim"
 )
 
@@ -41,11 +42,28 @@ func main() {
 		resources   = flag.Bool("resources", false, "device-cost and single-fault exposure comparison")
 		milpgap     = flag.Bool("milpgap", false, "heuristic-vs-MILP assignment quality and proven bounds")
 		load        = flag.Float64("load", 0.5, "offered load for -traffic")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if !*sensitivity && !*traffic && !*density && !*crossbar && !*scale && !*resources && !*milpgap {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+		}()
 	}
 	if *sensitivity {
 		runSensitivity()

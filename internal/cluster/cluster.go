@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"sring/internal/netlist"
+	"sring/internal/obs"
 	"sring/internal/ring"
 )
 
@@ -33,6 +34,11 @@ type Options struct {
 	// larger networks a cap trades a little quality for a lot of runtime.
 	// Zero means unlimited (the paper's behaviour).
 	MaxInitialTrials int
+	// Obs, when non-nil, is the parent span under which the construction
+	// records its telemetry: the L_max binary search (one child span per
+	// evaluated bound with its feasibility verdict), absorption-step
+	// counters, and the final cluster/ring counts.
+	Obs *obs.Span
 }
 
 // Result is a complete sub-ring construction.
@@ -71,9 +77,32 @@ func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("cluster: tree height %d out of range [1, 20]", h)
 	}
 
+	sp := opt.Obs.StartSpan("cluster.synthesize")
+	defer sp.End()
+	iters := sp.Recorder().Counter("cluster.search.iterations")
+	absorb := sp.Recorder().Counter("cluster.absorptions")
+
 	d1 := app.MaxCommDistance()
 	d2 := conventionalRingBound(app)
 	adj := app.Adjacency()
+	sp.SetInt("tree_height", int64(h))
+	sp.SetFloat("d1", d1)
+	sp.SetFloat("d2", d2)
+
+	// tryBound evaluates one L_max candidate under its own span, so the
+	// trace shows the whole descent with per-bound verdicts.
+	tryBound := func(lmax float64) *Result {
+		iters.Add(1)
+		bsp := sp.StartSpan("cluster.bound")
+		bsp.SetFloat("lmax", lmax)
+		sol := buildSolution(app, adj, lmax, opt.MaxInitialTrials, absorb)
+		bsp.SetBool("feasible", sol != nil)
+		if sol != nil {
+			bsp.SetInt("clusters", int64(len(sol.Clusters)))
+		}
+		bsp.End()
+		return sol
+	}
 
 	// Binary search over the 2^h − 1 equidistant interior values of
 	// [d1, d2] (the paper's balanced BST descent: valid -> left child,
@@ -89,7 +118,7 @@ func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
 		mid := (lo + hi) / 2
 		lmax := valueAt(mid)
 		evaluated++
-		if sol := buildSolution(app, adj, lmax, opt.MaxInitialTrials); sol != nil {
+		if sol := tryBound(lmax); sol != nil {
 			sol.Lmax = lmax
 			best = sol
 			hi = mid - 1
@@ -102,12 +131,12 @@ func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
 		// feasible: every communication component collapses into one
 		// cluster and no inter ring is needed).
 		evaluated++
-		if sol := buildSolution(app, adj, d2, opt.MaxInitialTrials); sol != nil {
+		if sol := tryBound(d2); sol != nil {
 			sol.Lmax = d2
 			best = sol
 		} else {
 			evaluated++
-			sol = buildSolution(app, adj, math.Inf(1), opt.MaxInitialTrials)
+			sol = tryBound(math.Inf(1))
 			if sol == nil {
 				return nil, fmt.Errorf("cluster: no feasible clustering for %s (internal error)", app.Name)
 			}
@@ -117,6 +146,11 @@ func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
 	}
 	best.D1, best.D2 = d1, d2
 	best.Evaluated = evaluated
+	sp.SetInt("evaluated", int64(evaluated))
+	sp.SetInt("clusters", int64(len(best.Clusters)))
+	sp.SetInt("rings", int64(len(best.Rings)))
+	sp.SetBool("inter_ring", best.InterRing != nil)
+	sp.SetFloat("lmax", best.Lmax)
 	return best, nil
 }
 
@@ -205,7 +239,7 @@ type grown struct {
 // lmax, absorbing communication-adjacent available vertices. A vertex with
 // no available neighbours yields a singleton (order nil).
 func growCluster(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID,
-	initial netlist.NodeID, avail map[netlist.NodeID]bool, lmax float64) grown {
+	initial netlist.NodeID, avail map[netlist.NodeID]bool, lmax float64, absorb *obs.Counter) grown {
 
 	members := map[netlist.NodeID]bool{initial: true}
 	// Nearest available communication partner forms the initial cluster.
@@ -252,6 +286,7 @@ func growCluster(app *netlist.Application, adj map[netlist.NodeID][]netlist.Node
 		order = order2
 		longest = longest2
 		members[cand] = true
+		absorb.Add(1)
 		delete(candidates, cand)
 		addCandidates(cand)
 		for u := range candidates {
@@ -301,7 +336,7 @@ func bestAbsorption(app *netlist.Application, order []netlist.NodeID,
 // buildSolution attempts a full clustering under lmax. It returns nil if no
 // valid inter-cluster ring exists for any initial vertex (the paper's
 // "invalid solution": move L_max to its right child).
-func buildSolution(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID, lmax float64, maxTrials int) *Result {
+func buildSolution(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID, lmax float64, maxTrials int, absorb *obs.Counter) *Result {
 	avail := make(map[netlist.NodeID]bool)
 	for _, id := range app.ActiveNodes() {
 		avail[id] = true
@@ -332,7 +367,7 @@ func buildSolution(app *netlist.Application, adj map[netlist.NodeID][]netlist.No
 		var best grown
 		haveBest := false
 		for _, v := range trials {
-			g := growCluster(app, adj, v, avail, lmax)
+			g := growCluster(app, adj, v, avail, lmax, absorb)
 			if !haveBest || better(g, best) {
 				best = g
 				haveBest = true
@@ -363,7 +398,7 @@ func buildSolution(app *netlist.Application, adj map[netlist.NodeID][]netlist.No
 
 	var interOrder []netlist.NodeID
 	if hasInter {
-		interOrder = buildInterRing(app, interNodes, lmax, maxTrials)
+		interOrder = buildInterRing(app, interNodes, lmax, maxTrials, absorb)
 		if interOrder == nil {
 			return nil // no valid initial vertex: solution invalid
 		}
@@ -398,7 +433,7 @@ func minID(set map[netlist.NodeID]bool) netlist.NodeID {
 // Every node in the set must be absorbed; each is tried as the initial
 // vertex and the valid ring with the shortest longest path wins. Returns
 // nil if no initial vertex yields a valid complete ring.
-func buildInterRing(app *netlist.Application, interNodes map[netlist.NodeID]bool, lmax float64, maxTrials int) []netlist.NodeID {
+func buildInterRing(app *netlist.Application, interNodes map[netlist.NodeID]bool, lmax float64, maxTrials int, absorb *obs.Counter) []netlist.NodeID {
 	ids := make([]netlist.NodeID, 0, len(interNodes))
 	for id := range interNodes {
 		ids = append(ids, id)
@@ -428,7 +463,7 @@ func buildInterRing(app *netlist.Application, interNodes map[netlist.NodeID]bool
 	var bestOrder []netlist.NodeID
 	bestLongest := math.Inf(1)
 	for _, v := range trials {
-		order, longest, ok := growInter(app, interMsgs, v, ids, lmax)
+		order, longest, ok := growInter(app, interMsgs, v, ids, lmax, absorb)
 		if ok && longest < bestLongest {
 			bestOrder, bestLongest = order, longest
 		}
@@ -440,7 +475,7 @@ func buildInterRing(app *netlist.Application, interNodes map[netlist.NodeID]bool
 // nodes first and falling back to the remaining ones, until all inter nodes
 // are on the ring or no valid absorption exists.
 func growInter(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID,
-	initial netlist.NodeID, all []netlist.NodeID, lmax float64) ([]netlist.NodeID, float64, bool) {
+	initial netlist.NodeID, all []netlist.NodeID, lmax float64, absorb *obs.Counter) ([]netlist.NodeID, float64, bool) {
 
 	members := map[netlist.NodeID]bool{initial: true}
 	remaining := make(map[netlist.NodeID]bool)
@@ -503,6 +538,7 @@ func growInter(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID
 		order = order2
 		longest = longest2
 		members[cand] = true
+		absorb.Add(1)
 		delete(remaining, cand)
 	}
 	return order, longest, true

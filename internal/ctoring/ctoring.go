@@ -34,7 +34,6 @@ type Options struct {
 
 // Synthesize builds the CTORing design for the application.
 func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
-	start := time.Now()
 	cw, ccw, err := baseline.DualRing(app)
 	if err != nil {
 		return nil, fmt.Errorf("ctoring: %w", err)
@@ -59,6 +58,5 @@ func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ctoring: %w", err)
 	}
-	d.SynthesisTime = time.Since(start)
 	return d, nil
 }

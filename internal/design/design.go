@@ -20,6 +20,7 @@ import (
 	"sring/internal/layout"
 	"sring/internal/loss"
 	"sring/internal/netlist"
+	"sring/internal/obs"
 	"sring/internal/pdn"
 	"sring/internal/ring"
 	"sring/internal/wavelength"
@@ -68,6 +69,9 @@ type Options struct {
 	// verification) instead of running the optimiser — for methods like
 	// ORNoC whose wavelength assignment is part of the method itself.
 	PresetAssignment *wavelength.Assignment
+	// Obs, when non-nil, is the parent span under which Finish records its
+	// stage spans (layout, loss pricing, wavelength assignment, PDN).
+	Obs *obs.Span
 }
 
 // Finish completes a design: it lays out the rings, prices every path's
@@ -102,10 +106,17 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 		return nil, err
 	}
 
+	lsp := opt.Obs.StartSpan("design.layout")
 	lay, err := layout.Route(app, rings)
 	if err != nil {
+		lsp.End()
 		return nil, err
 	}
+	lsp.SetInt("rings", int64(len(rings)))
+	lsp.SetInt("crossings", int64(lay.TotalCrossings))
+	lsp.SetInt("bends", int64(lay.TotalBends))
+	lsp.SetFloat("waveguide_mm", lay.TotalWaveguideMM)
+	lsp.End()
 
 	// Off-resonance MRR population per (node, ring): one MRR per message
 	// sent plus one per message received by the node on that ring (the
@@ -131,15 +142,18 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 		}
 	}
 
+	losssp := opt.Obs.StartSpan("design.loss")
 	infos := make([]wavelength.PathInfo, len(paths))
 	for i, p := range paths {
 		r := ringByID[p.RingID]
 		bends, err := lay.PathBends(p)
 		if err != nil {
+			losssp.End()
 			return nil, err
 		}
 		crossings, err := lay.PathCrossings(p)
 		if err != nil {
+			losssp.End()
 			return nil, err
 		}
 		passed := 0
@@ -155,6 +169,15 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 		}
 		infos[i] = wavelength.PathInfo{Path: p, LossDB: tech.PathDB(g)}
 	}
+	worst := 0.0
+	for _, pi := range infos {
+		if pi.LossDB > worst {
+			worst = pi.LossDB
+		}
+	}
+	losssp.SetInt("paths", int64(len(infos)))
+	losssp.SetFloat("worst_il_db", worst)
+	losssp.End()
 
 	var assignment *wavelength.Assignment
 	var stats *wavelength.Stats
@@ -166,12 +189,20 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 		}
 		o := wavelength.Evaluate(infos, assignment, wavelength.DefaultWeights())
 		stats = &wavelength.Stats{Heuristic: o, Final: o}
+		if sp := opt.Obs.StartSpan("wavelength.assign"); sp.Enabled() {
+			sp.SetBool("preset", true)
+			sp.SetInt("paths", int64(len(infos)))
+			sp.SetInt("wavelengths", int64(assignment.NumLambda))
+			sp.SetFloat("final_objective", o.Value)
+			sp.End()
+		}
 	} else {
 		assignOpts := opt.Assign
 		if assignOpts.Weights == (wavelength.Weights{}) {
 			assignOpts.Weights = wavelength.DefaultWeights()
 			assignOpts.Weights.SplitterStageDB = tech.SplitterStageDB()
 		}
+		assignOpts.Obs = opt.Obs
 		var err error
 		assignment, stats, err = wavelength.Assign(infos, assignOpts)
 		if err != nil {
@@ -199,11 +230,17 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 			twoSender[n] = true
 		}
 	}
+	psp := opt.Obs.StartSpan("design.pdn")
 	splitters := wavelength.NodeSplitters(infos, assignment)
 	network, err := pdn.Build(app, senderNodes, twoSender, splitters, opt.PDN)
 	if err != nil {
+		psp.End()
 		return nil, err
 	}
+	psp.SetInt("senders", int64(len(senderNodes)))
+	psp.SetInt("two_sender", int64(len(twoSender)))
+	psp.SetInt("total_splitters", int64(network.TotalSplitters))
+	psp.End()
 
 	return &Design{
 		App:         app,

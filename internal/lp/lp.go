@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"sring/internal/obs"
 )
 
 // Rel is the relation of a constraint row.
@@ -130,6 +132,12 @@ type Solution struct {
 	Status    Status
 	X         []float64 // variable values (length NumVars), valid when Optimal
 	Objective float64   // c . X, valid when Optimal
+	// Phase1Pivots and Phase2Pivots count the simplex pivots performed in
+	// each phase; BlandPivots counts how many of them ran under Bland's
+	// anti-cycling rule. Always populated, whatever the Status.
+	Phase1Pivots int
+	Phase2Pivots int
+	BlandPivots  int
 }
 
 const (
@@ -232,25 +240,32 @@ func (t *tableau) chooseRow(col int) int {
 
 // runSimplex iterates to optimality. allowed restricts entering columns;
 // a non-zero deadline aborts with IterLimit when exceeded (checked every
-// few iterations).
-func (t *tableau) runSimplex(maxIter int, allowed []bool, deadline time.Time) Status {
+// few iterations). It returns the pivot count and how many of those pivots
+// ran under Bland's rule.
+func (t *tableau) runSimplex(maxIter int, allowed []bool, deadline time.Time) (Status, int, int) {
 	blandAfter := blandTriggerFactor * (t.m + t.n)
 	checkEvery := 16
+	pivots, blandPivots := 0, 0
 	for iter := 0; iter < maxIter; iter++ {
 		if !deadline.IsZero() && iter%checkEvery == 0 && time.Now().After(deadline) {
-			return IterLimit
+			return IterLimit, pivots, blandPivots
 		}
-		col := t.chooseColumn(iter > blandAfter, allowed)
+		bland := iter > blandAfter
+		col := t.chooseColumn(bland, allowed)
 		if col < 0 {
-			return Optimal
+			return Optimal, pivots, blandPivots
 		}
 		row := t.chooseRow(col)
 		if row < 0 {
-			return Unbounded
+			return Unbounded, pivots, blandPivots
 		}
 		t.pivot(row, col)
+		pivots++
+		if bland {
+			blandPivots++
+		}
 	}
-	return IterLimit
+	return IterLimit, pivots, blandPivots
 }
 
 // Solve solves the problem with the two-phase simplex method.
@@ -265,6 +280,32 @@ func Solve(p *Problem) (*Solution, error) {
 // mid-solve the result carries Status IterLimit. A zero deadline means no
 // cutoff.
 func SolveDeadline(p *Problem, deadline time.Time) (*Solution, error) {
+	return SolveInstrumented(p, deadline, nil)
+}
+
+// SolveInstrumented is SolveDeadline with solver telemetry: pivot counts
+// and Bland-rule activations are accumulated onto the recorder's counters
+// (lp.solves, lp.pivots.phase1, lp.pivots.phase2, lp.bland_pivots,
+// lp.bland_activations). A nil recorder costs nothing; the counts are also
+// always returned in the Solution itself.
+func SolveInstrumented(p *Problem, deadline time.Time, rec *obs.Recorder) (*Solution, error) {
+	sol, err := solve(p, deadline)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		rec.Add("lp.solves", 1)
+		rec.Add("lp.pivots.phase1", int64(sol.Phase1Pivots))
+		rec.Add("lp.pivots.phase2", int64(sol.Phase2Pivots))
+		if sol.BlandPivots > 0 {
+			rec.Add("lp.bland_pivots", int64(sol.BlandPivots))
+			rec.Add("lp.bland_activations", 1)
+		}
+	}
+	return sol, nil
+}
+
+func solve(p *Problem, deadline time.Time) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -344,6 +385,7 @@ func SolveDeadline(p *Problem, deadline time.Time) (*Solution, error) {
 	}
 
 	maxIter := 200 * (m + n + 10)
+	p1Pivots, p2Pivots, blandPivots := 0, 0, 0
 
 	// Phase 1: minimise the sum of artificials.
 	hasArtif := false
@@ -371,15 +413,17 @@ func SolveDeadline(p *Problem, deadline time.Time) (*Solution, error) {
 				}
 			}
 		}
-		switch t.runSimplex(maxIter, nil, deadline) {
+		st, piv, bl := t.runSimplex(maxIter, nil, deadline)
+		p1Pivots, blandPivots = piv, bl
+		switch st {
 		case IterLimit:
-			return &Solution{Status: IterLimit}, nil
+			return &Solution{Status: IterLimit, Phase1Pivots: p1Pivots, BlandPivots: blandPivots}, nil
 		case Unbounded:
 			// Phase-1 objective is bounded below by 0; cannot happen.
 			return nil, errors.New("lp: phase 1 reported unbounded")
 		}
 		if -t.a[m][n] > 1e-7 {
-			return &Solution{Status: Infeasible}, nil
+			return &Solution{Status: Infeasible, Phase1Pivots: p1Pivots, BlandPivots: blandPivots}, nil
 		}
 		// Drive any artificials still in the basis out (degenerate rows).
 		artifSet := make(map[int]bool)
@@ -442,11 +486,14 @@ func SolveDeadline(p *Problem, deadline time.Time) (*Solution, error) {
 			allowed[pl.artif] = false
 		}
 	}
-	switch t.runSimplex(maxIter, allowed, deadline) {
+	st, piv, bl := t.runSimplex(maxIter, allowed, deadline)
+	p2Pivots = piv
+	blandPivots += bl
+	switch st {
 	case IterLimit:
-		return &Solution{Status: IterLimit}, nil
+		return &Solution{Status: IterLimit, Phase1Pivots: p1Pivots, Phase2Pivots: p2Pivots, BlandPivots: blandPivots}, nil
 	case Unbounded:
-		return &Solution{Status: Unbounded}, nil
+		return &Solution{Status: Unbounded, Phase1Pivots: p1Pivots, Phase2Pivots: p2Pivots, BlandPivots: blandPivots}, nil
 	}
 
 	x := make([]float64, p.NumVars)
@@ -461,5 +508,12 @@ func SolveDeadline(p *Problem, deadline time.Time) (*Solution, error) {
 			objVal += p.Objective[v] * c
 		}
 	}
-	return &Solution{Status: Optimal, X: x, Objective: objVal}, nil
+	return &Solution{
+		Status:       Optimal,
+		X:            x,
+		Objective:    objVal,
+		Phase1Pivots: p1Pivots,
+		Phase2Pivots: p2Pivots,
+		BlandPivots:  blandPivots,
+	}, nil
 }

@@ -1,0 +1,114 @@
+package milp
+
+// Limit-path coverage: when the branch-and-bound search is cut off by the
+// node or time limit, the solver must come back with Status Feasible, hand
+// the seeded incumbent back as the best known solution, and report a
+// non-zero optimality gap instead of silently claiming optimality.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sring/internal/lp"
+)
+
+// limitKnapsack returns a knapsack whose LP relaxation is fractional, so
+// proving optimality requires branching beyond the root node:
+// min -10x0 -13x1 -7x2 -4x3  s.t.  5x0+7x1+4x2+3x3 <= 10, x binary.
+// IP optimum -17; LP relaxation bound ~ -17.86.
+func limitKnapsack() *Problem {
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   4,
+			Objective: []float64{-10, -13, -7, -4},
+		},
+		Integer: allInt(4),
+	}
+	p.LP.AddConstraint(lp.LE, 10, map[int]float64{0: 5, 1: 7, 2: 4, 3: 3})
+	binaryBox(&p.LP)
+	return p
+}
+
+// seeded incumbent: x3 only, objective -4 (feasible, far from optimal).
+var limitIncumbent = []float64{0, 0, 0, 1}
+
+func TestNodeLimitReturnsIncumbentWithGap(t *testing.T) {
+	p := limitKnapsack()
+	res, err := Solve(p, Options{
+		NodeLimit:       1,
+		Incumbent:       append([]float64(nil), limitIncumbent...),
+		DisablePresolve: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Feasible {
+		t.Fatalf("status = %v, want Feasible (node limit hit)", res.Status)
+	}
+	if res.Nodes > 1 {
+		t.Errorf("explored %d nodes, want <= 1", res.Nodes)
+	}
+	for i, v := range limitIncumbent {
+		if !approx(res.X[i], v, 1e-9) {
+			t.Fatalf("X = %v, want the seeded incumbent %v", res.X, limitIncumbent)
+		}
+	}
+	if !approx(res.Objective, -4, 1e-6) {
+		t.Errorf("objective = %v, want the incumbent's -4", res.Objective)
+	}
+	if res.Bound >= res.Objective {
+		t.Errorf("bound = %v, want < objective %v (unproven)", res.Bound, res.Objective)
+	}
+	g := res.Gap()
+	if g <= 0 {
+		t.Errorf("gap = %v, want > 0 when cut off early", g)
+	}
+	if math.IsInf(g, 0) || math.IsNaN(g) {
+		t.Errorf("gap = %v, want finite after the root relaxation ran", g)
+	}
+}
+
+func TestTimeLimitReturnsIncumbentWithGap(t *testing.T) {
+	p := limitKnapsack()
+	res, err := Solve(p, Options{
+		TimeLimit:       time.Nanosecond,
+		Incumbent:       append([]float64(nil), limitIncumbent...),
+		DisablePresolve: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Feasible {
+		t.Fatalf("status = %v, want Feasible (time limit hit)", res.Status)
+	}
+	for i, v := range limitIncumbent {
+		if !approx(res.X[i], v, 1e-9) {
+			t.Fatalf("X = %v, want the seeded incumbent %v", res.X, limitIncumbent)
+		}
+	}
+	if !approx(res.Objective, -4, 1e-6) {
+		t.Errorf("objective = %v, want the incumbent's -4", res.Objective)
+	}
+	if g := res.Gap(); g <= 0 {
+		t.Errorf("gap = %v, want > 0 when cut off early", g)
+	}
+}
+
+// Without a seed, hitting a limit before any integral solution is found
+// must not fabricate a solution: the gap reads as infinite.
+func TestNodeLimitNoIncumbentInfiniteGap(t *testing.T) {
+	p := limitKnapsack()
+	res, err := Solve(p, Options{NodeLimit: 1, DisablePresolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == Optimal {
+		t.Fatalf("status = %v, optimality cannot be proven in one node", res.Status)
+	}
+	if res.X == nil {
+		if g := res.Gap(); !math.IsInf(g, 1) {
+			t.Errorf("gap = %v, want +Inf with no solution", g)
+		}
+	}
+}

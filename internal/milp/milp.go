@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"sring/internal/lp"
+	"sring/internal/obs"
 )
 
 // Problem is a minimisation MILP: the embedded LP plus integrality marks.
@@ -51,6 +52,11 @@ type Options struct {
 	Gap float64
 	// DisablePresolve skips the bound-propagation reduction.
 	DisablePresolve bool
+	// Obs, when non-nil, is the parent span under which the solve records
+	// its telemetry: a milp.solve span (status, node count, bound, gap), a
+	// milp.presolve span, gap-trajectory events (one per incumbent), and
+	// the milp.nodes / milp.incumbents / lp.* counters.
+	Obs *obs.Span
 }
 
 // Status reports the outcome of a MILP solve.
@@ -91,6 +97,20 @@ type Result struct {
 	Objective float64   // objective of X
 	Bound     float64   // proven lower bound on the optimum
 	Nodes     int       // branch-and-bound nodes explored
+}
+
+// Gap returns the relative optimality gap (Objective − Bound) / |Objective|
+// of the result: 0 for a proven optimum, +Inf when no incumbent exists or
+// no finite bound was proven.
+func (r *Result) Gap() float64 {
+	if r.X == nil || math.IsInf(r.Objective, 0) || math.IsInf(r.Bound, -1) {
+		return math.Inf(1)
+	}
+	g := (r.Objective - r.Bound) / math.Max(math.Abs(r.Objective), 1e-9)
+	if g < 0 {
+		return 0 // bound overshot the incumbent within tolerance
+	}
+	return g
 }
 
 const intTol = 1e-6
@@ -143,7 +163,17 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 		}
 	}
 	if !opt.DisablePresolve {
+		psp := opt.Obs.StartSpan("milp.presolve")
 		pr := presolve(p)
+		psp.SetInt("vars", int64(p.LP.NumVars))
+		psp.SetInt("fixed", int64(len(pr.fixed)))
+		psp.SetBool("infeasible", pr.infeasible)
+		if pr.reduced != nil {
+			psp.SetInt("reduced_vars", int64(pr.reduced.LP.NumVars))
+			psp.SetInt("reduced_constraints", int64(len(pr.reduced.LP.Constraints)))
+		}
+		psp.End()
+		psp.Count("milp.presolve.fixed", int64(len(pr.fixed)))
 		if pr.infeasible {
 			return &Result{Status: Infeasible, Objective: math.Inf(1), Bound: math.Inf(1)}, nil
 		}
@@ -188,6 +218,13 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 
 // solveBB is the branch-and-bound core.
 func solveBB(p *Problem, opt Options) (*Result, error) {
+	sp := opt.Obs.StartSpan("milp.solve")
+	rec := sp.Recorder()
+	nodesC := rec.Counter("milp.nodes")
+	incumbentsC := rec.Counter("milp.incumbents")
+	sp.SetInt("vars", int64(p.LP.NumVars))
+	sp.SetInt("constraints", int64(len(p.LP.Constraints)))
+
 	timeLimit := opt.TimeLimit
 	if timeLimit == 0 {
 		timeLimit = 60 * time.Second
@@ -202,6 +239,16 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 	lpDeadline := deadline.Add(timeLimit / 4)
 
 	res := &Result{Status: Unknown, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	defer func() {
+		sp.SetString("status", res.Status.String())
+		sp.SetInt("nodes", int64(res.Nodes))
+		if res.X != nil {
+			sp.SetFloat("objective", res.Objective)
+		}
+		sp.SetFloat("bound", res.Bound)
+		sp.SetFloat("gap", res.Gap())
+		sp.End()
+	}()
 	if opt.Incumbent != nil {
 		obj, err := checkIncumbent(p, opt.Incumbent)
 		if err != nil {
@@ -230,8 +277,9 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 			break
 		}
 		res.Nodes++
+		nodesC.Add(1)
 
-		sol, err := solveRelaxation(p, nd, lpDeadline)
+		sol, err := solveRelaxation(p, nd, lpDeadline, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -261,6 +309,18 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 			res.X = x
 			res.Objective = sol.Objective
 			res.Status = Feasible
+			incumbentsC.Add(1)
+			if sp.Enabled() {
+				// Gap trajectory point: the new incumbent against the
+				// tightest proven lower bound at this moment (the best
+				// open node, or this node's own relaxation when the
+				// frontier is exhausted).
+				bound := sol.Objective
+				if open.Len() > 0 && (*open)[0].bound < bound {
+					bound = (*open)[0].bound
+				}
+				sp.Event("incumbent", res.Objective, bound)
+			}
 			if opt.Gap > 0 && gapClosed(res, open, opt.Gap) {
 				res.Status = Optimal
 				return res, nil
@@ -311,7 +371,8 @@ func child(parent *node, seq *int, bound float64) *node {
 }
 
 // solveRelaxation solves the node's LP: the root LP plus bound rows.
-func solveRelaxation(p *Problem, nd *node, deadline time.Time) (*lp.Solution, error) {
+// Pivot counts accumulate onto rec's lp.* counters.
+func solveRelaxation(p *Problem, nd *node, deadline time.Time, rec *obs.Recorder) (*lp.Solution, error) {
 	sub := lp.Problem{
 		NumVars:     p.LP.NumVars,
 		Objective:   p.LP.Objective,
@@ -326,7 +387,7 @@ func solveRelaxation(p *Problem, nd *node, deadline time.Time) (*lp.Solution, er
 	for v, hi := range nd.upper {
 		sub.AddConstraint(lp.LE, hi, map[int]float64{v: 1})
 	}
-	return lp.SolveDeadline(&sub, deadline)
+	return lp.SolveInstrumented(&sub, deadline, rec)
 }
 
 // mostFractional returns the integer variable whose LP value is farthest

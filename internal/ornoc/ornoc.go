@@ -13,7 +13,6 @@ package ornoc
 
 import (
 	"fmt"
-	"time"
 
 	"sring/internal/baseline"
 	"sring/internal/design"
@@ -32,7 +31,6 @@ type Options struct {
 
 // Synthesize builds the ORNoC design for the application.
 func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
-	start := time.Now()
 	cw, ccw, err := baseline.DualRing(app)
 	if err != nil {
 		return nil, fmt.Errorf("ornoc: %w", err)
@@ -97,6 +95,5 @@ func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ornoc: %w", err)
 	}
-	d.SynthesisTime = time.Since(start)
 	return d, nil
 }

@@ -24,9 +24,6 @@ func TestSynthesizeBenchmarks(t *testing.T) {
 			if len(d.Rings) != 2 {
 				t.Errorf("ORNoC uses %d rings, want 2", len(d.Rings))
 			}
-			if d.SynthesisTime <= 0 {
-				t.Error("synthesis time not recorded")
-			}
 		})
 	}
 }

@@ -58,6 +58,38 @@ func Table2(runtimes map[string]time.Duration, order []string) string {
 	return b.String()
 }
 
+// StageTiming breaks one SRing synthesis run into its pipeline stages
+// (from the telemetry trace): sub-ring construction, layout, wavelength
+// assignment (with the MILP share listed separately) and PDN construction.
+type StageTiming struct {
+	Total   time.Duration
+	Cluster time.Duration
+	Layout  time.Duration
+	Assign  time.Duration
+	MILP    time.Duration
+	PDN     time.Duration
+}
+
+// Table2Stages renders the per-stage timing breakdown that accompanies
+// Table II when telemetry is collected. The MILP column is the share of the
+// assignment time spent in the exact solver (zero when the heuristic result
+// is kept).
+func Table2Stages(stages map[string]StageTiming, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n",
+		"benchmark", "total[s]", "cluster[s]", "layout[s]", "assign[s]", "milp[s]", "pdn[s]")
+	for _, name := range order {
+		st, ok := stages[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			name, st.Total.Seconds(), st.Cluster.Seconds(), st.Layout.Seconds(),
+			st.Assign.Seconds(), st.MILP.Seconds(), st.PDN.Seconds())
+	}
+	return b.String()
+}
+
 // Fig7 renders total laser power and wavelength usage per method per
 // benchmark with proportional ASCII bars (the paper's grouped bar chart).
 func Fig7(rows []Row) string {

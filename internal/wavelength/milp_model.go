@@ -9,6 +9,7 @@ import (
 	"sring/internal/lp"
 	"sring/internal/milp"
 	"sring/internal/netlist"
+	"sring/internal/obs"
 )
 
 // SolveInfo reports how a SolveMILP call went.
@@ -25,7 +26,9 @@ type SolveInfo struct {
 // SolveMILP builds and solves the SRing wavelength-assignment MILP
 // (paper Sec. III-B) over a palette of numLambda wavelengths, seeded with
 // the incumbent assignment (which must use at most numLambda wavelengths).
-// It returns the best assignment found and the solver telemetry.
+// It returns the best assignment found and the solver telemetry. The solve
+// records under parent (model size, branch-and-bound progress, gap
+// trajectory); a nil parent records nothing.
 //
 // Model notes relative to the paper:
 //   - Eq. 2 (collision avoidance) is implemented as per-segment clique
@@ -39,7 +42,7 @@ type SolveInfo struct {
 //     b_{s,λ} ≤ y_λ, plus symmetry-breaking y_λ ≥ y_{λ+1}.
 //   - Eq. 5's il_s is substituted directly into Eqs. 6-7: il_s = L_s +
 //     L_sp · b_sp^{n(s)}, removing one continuous variable per path.
-func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration) (*Assignment, SolveInfo, error) {
+func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration, parent *obs.Span) (*Assignment, SolveInfo, error) {
 	if numLambda < 1 {
 		return nil, SolveInfo{}, fmt.Errorf("wavelength: SolveMILP needs numLambda >= 1, got %d", numLambda)
 	}
@@ -207,7 +210,15 @@ func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment
 		}
 	}
 
-	opts := milp.Options{TimeLimit: timeLimit}
+	msp := parent.StartSpan("wavelength.milp")
+	defer msp.End()
+	msp.SetInt("num_lambda", int64(numLambda))
+	msp.SetInt("binaries", int64(S*L+L+len(spNodes)))
+	msp.SetInt("vars", int64(numVars))
+	msp.SetInt("constraints", int64(len(prob.LP.Constraints)))
+	msp.SetBool("seeded", incumbent != nil)
+
+	opts := milp.Options{TimeLimit: timeLimit, Obs: msp}
 	if incumbent != nil {
 		opts.Incumbent = incumbentVector(infos, incumbent, numVars, L, bVar, yVar, spVar, ilSmaxVar, ilMaxVar, w)
 	}
@@ -216,6 +227,9 @@ func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment
 		return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP solve: %w", err)
 	}
 	info := SolveInfo{Exact: res.Status == milp.Optimal, Bound: res.Bound, Nodes: res.Nodes}
+	msp.SetBool("exact", info.Exact)
+	msp.SetFloat("bound", info.Bound)
+	msp.SetInt("nodes", int64(info.Nodes))
 	switch res.Status {
 	case milp.Optimal, milp.Feasible:
 		a := &Assignment{Lambda: make([]int, S), NumLambda: L}

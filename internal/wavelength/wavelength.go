@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"sring/internal/netlist"
+	"sring/internal/obs"
 	"sring/internal/ring"
 )
 
@@ -163,6 +164,25 @@ type Weights struct {
 // calibrated L_sp.
 func DefaultWeights() Weights {
 	return Weights{Alpha: 1, Beta: 1, Gamma: 1, SplitterStageDB: 3.3}
+}
+
+// PerLambdaLoss returns the worst-case insertion loss carried by each
+// wavelength under the assignment, including the node-splitter stage of
+// senders the assignment forces a splitter on (the il_λ^max terms of Eq. 8,
+// without PDN feed losses).
+func PerLambdaLoss(infos []PathInfo, a *Assignment, w Weights) []float64 {
+	sp := NodeSplitters(infos, a)
+	perLambda := make([]float64, a.NumLambda)
+	for i, pi := range infos {
+		il := pi.LossDB
+		if sp[pi.SenderNode()] {
+			il += w.SplitterStageDB
+		}
+		if l := a.Lambda[i]; il > perLambda[l] {
+			perLambda[l] = il
+		}
+	}
+	return perLambda
 }
 
 // Evaluate computes the objective of an assignment.
@@ -438,6 +458,10 @@ type Options struct {
 	// ExtraLambda lets the MILP use up to this many wavelengths beyond the
 	// heuristic's count, enabling the λ-for-splitter trade. Zero means 1.
 	ExtraLambda int
+	// Obs, when non-nil, is the parent span under which the assignment
+	// records its telemetry: heuristic and MILP child spans, the
+	// heuristic-vs-MILP objective delta, and per-wavelength loss events.
+	Obs *obs.Span
 }
 
 // Stats reports how an assignment was obtained.
@@ -460,16 +484,24 @@ func Assign(infos []PathInfo, opt Options) (*Assignment, *Stats, error) {
 	if len(infos) == 0 {
 		return nil, nil, fmt.Errorf("wavelength: no paths to assign")
 	}
+	sp := opt.Obs.StartSpan("wavelength.assign")
+	defer sp.End()
+	sp.SetInt("paths", int64(len(infos)))
 	w := opt.Weights
 	if w == (Weights{}) {
 		w = DefaultWeights()
 	}
+	hsp := sp.StartSpan("wavelength.heuristic")
 	best := Improve(infos, DSATUR(infos), w)
 	if err := Verify(infos, best); err != nil {
 		return nil, nil, fmt.Errorf("wavelength: heuristic produced invalid assignment: %w", err)
 	}
 	stats := &Stats{Heuristic: Evaluate(infos, best, w)}
 	stats.Final = stats.Heuristic
+	hsp.SetFloat("objective", stats.Heuristic.Value)
+	hsp.SetInt("wavelengths", int64(best.NumLambda))
+	hsp.SetInt("splitters", int64(stats.Heuristic.Splitters))
+	hsp.End()
 
 	if opt.UseMILP {
 		maxBin := opt.MaxBinaries
@@ -486,7 +518,7 @@ func Assign(infos []PathInfo, opt Options) (*Assignment, *Stats, error) {
 			if tl == 0 {
 				tl = 10 * time.Second
 			}
-			milpA, info, err := SolveMILP(infos, numLambda, w, best, tl)
+			milpA, info, err := SolveMILP(infos, numLambda, w, best, tl, sp)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -503,8 +535,22 @@ func Assign(infos []PathInfo, opt Options) (*Assignment, *Stats, error) {
 					stats.Final = o
 				}
 			}
+		} else {
+			// The exact solve would not finish within budget at this size;
+			// make the skip visible instead of silent.
+			sp.SetBool("milp_skipped", true)
 		}
 	}
 	best.Normalize()
+	sp.SetFloat("heuristic_objective", stats.Heuristic.Value)
+	sp.SetFloat("final_objective", stats.Final.Value)
+	sp.SetFloat("milp_delta", stats.Heuristic.Value-stats.Final.Value)
+	sp.SetInt("wavelengths", int64(best.NumLambda))
+	sp.SetInt("splitters", int64(stats.Final.Splitters))
+	if sp.Enabled() {
+		for l, loss := range PerLambdaLoss(infos, best, w) {
+			sp.Event("lambda_loss", float64(l), loss)
+		}
+	}
 	return best, stats, nil
 }

@@ -42,7 +42,6 @@ type Options struct {
 
 // Synthesize builds the XRing design for the application.
 func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
-	start := time.Now()
 	cw, ccw, err := baseline.DualRing(app)
 	if err != nil {
 		return nil, fmt.Errorf("xring: %w", err)
@@ -122,6 +121,5 @@ func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xring: %w", err)
 	}
-	d.SynthesisTime = time.Since(start)
 	return d, nil
 }

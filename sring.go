@@ -37,6 +37,7 @@ import (
 	"sring/internal/floorplan"
 	"sring/internal/loss"
 	"sring/internal/netlist"
+	"sring/internal/obs"
 	"sring/internal/ornoc"
 	"sring/internal/pdn"
 	"sring/internal/ring"
@@ -62,7 +63,19 @@ type (
 	Metrics = design.Metrics
 	// Tech is the technology parameter set of the optical layer.
 	Tech = loss.Tech
+	// Recorder collects synthesis telemetry: hierarchical timed spans plus
+	// named counters. Create one with NewRecorder, pass it in
+	// Options.Recorder, then use Snapshot/WriteJSON/Summary to inspect the
+	// trace after Synthesize returns.
+	Recorder = obs.Recorder
+	// Trace is the structured snapshot of a Recorder.
+	Trace = obs.Trace
+	// SpanSnap is one node of a Trace's span tree.
+	SpanSnap = obs.SpanSnap
 )
+
+// NewRecorder returns an empty telemetry recorder.
+func NewRecorder() *Recorder { return obs.New() }
 
 // DefaultTech returns the calibrated technology parameters (DESIGN.md §2).
 func DefaultTech() Tech { return loss.Default() }
@@ -131,24 +144,50 @@ type Options struct {
 	// splits, rectilinear trunks) instead of the abstract stage-count
 	// model; feed lengths and stage counts then come from the routed tree.
 	PhysicalPDN bool
+	// Recorder, when non-nil, collects a full synthesis trace: timed spans
+	// for every pipeline stage (clustering, layout, loss, wavelength
+	// assignment, MILP, PDN) and solver counters (simplex pivots, B&B
+	// nodes, absorption steps). Nil disables all telemetry at zero cost.
+	Recorder *Recorder
 }
 
 // Synthesize builds a router design for the application with the chosen
-// method.
+// method. Synthesis wall-clock time is measured here, uniformly for all
+// methods, and stored in the returned design's SynthesisTime (Table II).
 func Synthesize(app *Application, method Method, opt Options) (*Design, error) {
+	start := time.Now()
+	root := opt.Recorder.StartSpan("synthesize")
+	root.SetString("method", string(method))
+	if app != nil {
+		root.SetString("app", app.Name)
+		root.SetInt("nodes", int64(len(app.Nodes)))
+		root.SetInt("messages", int64(len(app.Messages)))
+	}
+	d, err := synthesize(app, method, opt, root)
+	root.End()
+	if err != nil {
+		return nil, err
+	}
+	d.SynthesisTime = time.Since(start)
+	return d, nil
+}
+
+func synthesize(app *Application, method Method, opt Options, root *obs.Span) (*Design, error) {
 	switch method {
 	case MethodSRing:
-		return synthesizeSRing(app, opt)
+		return synthesizeSRing(app, opt, root)
 	case MethodORNoC:
 		return ornoc.Synthesize(app, ornoc.Options{Design: design.Options{
 			Tech: opt.Tech,
 			PDN:  pdn.Config{RoutePhysical: opt.PhysicalPDN},
+			Obs:  root,
 		}})
 	case MethodCTORing:
 		return ctoring.Synthesize(app, ctoring.Options{
 			Design: design.Options{
 				Tech: opt.Tech,
 				PDN:  pdn.Config{RoutePhysical: opt.PhysicalPDN},
+				Obs:  root,
 			},
 			UseMILP:       opt.UseMILP,
 			MILPTimeLimit: opt.MILPTimeLimit,
@@ -158,6 +197,7 @@ func Synthesize(app *Application, method Method, opt Options) (*Design, error) {
 			Design: design.Options{
 				Tech: opt.Tech,
 				PDN:  pdn.Config{RoutePhysical: opt.PhysicalPDN},
+				Obs:  root,
 			},
 			UseMILP:       opt.UseMILP,
 			MILPTimeLimit: opt.MILPTimeLimit,
@@ -169,11 +209,11 @@ func Synthesize(app *Application, method Method, opt Options) (*Design, error) {
 
 // synthesizeSRing runs the paper's flow: sub-ring construction (Sec. III-A)
 // followed by wavelength assignment (Sec. III-B) and PDN construction.
-func synthesizeSRing(app *Application, opt Options) (*Design, error) {
-	start := time.Now()
+func synthesizeSRing(app *Application, opt Options, root *obs.Span) (*Design, error) {
 	res, err := cluster.Synthesize(app, cluster.Options{
 		TreeHeight:       opt.TreeHeight,
 		MaxInitialTrials: opt.ClusterTrials,
+		Obs:              root,
 	})
 	if err != nil {
 		return nil, err
@@ -208,11 +248,11 @@ func synthesizeSRing(app *Application, opt Options) (*Design, error) {
 			UseMILP:       opt.UseMILP,
 			MILPTimeLimit: opt.MILPTimeLimit,
 		},
+		Obs: root,
 	})
 	if err != nil {
 		return nil, err
 	}
-	d.SynthesisTime = time.Since(start)
 	return d, nil
 }
 
