@@ -6,10 +6,12 @@
 //	bench -full         also times the three baseline methods
 //	bench -o file.json  writes to an explicit path
 //	bench -milp         enables the exact MILP assignment during timing
+//	bench -j 1,4        times each pair at several Parallelism settings
 //
 // Each entry carries ns/op plus the allocation counts from the Go
 // benchmark harness (testing.Benchmark), one entry per method/benchmark
-// pair, named like "Synthesize/MWD/SRing".
+// pair, named like "Synthesize/MWD/SRing" — or, with more than one -j
+// value, per parallelism setting, like "Synthesize/MWD/SRing/j=4".
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -59,6 +63,7 @@ func testingBenchmark(fn func() error) benchResult {
 
 type entry struct {
 	Name        string  `json:"name"`
+	Parallelism int     `json:"parallelism"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -70,6 +75,7 @@ type snapshot struct {
 	GoVersion string  `json:"go_version"`
 	GOOS      string  `json:"goos"`
 	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"` // parallel entries only beat sequential with >1 core
 	MILP      bool    `json:"milp"`
 	Entries   []entry `json:"entries"`
 }
@@ -79,8 +85,13 @@ func main() {
 		out  = flag.String("o", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
 		full = flag.Bool("full", false, "also benchmark the ORNoC/CTORing/XRing baselines")
 		milp = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
+		jstr = flag.String("j", "0", "comma-separated Parallelism settings to time (0 = all CPUs, 1 = sequential), e.g. 1,4")
 	)
 	flag.Parse()
+	jvals, err := parseJobs(*jstr)
+	if err != nil {
+		fatal(err)
+	}
 
 	date := time.Now().Format("2006-01-02")
 	path := *out
@@ -92,35 +103,42 @@ func main() {
 	if *full {
 		methods = sring.Methods()
 	}
-	opt := sring.Options{UseMILP: *milp}
 
 	snap := snapshot{
 		Date:      date,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
 		MILP:      *milp,
 	}
 	for _, app := range sring.Benchmarks() {
 		for _, m := range methods {
-			app, m := app, m
-			r := testingBenchmark(func() error {
-				_, err := sring.Synthesize(app, m, opt)
-				return err
-			})
-			if r.err != nil {
-				fmt.Fprintf(os.Stderr, "bench: %s/%s: %v\n", app.Name, m, r.err)
-				os.Exit(1)
+			for _, j := range jvals {
+				app, m, j := app, m, j
+				opt := sring.Options{UseMILP: *milp, Parallelism: j}
+				r := testingBenchmark(func() error {
+					_, err := sring.Synthesize(app, m, opt)
+					return err
+				})
+				if r.err != nil {
+					fmt.Fprintf(os.Stderr, "bench: %s/%s: %v\n", app.Name, m, r.err)
+					os.Exit(1)
+				}
+				name := fmt.Sprintf("Synthesize/%s/%s", app.Name, m)
+				if len(jvals) > 1 {
+					name = fmt.Sprintf("%s/j=%d", name, j)
+				}
+				snap.Entries = append(snap.Entries, entry{
+					Name:        name,
+					Parallelism: j,
+					NsPerOp:     r.nsPerOp,
+					AllocsPerOp: r.allocsPerOp,
+					BytesPerOp:  r.bytesPerOp,
+					Runs:        r.n,
+				})
+				fmt.Printf("%-32s %12.0f ns/op %10d allocs/op\n", name, r.nsPerOp, r.allocsPerOp)
 			}
-			name := fmt.Sprintf("Synthesize/%s/%s", app.Name, m)
-			snap.Entries = append(snap.Entries, entry{
-				Name:        name,
-				NsPerOp:     r.nsPerOp,
-				AllocsPerOp: r.allocsPerOp,
-				BytesPerOp:  r.bytesPerOp,
-				Runs:        r.n,
-			})
-			fmt.Printf("%-28s %12.0f ns/op %10d allocs/op\n", name, r.nsPerOp, r.allocsPerOp)
 		}
 	}
 
@@ -138,6 +156,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("snapshot written to %s\n", path)
+}
+
+// parseJobs parses the -j comma list ("1,4") into parallelism values.
+func parseJobs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -j value %q: want a comma list of non-negative integers", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 
 	"sring"
 	"sring/internal/obs"
+	"sring/internal/par"
 	"sring/internal/randsol"
 	"sring/internal/report"
 	"sring/internal/ring"
@@ -39,6 +40,7 @@ func main() {
 		extended = flag.Bool("extended", false, "also evaluate the extension benchmarks (PIP, H263, MP3, MMS)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		jobs     = flag.Int("j", 0, "benchmark-grid worker count (0 = all CPUs, 1 = sequential; tables are identical either way, but Table II runtimes reflect the concurrent run)")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -63,7 +65,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := sring.Options{UseMILP: *useMILP}
+	// Each synthesis runs sequentially (Parallelism 1): the benchmark ×
+	// method grid below is the unit of -j parallelism, and the results are
+	// identical to the sequential run by the pipeline's determinism
+	// guarantee.
+	opt := sring.Options{UseMILP: *useMILP, Parallelism: 1}
 
 	var rows []report.Row
 	runtimes := make(map[string]time.Duration)
@@ -74,47 +80,80 @@ func main() {
 		apps = append(apps, sring.ExtendedBenchmarks()...)
 	}
 	if *table1 || *fig7 || *table2 {
+		type cell struct {
+			app *sring.Application
+			m   sring.Method
+		}
+		var grid []cell
 		for _, app := range apps {
 			benchOrder = append(benchOrder, app.Name)
 			for _, m := range sring.Methods() {
-				mopt := opt
-				var rec *sring.Recorder
-				if *table2 && m == sring.MethodSRing {
-					rec = sring.NewRecorder()
-					mopt.Recorder = rec
+				grid = append(grid, cell{app, m})
+			}
+		}
+		type cellResult struct {
+			row      report.Row
+			runtime  time.Duration
+			stage    report.StageTiming
+			hasStage bool
+			err      error
+		}
+		results := make([]cellResult, len(grid))
+		par.ForEach(*jobs, len(grid), func(i int) {
+			app, m := grid[i].app, grid[i].m
+			out := &results[i]
+			mopt := opt
+			var rec *sring.Recorder
+			if *table2 && m == sring.MethodSRing {
+				rec = sring.NewRecorder()
+				mopt.Recorder = rec
+			}
+			d, err := sring.Synthesize(app, m, mopt)
+			if err != nil {
+				out.err = err
+				return
+			}
+			if rec != nil {
+				t := rec.Snapshot()
+				out.stage = report.StageTiming{
+					Total:   d.SynthesisTime,
+					Cluster: t.SumDuration("cluster.synthesize"),
+					Layout:  t.SumDuration("design.layout"),
+					Assign:  t.SumDuration("wavelength.assign"),
+					MILP:    t.SumDuration("wavelength.milp"),
+					PDN:     t.SumDuration("design.pdn"),
 				}
-				d, err := sring.Synthesize(app, m, mopt)
-				if err != nil {
-					fatal(err)
-				}
-				if rec != nil {
-					t := rec.Snapshot()
-					stages[app.Name] = report.StageTiming{
-						Total:   d.SynthesisTime,
-						Cluster: t.SumDuration("cluster.synthesize"),
-						Layout:  t.SumDuration("design.layout"),
-						Assign:  t.SumDuration("wavelength.assign"),
-						MILP:    t.SumDuration("wavelength.milp"),
-						PDN:     t.SumDuration("design.pdn"),
-					}
-				}
-				met, err := d.Metrics()
-				if err != nil {
-					fatal(err)
-				}
-				rows = append(rows, report.Row{
-					Benchmark:         app.Name,
-					Method:            string(m),
-					LongestPathMM:     met.LongestPathMM,
-					WorstILdB:         met.WorstILdB,
-					MaxSplitters:      met.MaxSplitters,
-					WorstILAlldB:      met.WorstILAlldB,
-					NumWavelengths:    met.NumWavelengths,
-					TotalLaserPowerMW: met.TotalLaserPowerMW,
-				})
-				if m == sring.MethodSRing {
-					runtimes[app.Name] = d.SynthesisTime
-				}
+				out.hasStage = true
+			}
+			met, err := d.Metrics()
+			if err != nil {
+				out.err = err
+				return
+			}
+			out.row = report.Row{
+				Benchmark:         app.Name,
+				Method:            string(m),
+				LongestPathMM:     met.LongestPathMM,
+				WorstILdB:         met.WorstILdB,
+				MaxSplitters:      met.MaxSplitters,
+				WorstILAlldB:      met.WorstILAlldB,
+				NumWavelengths:    met.NumWavelengths,
+				TotalLaserPowerMW: met.TotalLaserPowerMW,
+			}
+			if m == sring.MethodSRing {
+				out.runtime = d.SynthesisTime
+			}
+		})
+		for i, r := range results {
+			if r.err != nil {
+				fatal(r.err)
+			}
+			rows = append(rows, r.row)
+			if r.hasStage {
+				stages[grid[i].app.Name] = r.stage
+			}
+			if grid[i].m == sring.MethodSRing {
+				runtimes[grid[i].app.Name] = r.runtime
 			}
 		}
 	}

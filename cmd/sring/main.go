@@ -33,7 +33,8 @@ func main() {
 		appFile    = flag.String("app", "", "JSON application file (alternative to -bench)")
 		methodName = flag.String("method", "SRing", "synthesis method: SRing, ORNoC, CTORing, XRing")
 		useMILP    = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
-		milpLimit  = flag.Duration("milp-timeout", 10*time.Second, "MILP time limit")
+		milpLimit  = flag.Duration("milp-timeout", sring.DefaultMILPTimeLimit, "MILP time limit")
+		jobs       = flag.Int("j", 0, "synthesis worker count (0 = all CPUs, 1 = sequential; same design either way)")
 		treeHeight = flag.Int("tree-height", 0, "SRing L_max search tree height h (0 = default 6)")
 		verbose    = flag.Bool("v", false, "print rings and per-path detail")
 		svgFile    = flag.String("svg", "", "write the layout as SVG to this file")
@@ -64,6 +65,7 @@ func main() {
 		UseMILP:       *useMILP,
 		MILPTimeLimit: *milpLimit,
 		TreeHeight:    *treeHeight,
+		Parallelism:   *jobs,
 		Recorder:      rec,
 	})
 	if err != nil {

@@ -29,8 +29,13 @@ import (
 	"sring/internal/fault"
 	"sring/internal/lambdarouter"
 	"sring/internal/obs"
+	"sring/internal/par"
 	"sring/internal/sim"
 )
+
+// jobs is the -j worker count, used both inside each synthesis (solver and
+// clustering parallelism) and to fan the benchmark × method grids out.
+var jobs int
 
 func main() {
 	var (
@@ -45,6 +50,7 @@ func main() {
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	flag.IntVar(&jobs, "j", 0, "worker count (0 = all CPUs, 1 = sequential; identical results either way)")
 	flag.Parse()
 	if !*sensitivity && !*traffic && !*density && !*crossbar && !*scale && !*resources && !*milpgap {
 		flag.Usage()
@@ -97,7 +103,7 @@ func runMILPGap() {
 		"benchmark", "heuristic", "final", "bound", "exact", "nodes")
 	for _, app := range sring.Benchmarks() {
 		d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{
-			UseMILP: true, MILPTimeLimit: 20 * time.Second,
+			UseMILP: true, MILPTimeLimit: 20 * time.Second, Parallelism: jobs,
 		})
 		if err != nil {
 			fatal(err)
@@ -121,24 +127,50 @@ func runResources() {
 	fmt.Println("=== device cost and single-fault exposure ===")
 	fmt.Printf("%-10s %-9s %8s %8s %8s %10s %12s %12s\n",
 		"benchmark", "method", "sndMRR", "rcvMRR", "split", "wg[mm]", "worst snd", "worst seg")
+	forEachGridCell(func(app *sring.Application, m sring.Method) (string, error) {
+		d, err := sring.Synthesize(app, m, sring.Options{Parallelism: 1})
+		if err != nil {
+			return "", err
+		}
+		met, err := d.Metrics()
+		if err != nil {
+			return "", err
+		}
+		rep, err := fault.Analyze(d)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%-10s %-9s %8d %8d %8d %10.2f %12d %12d\n",
+			app.Name, m, met.SenderMRRs, met.ReceiverMRRs, met.TotalSplitters,
+			met.TotalWaveguideMM, rep.WorstSenderLoss, rep.WorstSegmentLoss), nil
+	})
+}
+
+// forEachGridCell runs fn over the benchmark × method grid on the -j worker
+// count — each cell runs its synthesis sequentially (Parallelism 1 inside
+// fn) so the grid itself is the unit of parallelism — and prints the
+// returned rows in grid order regardless of completion order.
+func forEachGridCell(fn func(app *sring.Application, m sring.Method) (string, error)) {
+	type cell struct {
+		app *sring.Application
+		m   sring.Method
+	}
+	var grid []cell
 	for _, app := range sring.Benchmarks() {
 		for _, m := range sring.Methods() {
-			d, err := sring.Synthesize(app, m, sring.Options{})
-			if err != nil {
-				fatal(err)
-			}
-			met, err := d.Metrics()
-			if err != nil {
-				fatal(err)
-			}
-			rep, err := fault.Analyze(d)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("%-10s %-9s %8d %8d %8d %10.2f %12d %12d\n",
-				app.Name, m, met.SenderMRRs, met.ReceiverMRRs, met.TotalSplitters,
-				met.TotalWaveguideMM, rep.WorstSenderLoss, rep.WorstSegmentLoss)
+			grid = append(grid, cell{app, m})
 		}
+	}
+	rows := make([]string, len(grid))
+	errs := make([]error, len(grid))
+	par.ForEach(jobs, len(grid), func(i int) {
+		rows[i], errs[i] = fn(grid[i].app, grid[i].m)
+	})
+	for i := range grid {
+		if errs[i] != nil {
+			fatal(errs[i])
+		}
+		fmt.Print(rows[i])
 	}
 }
 
@@ -155,7 +187,7 @@ func runScale() {
 				continue // the uncapped paper algorithm is O(n^2) growths per L_max
 			}
 			start := time.Now()
-			d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{ClusterTrials: trials})
+			d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{ClusterTrials: trials, Parallelism: jobs})
 			if err != nil {
 				fatal(err)
 			}
@@ -191,7 +223,7 @@ func runCrossbar() {
 		if err != nil {
 			fatal(err)
 		}
-		ct, err := sring.Synthesize(app, sring.MethodCTORing, sring.Options{})
+		ct, err := sring.Synthesize(app, sring.MethodCTORing, sring.Options{Parallelism: jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -199,7 +231,7 @@ func runCrossbar() {
 		if err != nil {
 			fatal(err)
 		}
-		sr, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{})
+		sr, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{Parallelism: jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -222,11 +254,11 @@ func runDensity() {
 		"#M", "density", "SRing P[mW]", "CTORing P[mW]", "SRing #wl", "CTOR #wl")
 	for _, m := range []int{12, 18, 24, 36, 48, 72, 96} {
 		app := sring.RandomApplication(12, m, 3)
-		sr, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{})
+		sr, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{Parallelism: jobs})
 		if err != nil {
 			fatal(err)
 		}
-		ct, err := sring.Synthesize(app, sring.MethodCTORing, sring.Options{})
+		ct, err := sring.Synthesize(app, sring.MethodCTORing, sring.Options{Parallelism: jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -271,7 +303,7 @@ func runSensitivity() {
 		wins := 0
 		total := 0
 		for _, app := range sring.Benchmarks() {
-			res, err := sring.Evaluate(app, sring.Options{Tech: s.tech})
+			res, err := sring.Evaluate(app, sring.Options{Tech: s.tech, Parallelism: jobs})
 			if err != nil {
 				fatal(err)
 			}
@@ -297,24 +329,22 @@ func runTraffic(load float64) {
 	fmt.Printf("=== packet-level comparison (load %.2f, 10 Gb/s per λ, 1 µs) ===\n", load)
 	fmt.Printf("%-10s %-9s %10s %12s %12s %12s\n",
 		"benchmark", "method", "packets", "avg lat[ns]", "thrpt[Gb/s]", "pJ/bit")
-	for _, app := range sring.Benchmarks() {
-		for _, m := range sring.Methods() {
-			d, err := sring.Synthesize(app, m, sring.Options{})
-			if err != nil {
-				fatal(err)
-			}
-			res, err := sim.Run(d, sim.Config{Seed: 7, Load: load})
-			if err != nil {
-				fatal(err)
-			}
-			if res.Collisions != 0 {
-				fatal(fmt.Errorf("%s/%s: %d collisions in a valid design", app.Name, m, res.Collisions))
-			}
-			fmt.Printf("%-10s %-9s %10d %12.2f %12.2f %12.5f\n",
-				app.Name, m, res.PacketsDelivered, res.AvgLatencyNS,
-				res.ThroughputGbps, res.LaserEnergyPJPerBit)
+	forEachGridCell(func(app *sring.Application, m sring.Method) (string, error) {
+		d, err := sring.Synthesize(app, m, sring.Options{Parallelism: 1})
+		if err != nil {
+			return "", err
 		}
-	}
+		res, err := sim.Run(d, sim.Config{Seed: 7, Load: load})
+		if err != nil {
+			return "", err
+		}
+		if res.Collisions != 0 {
+			return "", fmt.Errorf("%s/%s: %d collisions in a valid design", app.Name, m, res.Collisions)
+		}
+		return fmt.Sprintf("%-10s %-9s %10d %12.2f %12.2f %12.5f\n",
+			app.Name, m, res.PacketsDelivered, res.AvgLatencyNS,
+			res.ThroughputGbps, res.LaserEnergyPJPerBit), nil
+	})
 }
 
 func fatal(err error) {

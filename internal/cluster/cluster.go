@@ -20,6 +20,7 @@ import (
 
 	"sring/internal/netlist"
 	"sring/internal/obs"
+	"sring/internal/par"
 	"sring/internal/ring"
 )
 
@@ -34,6 +35,13 @@ type Options struct {
 	// larger networks a cap trades a little quality for a lot of runtime.
 	// Zero means unlimited (the paper's behaviour).
 	MaxInitialTrials int
+	// Parallelism is the number of concurrent L_max feasibility probes:
+	// 0 means GOMAXPROCS, 1 means the plain sequential search. Candidate
+	// bounds in the current candidate's BST subtree are probed
+	// speculatively while the binary search consumes verdicts in its
+	// sequential descent order, so the selected L_max and the returned
+	// construction are bit-identical to the sequential run.
+	Parallelism int
 	// Obs, when non-nil, is the parent span under which the construction
 	// records its telemetry: the L_max binary search (one child span per
 	// evaluated bound with its feasibility verdict), absorption-step
@@ -89,18 +97,25 @@ func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
 	sp.SetFloat("d1", d1)
 	sp.SetFloat("d2", d2)
 
-	// tryBound evaluates one L_max candidate under its own span, so the
-	// trace shows the whole descent with per-bound verdicts.
-	tryBound := func(lmax float64) *Result {
+	// recordBound wraps one consumed candidate verdict in its own span, so
+	// the trace shows the whole descent in selection order regardless of
+	// when (or on which goroutine) the probe actually ran.
+	recordBound := func(lmax float64, sol *Result) {
 		iters.Add(1)
 		bsp := sp.StartSpan("cluster.bound")
 		bsp.SetFloat("lmax", lmax)
-		sol := buildSolution(app, adj, lmax, opt.MaxInitialTrials, absorb)
 		bsp.SetBool("feasible", sol != nil)
 		if sol != nil {
 			bsp.SetInt("clusters", int64(len(sol.Clusters)))
 		}
 		bsp.End()
+	}
+
+	// tryBound evaluates one L_max candidate inline (the sequential path,
+	// also used for the fallback bounds below).
+	tryBound := func(lmax float64) *Result {
+		sol := buildSolution(app, adj, lmax, opt.MaxInitialTrials, absorb)
+		recordBound(lmax, sol)
 		return sol
 	}
 
@@ -111,6 +126,11 @@ func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
 	valueAt := func(k int) float64 { // k in 1..count
 		return d1 + float64(k)*(d2-d1)/float64(int(1)<<h)
 	}
+	var pb *prober
+	if workers := par.Resolve(opt.Parallelism); workers > 1 {
+		pb = newProber(app, adj, opt.MaxInitialTrials, valueAt, workers)
+		defer pb.close(sp.Recorder())
+	}
 	var best *Result
 	evaluated := 0
 	lo, hi := 1, count
@@ -118,7 +138,17 @@ func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
 		mid := (lo + hi) / 2
 		lmax := valueAt(mid)
 		evaluated++
-		if sol := tryBound(lmax); sol != nil {
+		var sol *Result
+		if pb != nil {
+			pb.speculate(lo, hi)
+			var absorbs int64
+			sol, absorbs = pb.get(mid)
+			absorb.Add(absorbs)
+			recordBound(lmax, sol)
+		} else {
+			sol = tryBound(lmax)
+		}
+		if sol != nil {
 			sol.Lmax = lmax
 			best = sol
 			hi = mid - 1

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"sync"
+
+	"sring/internal/netlist"
+	"sring/internal/obs"
+)
+
+// probe is one speculative buildSolution run for a candidate L_max index.
+// The goroutine writes sol and its local absorption count, then closes done;
+// the channel close orders those writes before the search loop's reads.
+type probe struct {
+	done    chan struct{}
+	sol     *Result
+	absorbs obs.Counter
+}
+
+// prober runs L_max feasibility probes concurrently while the binary search
+// keeps its exact sequential descent. buildSolution is a pure function of
+// (app, adj, lmax, maxTrials), so probing a candidate early cannot change
+// its verdict — only when it is computed. At every search step the prober
+// speculatively starts the probes the descent could visit next (the
+// candidate's BST subtree, breadth-first: both children before either
+// grandchild), and the search consumes verdicts strictly in its own order,
+// so the selected L_max, the absorption totals and every recorded bound
+// span match the sequential run exactly. Only the cluster.spec.* counters
+// are timing-dependent.
+type prober struct {
+	app       *netlist.Application
+	adj       map[netlist.NodeID][]netlist.NodeID
+	maxTrials int
+	valueAt   func(k int) float64
+	workers   int
+
+	wg        sync.WaitGroup
+	probes    map[int]*probe // candidate index -> run; search goroutine only
+	scheduled int64
+	consumed  int64
+}
+
+func newProber(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID,
+	maxTrials int, valueAt func(k int) float64, workers int) *prober {
+	return &prober{
+		app:       app,
+		adj:       adj,
+		maxTrials: maxTrials,
+		valueAt:   valueAt,
+		workers:   workers,
+		probes:    map[int]*probe{},
+	}
+}
+
+// launch starts the probe for candidate k unless it is already running.
+func (pb *prober) launch(k int) {
+	if _, ok := pb.probes[k]; ok {
+		return
+	}
+	pr := &probe{done: make(chan struct{})}
+	pb.probes[k] = pr
+	pb.scheduled++
+	pb.wg.Add(1)
+	go func() {
+		defer pb.wg.Done()
+		defer close(pr.done)
+		pr.sol = buildSolution(pb.app, pb.adj, pb.valueAt(k), pb.maxTrials, &pr.absorbs)
+	}()
+}
+
+// speculate starts probes for up to `workers` candidates reachable from the
+// current search interval [lo, hi]: the interval's mid (the value the search
+// needs right now) plus its possible descendants in BST breadth-first
+// order, so the likeliest next candidates go first.
+func (pb *prober) speculate(lo, hi int) {
+	queue := [][2]int{{lo, hi}}
+	for budget := pb.workers; budget > 0 && len(queue) > 0; {
+		iv := queue[0]
+		queue = queue[1:]
+		if iv[0] > iv[1] {
+			continue
+		}
+		mid := (iv[0] + iv[1]) / 2
+		pb.launch(mid)
+		budget--
+		queue = append(queue, [2]int{iv[0], mid - 1}, [2]int{mid + 1, iv[1]})
+	}
+}
+
+// get blocks until candidate k's probe finishes and returns its solution
+// plus the absorption count its growth performed. The caller adds the count
+// to the shared counter, so absorption telemetry accumulates in consumption
+// order — identical to the sequential run; wasted probes contribute nothing.
+func (pb *prober) get(k int) (*Result, int64) {
+	pr, ok := pb.probes[k]
+	if !ok {
+		// Defensive: speculate always launches the current mid first, but
+		// solve inline rather than rely on that.
+		var local obs.Counter
+		return buildSolution(pb.app, pb.adj, pb.valueAt(k), pb.maxTrials, &local), local.Value()
+	}
+	<-pr.done
+	pb.consumed++
+	return pr.sol, pr.absorbs.Value()
+}
+
+// close waits for outstanding speculative probes and flushes the
+// speculation diagnostics.
+func (pb *prober) close(rec *obs.Recorder) {
+	pb.wg.Wait()
+	rec.Add("cluster.spec.scheduled", pb.scheduled)
+	rec.Add("cluster.spec.wasted", pb.scheduled-pb.consumed)
+}

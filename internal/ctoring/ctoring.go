@@ -28,8 +28,12 @@ type Options struct {
 	Design design.Options
 	// UseMILP enables the exact assignment polish.
 	UseMILP bool
-	// MILPTimeLimit bounds the exact solve (zero: wavelength default).
+	// MILPTimeLimit bounds the exact solve (zero: the pipeline default,
+	// milp.DefaultTimeLimit).
 	MILPTimeLimit time.Duration
+	// Parallelism is the worker count for the exact solve (0 = GOMAXPROCS,
+	// 1 = sequential); the result is bit-identical either way.
+	Parallelism int
 }
 
 // Synthesize builds the CTORing design for the application.
@@ -53,6 +57,7 @@ func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
 		Weights:       wavelength.Weights{Alpha: 1, Beta: 1, Gamma: 1, SplitterStageDB: 0},
 		UseMILP:       opt.UseMILP,
 		MILPTimeLimit: opt.MILPTimeLimit,
+		Parallelism:   opt.Parallelism,
 	}
 	d, err := design.Finish(app, "CTORing", []*ring.Ring{cw, ccw}, paths, dopt)
 	if err != nil {

@@ -98,11 +98,8 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 			return nil, fmt.Errorf("design: path %d rides unknown ring %d", i, p.RingID)
 		}
 	}
-	tech := opt.Tech
-	if tech == (loss.Tech{}) {
-		tech = loss.Default()
-	}
-	if err := tech.Validate(); err != nil {
+	tech, err := loss.Normalize(opt.Tech)
+	if err != nil {
 		return nil, err
 	}
 

@@ -103,6 +103,37 @@ func (t Tech) Validate() error {
 	return nil
 }
 
+// IsZero reports whether t is the zero value, which the pipeline treats as
+// "use Default()".
+func (t Tech) IsZero() bool { return t == Tech{} }
+
+// Normalize maps a caller-supplied Tech to the one the pipeline should use:
+// the zero value becomes Default(), anything else must pass Validate plus a
+// plausibility check that catches partially populated structs — the classic
+// mistake of setting a couple of loss fields and leaving the rest zero,
+// which Validate alone accepts and which silently yields meaningless power
+// numbers. Every synthesis entry point (sring.Synthesize, the baselines,
+// design.Finish) normalises through here, so a nonsensical parameter set
+// fails the same way everywhere.
+func Normalize(t Tech) (Tech, error) {
+	if t.IsZero() {
+		return Default(), nil
+	}
+	if err := t.Validate(); err != nil {
+		return Tech{}, err
+	}
+	// A real technology always divides power in the PDN and has a finite
+	// detector floor strictly below 0 dBm. Zero values here mean the struct
+	// was part-filled, not that the technology is lossless.
+	if t.SplitRatioDB == 0 {
+		return Tech{}, fmt.Errorf("loss: SplitRatioDB is 0: a 1x2 splitter stage always divides power (3 dB for 50/50); start from loss.Default() and override fields instead of building a Tech from scratch")
+	}
+	if t.DetectorSensitivityDBm == 0 {
+		return Tech{}, fmt.Errorf("loss: DetectorSensitivityDBm is 0: set the receiver sensitivity floor (e.g. -26 dBm); start from loss.Default() and override fields instead of building a Tech from scratch")
+	}
+	return t, nil
+}
+
 // SplitterStageDB is the loss a signal's laser power suffers per 1x2
 // splitter stage: excess loss plus the 3 dB power division. This is the
 // paper's L_sp constant.

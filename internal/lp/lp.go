@@ -293,16 +293,27 @@ func SolveInstrumented(p *Problem, deadline time.Time, rec *obs.Recorder) (*Solu
 	if err != nil {
 		return nil, err
 	}
-	if rec != nil {
-		rec.Add("lp.solves", 1)
-		rec.Add("lp.pivots.phase1", int64(sol.Phase1Pivots))
-		rec.Add("lp.pivots.phase2", int64(sol.Phase2Pivots))
-		if sol.BlandPivots > 0 {
-			rec.Add("lp.bland_pivots", int64(sol.BlandPivots))
-			rec.Add("lp.bland_activations", 1)
-		}
-	}
+	AccumulateStats(rec, sol)
 	return sol, nil
+}
+
+// AccumulateStats records a solution's pivot counters onto the recorder's
+// lp.* counters. It exists separately from SolveInstrumented so callers
+// that solve speculatively (the parallel branch-and-bound worker pool) can
+// defer counter attribution to the moment a solution is actually consumed,
+// keeping the recorded counts identical to a sequential run. Nil recorder
+// or solution is a no-op.
+func AccumulateStats(rec *obs.Recorder, sol *Solution) {
+	if rec == nil || sol == nil {
+		return
+	}
+	rec.Add("lp.solves", 1)
+	rec.Add("lp.pivots.phase1", int64(sol.Phase1Pivots))
+	rec.Add("lp.pivots.phase2", int64(sol.Phase2Pivots))
+	if sol.BlandPivots > 0 {
+		rec.Add("lp.bland_pivots", int64(sol.BlandPivots))
+		rec.Add("lp.bland_activations", 1)
+	}
 }
 
 func solve(p *Problem, deadline time.Time) (*Solution, error) {

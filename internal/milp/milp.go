@@ -37,13 +37,30 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
+// DefaultTimeLimit is the wall-clock budget applied when Options.TimeLimit
+// is zero. It is the single default for the whole pipeline: the wavelength
+// assignment and the public sring.Options pass a zero limit through to
+// here rather than substituting their own.
+const DefaultTimeLimit = 10 * time.Second
+
 // Options tunes the branch-and-bound search.
 type Options struct {
-	// TimeLimit bounds the wall-clock search time. Zero means 60 s.
+	// TimeLimit bounds the wall-clock search time. Zero means
+	// DefaultTimeLimit (10 s). The deadline is enforced inside LP pivot
+	// iterations too, so a single long relaxation cannot overshoot it.
 	TimeLimit time.Duration
 	// NodeLimit bounds the number of explored branch-and-bound nodes.
 	// Zero means 200000.
 	NodeLimit int
+	// Parallelism is the number of workers evaluating LP relaxations of
+	// frontier nodes concurrently: 0 means GOMAXPROCS, 1 means the plain
+	// sequential solve. Workers evaluate the best-first frontier
+	// speculatively while results are committed in the canonical heap
+	// order (bound, then node sequence number), so the returned solution
+	// — explored-node count, incumbents, bound, X — is bit-identical to
+	// the sequential solve whenever the search completes within its
+	// limits.
+	Parallelism int
 	// Incumbent optionally seeds the search with a known feasible solution
 	// (e.g. from a heuristic); it is validated before use.
 	Incumbent []float64
@@ -125,18 +142,24 @@ type node struct {
 	seq   int // tie-break for determinism
 }
 
+// nodeLess is the canonical search order: best bound first, then deeper
+// nodes (incumbents surface sooner), then the higher sequence number. The
+// heap and the speculative prefetcher both rank by it, which is what makes
+// the parallel solve commit nodes in the sequential order.
+func nodeLess(a, b *node) bool {
+	if a.bound != b.bound {
+		return a.bound < b.bound
+	}
+	if a.depth != b.depth {
+		return a.depth > b.depth // deeper first: find incumbents sooner
+	}
+	return a.seq > b.seq
+}
+
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].bound != h[j].bound {
-		return h[i].bound < h[j].bound
-	}
-	if h[i].depth != h[j].depth {
-		return h[i].depth > h[j].depth // deeper first: find incumbents sooner
-	}
-	return h[i].seq > h[j].seq
-}
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return nodeLess(h[i], h[j]) }
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() interface{} {
@@ -227,16 +250,18 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 
 	timeLimit := opt.TimeLimit
 	if timeLimit == 0 {
-		timeLimit = 60 * time.Second
+		timeLimit = DefaultTimeLimit
 	}
 	nodeLimit := opt.NodeLimit
 	if nodeLimit == 0 {
 		nodeLimit = 200000
 	}
 	deadline := time.Now().Add(timeLimit)
-	// LP solves respect the same deadline with a small grace period so a
-	// single long relaxation cannot overshoot the budget.
-	lpDeadline := deadline.Add(timeLimit / 4)
+	// LP solves share the exact same deadline: the simplex checks it
+	// between pivots and returns IterLimit, which the search records as an
+	// unresolved node, so one long relaxation cannot overshoot TimeLimit.
+	eval := newEvaluator(p, opt.Parallelism, deadline, rec)
+	defer eval.close()
 
 	res := &Result{Status: Unknown, Objective: math.Inf(1), Bound: math.Inf(-1)}
 	defer func() {
@@ -257,6 +282,7 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 		res.X = append([]float64(nil), opt.Incumbent...)
 		res.Objective = obj
 		res.Status = Feasible
+		eval.publish(obj)
 	}
 
 	seq := 0
@@ -279,7 +305,7 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 		res.Nodes++
 		nodesC.Add(1)
 
-		sol, err := solveRelaxation(p, nd, lpDeadline, rec)
+		sol, err := eval.solve(nd, open)
 		if err != nil {
 			return nil, err
 		}
@@ -310,6 +336,7 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 			res.Objective = sol.Objective
 			res.Status = Feasible
 			incumbentsC.Add(1)
+			eval.publish(res.Objective)
 			if sp.Enabled() {
 				// Gap trajectory point: the new incumbent against the
 				// tightest proven lower bound at this moment (the best
@@ -370,9 +397,11 @@ func child(parent *node, seq *int, bound float64) *node {
 	return c
 }
 
-// solveRelaxation solves the node's LP: the root LP plus bound rows.
-// Pivot counts accumulate onto rec's lp.* counters.
-func solveRelaxation(p *Problem, nd *node, deadline time.Time, rec *obs.Recorder) (*lp.Solution, error) {
+// solveRelaxation solves the node's LP: the root LP plus bound rows. It is
+// a pure function of (p, nd) apart from the deadline cutoff, which is what
+// lets the parallel evaluator solve nodes speculatively. Pivot counters are
+// attributed by the caller (lp.AccumulateStats) when a solution is consumed.
+func solveRelaxation(p *Problem, nd *node, deadline time.Time) (*lp.Solution, error) {
 	sub := lp.Problem{
 		NumVars:     p.LP.NumVars,
 		Objective:   p.LP.Objective,
@@ -387,7 +416,7 @@ func solveRelaxation(p *Problem, nd *node, deadline time.Time, rec *obs.Recorder
 	for v, hi := range nd.upper {
 		sub.AddConstraint(lp.LE, hi, map[int]float64{v: 1})
 	}
-	return lp.SolveInstrumented(&sub, deadline, rec)
+	return lp.SolveDeadline(&sub, deadline)
 }
 
 // mostFractional returns the integer variable whose LP value is farthest

@@ -1,0 +1,221 @@
+package milp
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sring/internal/lp"
+	"sring/internal/obs"
+	"sring/internal/par"
+)
+
+// evaluator abstracts how solveBB obtains LP relaxation solutions for the
+// nodes it explores. The sequential implementation solves inline; the
+// parallel one pre-solves frontier nodes speculatively on a worker pool.
+// Either way the main loop consumes solutions in its own (canonical) order,
+// so the search trajectory is identical.
+type evaluator interface {
+	// solve returns the LP relaxation solution for nd. open is the current
+	// frontier, which a speculative implementation may scan to schedule
+	// work ahead; it must not be mutated.
+	solve(nd *node, open *nodeHeap) (*lp.Solution, error)
+	// publish announces a new (lower) incumbent objective so speculative
+	// workers can skip nodes the main loop is guaranteed to prune.
+	publish(objective float64)
+	// close stops any workers and flushes speculation telemetry.
+	close()
+}
+
+// newEvaluator picks the implementation for the resolved worker count.
+func newEvaluator(p *Problem, parallelism int, deadline time.Time, rec *obs.Recorder) evaluator {
+	if workers := par.Resolve(parallelism); workers > 1 {
+		return newPrefetcher(p, workers, deadline, rec)
+	}
+	return &inlineEvaluator{p: p, deadline: deadline, rec: rec}
+}
+
+// inlineEvaluator is the sequential path: every relaxation is solved on the
+// calling goroutine at the moment the main loop needs it.
+type inlineEvaluator struct {
+	p        *Problem
+	deadline time.Time
+	rec      *obs.Recorder
+}
+
+func (e *inlineEvaluator) solve(nd *node, _ *nodeHeap) (*lp.Solution, error) {
+	sol, err := solveRelaxation(e.p, nd, e.deadline)
+	if err == nil {
+		lp.AccumulateStats(e.rec, sol)
+	}
+	return sol, err
+}
+
+func (e *inlineEvaluator) publish(float64) {}
+func (e *inlineEvaluator) close()          {}
+
+// lpFuture is one speculative relaxation solve. The worker writes sol/err
+// (or skipped) and then closes done; the channel close orders those writes
+// before the main loop's reads.
+type lpFuture struct {
+	nd      *node
+	done    chan struct{}
+	sol     *lp.Solution
+	err     error
+	skipped bool // worker declined: the node is certain to be pruned
+}
+
+// prefetcher solves LP relaxations of likely-next frontier nodes on a pool
+// of workers while the main loop runs the exact sequential control flow.
+//
+// Determinism: the main loop alone pops nodes, prunes, branches and accepts
+// incumbents — workers only ever compute solveRelaxation, a pure function of
+// (problem, node). A speculative result is consumed only when the main loop
+// reaches that node in canonical heap order, so explored-node counts,
+// incumbents, bounds and the final X match the sequential solve bit for bit.
+// LP pivot counters are attributed at consumption time (lp.AccumulateStats),
+// so lp.* telemetry matches the sequential run too; only the
+// milp.spec.scheduled / milp.spec.wasted diagnostics are timing-dependent.
+//
+// Workers skip a node when its parent bound already exceeds the published
+// incumbent: the incumbent is monotone non-increasing and published only by
+// the main loop, so the main loop's own prune test — the same inequality
+// against an equal-or-lower objective — is then guaranteed to discard the
+// node before asking for its solution. The consume path still re-solves
+// inline if a skipped future is ever reached, keeping exactness independent
+// of that argument.
+type prefetcher struct {
+	p        *Problem
+	deadline time.Time
+	rec      *obs.Recorder
+	workers  int
+
+	tasks chan *lpFuture
+	wg    sync.WaitGroup
+
+	// incumbent is the published incumbent objective as math.Float64bits
+	// (+Inf until the first incumbent). Written by the main loop, read by
+	// workers.
+	incumbent atomic.Uint64
+
+	// futures is touched only by the main goroutine (solve/close); workers
+	// see futures solely through the tasks channel.
+	futures   map[*node]*lpFuture
+	scheduled int64
+	consumed  int64
+}
+
+func newPrefetcher(p *Problem, workers int, deadline time.Time, rec *obs.Recorder) *prefetcher {
+	f := &prefetcher{
+		p:        p,
+		deadline: deadline,
+		rec:      rec,
+		workers:  workers,
+		tasks:    make(chan *lpFuture, 2*workers),
+		futures:  make(map[*node]*lpFuture),
+	}
+	f.incumbent.Store(math.Float64bits(math.Inf(1)))
+	f.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go f.worker()
+	}
+	return f
+}
+
+func (f *prefetcher) worker() {
+	defer f.wg.Done()
+	for fut := range f.tasks {
+		if inc := math.Float64frombits(f.incumbent.Load()); fut.nd.bound >= inc-1e-9 {
+			fut.skipped = true
+			close(fut.done)
+			continue
+		}
+		fut.sol, fut.err = solveRelaxation(f.p, fut.nd, f.deadline)
+		close(fut.done)
+	}
+}
+
+func (f *prefetcher) publish(objective float64) {
+	// Only the main loop publishes, and incumbents only improve, so a plain
+	// store keeps the value monotone non-increasing.
+	f.incumbent.Store(math.Float64bits(objective))
+}
+
+// prefetch schedules speculative solves for the nodes most likely to be
+// popped next: it scans a prefix of the heap's backing array (the heap
+// property keeps the best candidates near the front), ranks them with the
+// canonical nodeLess order, and hands out as many as the task queue accepts
+// without blocking.
+func (f *prefetcher) prefetch(open *nodeHeap) {
+	window := 2 * f.workers
+	scan := 4 * window
+	if scan > open.Len() {
+		scan = open.Len()
+	}
+	cand := make([]*node, 0, scan)
+	for _, nd := range (*open)[:scan] {
+		if _, ok := f.futures[nd]; !ok {
+			cand = append(cand, nd)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return nodeLess(cand[i], cand[j]) })
+	if len(cand) > window {
+		cand = cand[:window]
+	}
+	for _, nd := range cand {
+		fut := &lpFuture{nd: nd, done: make(chan struct{})}
+		select {
+		case f.tasks <- fut:
+			f.futures[nd] = fut
+			f.scheduled++
+		default:
+			return // queue full; workers are saturated
+		}
+	}
+}
+
+func (f *prefetcher) solve(nd *node, open *nodeHeap) (*lp.Solution, error) {
+	fut, ok := f.futures[nd]
+	if ok {
+		delete(f.futures, nd)
+	}
+	// Refill the speculation window before (possibly) blocking, so workers
+	// stay busy while the main loop waits.
+	f.prefetch(open)
+	if !ok {
+		sol, err := solveRelaxation(f.p, nd, f.deadline)
+		if err == nil {
+			lp.AccumulateStats(f.rec, sol)
+		}
+		return sol, err
+	}
+	<-fut.done
+	if fut.skipped {
+		// Unreachable per the skip argument in the type comment; re-solve
+		// inline so correctness never rests on it.
+		sol, err := solveRelaxation(f.p, nd, f.deadline)
+		if err == nil {
+			lp.AccumulateStats(f.rec, sol)
+		}
+		return sol, err
+	}
+	f.consumed++
+	if fut.err == nil {
+		lp.AccumulateStats(f.rec, fut.sol)
+	}
+	return fut.sol, fut.err
+}
+
+func (f *prefetcher) close() {
+	// Publishing −Inf makes workers skip everything still queued, so
+	// shutdown does not wait on stale LP solves.
+	f.incumbent.Store(math.Float64bits(math.Inf(-1)))
+	close(f.tasks)
+	f.wg.Wait()
+	if f.rec != nil {
+		f.rec.Add("milp.spec.scheduled", f.scheduled)
+		f.rec.Add("milp.spec.wasted", f.scheduled-f.consumed)
+	}
+}

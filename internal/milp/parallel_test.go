@@ -1,0 +1,187 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sring/internal/lp"
+	"sring/internal/obs"
+)
+
+// randomBinaryProgram builds a small random binary program (the same family
+// as TestRandomBinaryProgramsVsBruteForce, but larger so the search tree is
+// deep enough for speculation to matter).
+func randomBinaryProgram(rng *rand.Rand, n, m int) *Problem {
+	p := &Problem{
+		LP:      lp.Problem{NumVars: n, Objective: make([]float64, n)},
+		Integer: allInt(n),
+	}
+	for j := range p.LP.Objective {
+		p.LP.Objective[j] = math.Round(rng.Float64()*20 - 10)
+	}
+	for i := 0; i < m; i++ {
+		terms := map[int]float64{}
+		for j := 0; j < n; j++ {
+			if c := math.Round(rng.Float64() * 5); c != 0 {
+				terms[j] = c
+			}
+		}
+		p.LP.AddConstraint(lp.LE, math.Round(rng.Float64()*float64(3*n)), terms)
+	}
+	binaryBox(&p.LP)
+	return p
+}
+
+// hardKnapsack builds a knapsack with irrational-ish weights and a tight
+// capacity, whose LP relaxation is fractional at almost every node — the
+// search explores tens of nodes, enough for speculation to engage.
+func hardKnapsack(rng *rand.Rand, n int) *Problem {
+	p := &Problem{
+		LP:      lp.Problem{NumVars: n, Objective: make([]float64, n)},
+		Integer: allInt(n),
+	}
+	terms := map[int]float64{}
+	for j := 0; j < n; j++ {
+		p.LP.Objective[j] = -(1 + rng.Float64()*9) // maximise value
+		terms[j] = 1 + rng.Float64()*9
+	}
+	var tot float64
+	for _, w := range terms {
+		tot += w
+	}
+	p.LP.AddConstraint(lp.LE, tot/2, terms)
+	binaryBox(&p.LP)
+	return p
+}
+
+// TestParallelMatchesSequential is the core determinism contract: the
+// parallel solve must reproduce the sequential Result field for field —
+// same status, same X, same objective, same bound, same node count.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 24; trial++ {
+		var p *Problem
+		if trial%2 == 0 {
+			p = randomBinaryProgram(rng, 6+rng.Intn(6), 2+rng.Intn(4))
+		} else {
+			p = hardKnapsack(rng, 10+rng.Intn(6))
+		}
+		seq, err := Solve(p, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, err := Solve(p, Options{Parallelism: workers})
+			if err != nil {
+				t.Fatalf("trial %d parallelism %d: %v", trial, workers, err)
+			}
+			if got.Status != seq.Status {
+				t.Fatalf("trial %d parallelism %d: status %v, sequential %v", trial, workers, got.Status, seq.Status)
+			}
+			if got.Objective != seq.Objective || got.Bound != seq.Bound {
+				t.Fatalf("trial %d parallelism %d: objective/bound %v/%v, sequential %v/%v",
+					trial, workers, got.Objective, got.Bound, seq.Objective, seq.Bound)
+			}
+			if got.Nodes != seq.Nodes {
+				t.Fatalf("trial %d parallelism %d: %d nodes, sequential %d", trial, workers, got.Nodes, seq.Nodes)
+			}
+			if !reflect.DeepEqual(got.X, seq.X) {
+				t.Fatalf("trial %d parallelism %d: X diverged\n got %v\nwant %v", trial, workers, got.X, seq.X)
+			}
+		}
+	}
+}
+
+// TestParallelTelemetryMatchesSequential: LP pivot counters are attributed
+// at consumption time, so lp.* and milp.* counters (bar the spec.*
+// diagnostics) must be identical between sequential and parallel runs.
+func TestParallelTelemetryMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := hardKnapsack(rng, 14)
+
+	run := func(workers int) *obs.Recorder {
+		rec := obs.New()
+		sp := rec.StartSpan("test")
+		if _, err := Solve(p, Options{Parallelism: workers, Obs: sp}); err != nil {
+			t.Fatalf("parallelism %d: %v", workers, err)
+		}
+		sp.End()
+		return rec
+	}
+	seq, par := run(1), run(4)
+	for _, name := range []string{
+		"milp.nodes", "milp.incumbents",
+		"lp.solves", "lp.pivots.phase1", "lp.pivots.phase2",
+	} {
+		if s, g := seq.Counter(name).Value(), par.Counter(name).Value(); s != g {
+			t.Errorf("counter %s: parallel %d, sequential %d", name, g, s)
+		}
+	}
+	if par.Counter("milp.spec.scheduled").Value() == 0 {
+		t.Error("parallel run scheduled no speculative solves")
+	}
+}
+
+// TestParallelWithSeededIncumbent checks the publish path: a seeded
+// incumbent lets workers skip, and the result still matches sequential.
+func TestParallelWithSeededIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := hardKnapsack(rng, 12)
+	seq, err := Solve(p, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.X == nil {
+		t.Skip("random instance infeasible")
+	}
+	opts := Options{Parallelism: 4, Incumbent: seq.X}
+	got, err := Solve(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Solve(p, Options{Parallelism: 1, Incumbent: seq.X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != ref.Status || got.Objective != ref.Objective ||
+		got.Nodes != ref.Nodes || !reflect.DeepEqual(got.X, ref.X) {
+		t.Fatalf("seeded parallel diverged: got %+v want %+v", got, ref)
+	}
+}
+
+// TestParallelBruteForce re-runs the brute-force oracle with workers on, so
+// exactness (not just seq-equivalence) is checked under the pool.
+func TestParallelBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(4)
+		p := randomBinaryProgram(rng, n, 1+rng.Intn(3))
+		bestObj := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			x := make([]float64, n)
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					x[j] = 1
+				}
+			}
+			if obj, err := checkIncumbent(p, x); err == nil && obj < bestObj {
+				bestObj = obj
+			}
+		}
+		res, err := Solve(p, Options{Parallelism: 4})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.IsInf(bestObj, 1) {
+			if res.Status != Infeasible {
+				t.Fatalf("trial %d: status %v, want infeasible", trial, res.Status)
+			}
+			continue
+		}
+		if res.Status != Optimal || !approx(res.Objective, bestObj, 1e-6) {
+			t.Fatalf("trial %d: got %v obj %v, brute force %v", trial, res.Status, res.Objective, bestObj)
+		}
+	}
+}

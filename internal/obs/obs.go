@@ -9,6 +9,12 @@
 // simplex pivoting, branch and bound, wavelength assignment — and pays for
 // telemetry only when a caller opted in by constructing a Recorder.
 //
+// The whole API is safe for concurrent use: counters are atomic and each
+// span carries its own mutex, so workers of the parallel synthesis layer
+// can record attributes, events and child spans on sibling spans without
+// contending on a recorder-global lock. Snapshot observes a consistent
+// per-span state even while other goroutines are still recording.
+//
 // Typical use:
 //
 //	rec := obs.New()
@@ -51,7 +57,7 @@ func clampFinite(v float64) float64 {
 type Recorder struct {
 	start time.Time
 
-	mu    sync.Mutex // guards roots and all span mutation
+	mu    sync.Mutex // guards roots only; spans guard themselves
 	roots []*Span
 
 	cmu      sync.Mutex // guards the counter registry
@@ -176,10 +182,12 @@ type event struct {
 
 // Span is one timed region of the pipeline, possibly with children.
 type Span struct {
-	rec      *Recorder
-	name     string
-	start    time.Time
-	end      time.Time // zero until End
+	rec   *Recorder
+	name  string
+	start time.Time
+
+	mu       sync.Mutex // guards the fields below
+	end      time.Time  // zero until End
 	attrs    []attr
 	events   []event
 	children []*Span
@@ -198,15 +206,17 @@ func (s *Span) Recorder() *Recorder {
 	return s.rec
 }
 
-// StartSpan opens a child span. On a nil Span it returns nil.
+// StartSpan opens a child span. On a nil Span it returns nil. Concurrent
+// workers may open children under the same parent; child order follows
+// registration order.
 func (s *Span) StartSpan(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := &Span{rec: s.rec, name: name, start: time.Now()}
-	s.rec.mu.Lock()
+	s.mu.Lock()
 	s.children = append(s.children, c)
-	s.rec.mu.Unlock()
+	s.mu.Unlock()
 	return c
 }
 
@@ -215,24 +225,24 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	s.rec.mu.Lock()
+	s.mu.Lock()
 	if s.end.IsZero() {
 		s.end = time.Now()
 	}
-	s.rec.mu.Unlock()
+	s.mu.Unlock()
 }
 
 func (s *Span) addAttr(a attr) {
-	s.rec.mu.Lock()
+	s.mu.Lock()
 	for i := range s.attrs {
 		if s.attrs[i].key == a.key {
 			s.attrs[i] = a
-			s.rec.mu.Unlock()
+			s.mu.Unlock()
 			return
 		}
 	}
 	s.attrs = append(s.attrs, a)
-	s.rec.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // SetInt records an integer attribute (last write per key wins).
@@ -276,9 +286,9 @@ func (s *Span) Event(name string, x, y float64) {
 		return
 	}
 	e := event{name: name, at: time.Now(), x: clampFinite(x), y: clampFinite(y)}
-	s.rec.mu.Lock()
+	s.mu.Lock()
 	s.events = append(s.events, e)
-	s.rec.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Count increments a recorder-level counter from a span handle.
@@ -332,10 +342,11 @@ func (r *Recorder) Snapshot() *Trace {
 	t.StartedAt = r.start
 	now := time.Now()
 	r.mu.Lock()
-	for _, s := range r.roots {
+	roots := append([]*Span(nil), r.roots...)
+	r.mu.Unlock()
+	for _, s := range roots {
 		t.Spans = append(t.Spans, snapSpan(s, r.start, now))
 	}
-	r.mu.Unlock()
 	r.cmu.Lock()
 	for name, c := range r.counters {
 		t.Counters[name] = c.Value()
@@ -345,7 +356,15 @@ func (r *Recorder) Snapshot() *Trace {
 }
 
 func snapSpan(s *Span, origin, now time.Time) *SpanSnap {
+	// Copy the mutable state under the span's own lock, then recurse
+	// without holding it so concurrent recording on other spans proceeds.
+	s.mu.Lock()
 	end := s.end
+	attrs := append([]attr(nil), s.attrs...)
+	events := append([]event(nil), s.events...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
 	open := false
 	if end.IsZero() {
 		end, open = now, true
@@ -356,13 +375,13 @@ func snapSpan(s *Span, origin, now time.Time) *SpanSnap {
 		DurNS:   end.Sub(s.start).Nanoseconds(),
 		Open:    open,
 	}
-	if len(s.attrs) > 0 {
-		out.Attrs = make(map[string]interface{}, len(s.attrs))
-		for _, a := range s.attrs {
+	if len(attrs) > 0 {
+		out.Attrs = make(map[string]interface{}, len(attrs))
+		for _, a := range attrs {
 			out.Attrs[a.key] = a.value()
 		}
 	}
-	for _, e := range s.events {
+	for _, e := range events {
 		out.Events = append(out.Events, EventSnap{
 			Name: e.name,
 			AtNS: e.at.Sub(origin).Nanoseconds(),
@@ -370,7 +389,7 @@ func snapSpan(s *Span, origin, now time.Time) *SpanSnap {
 			Y:    e.y,
 		})
 	}
-	for _, c := range s.children {
+	for _, c := range children {
 		out.Children = append(out.Children, snapSpan(c, origin, now))
 	}
 	return out

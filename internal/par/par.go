@@ -1,0 +1,79 @@
+// Package par holds the small shared primitives of the synthesis
+// pipeline's deterministic parallel execution layer: resolving the public
+// Parallelism knob (0 = GOMAXPROCS, 1 = sequential) and a bounded,
+// index-addressed fan-out helper.
+//
+// The pipeline's determinism guarantee — parallel synthesis produces
+// bit-identical designs to sequential synthesis — is upheld by the callers:
+// every use of ForEach writes results only to index-distinct storage, and
+// the speculative solvers in internal/milp and internal/cluster commit
+// results in a canonical order. This package only supplies the mechanics.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Parallelism knob to a worker count: 0 means
+// runtime.GOMAXPROCS(0), anything below 1 is clamped to 1 (sequential).
+func Resolve(parallelism int) int {
+	if parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if parallelism < 1 {
+		return 1
+	}
+	return parallelism
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to Resolve(parallelism)
+// goroutines and returns when all calls have finished. With an effective
+// worker count of 1 the calls run inline, in index order, on the calling
+// goroutine — exactly the sequential behaviour. fn must write its result to
+// index-distinct storage; ForEach imposes no other ordering.
+//
+// A panic in fn is re-raised on the calling goroutine after the remaining
+// workers drain.
+func ForEach(parallelism, n int, fn func(i int)) {
+	workers := Resolve(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					next.Store(int64(n)) // stop handing out work
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,64 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(1); got != 1 {
+		t.Errorf("Resolve(1) = %d, want 1", got)
+	}
+	if got := Resolve(-3); got != 1 {
+		t.Errorf("Resolve(-3) = %d, want 1", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d, want 7", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, parallelism := range []int{1, 2, 4, 0} {
+		const n = 137
+		seen := make([]int32, n)
+		ForEach(parallelism, n, func(i int) {
+			atomic.AddInt32(&seen[i], 1)
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("parallelism %d: index %d ran %d times, want 1", parallelism, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential ForEach out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachZeroN(t *testing.T) {
+	ForEach(4, 0, func(i int) { t.Error("fn called for n = 0") })
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in fn did not propagate")
+		}
+	}()
+	ForEach(4, 16, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}

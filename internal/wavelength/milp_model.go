@@ -26,9 +26,11 @@ type SolveInfo struct {
 // SolveMILP builds and solves the SRing wavelength-assignment MILP
 // (paper Sec. III-B) over a palette of numLambda wavelengths, seeded with
 // the incumbent assignment (which must use at most numLambda wavelengths).
-// It returns the best assignment found and the solver telemetry. The solve
-// records under parent (model size, branch-and-bound progress, gap
-// trajectory); a nil parent records nothing.
+// It returns the best assignment found and the solver telemetry. A zero
+// timeLimit means milp.DefaultTimeLimit; parallelism is the LP worker
+// count (0 = GOMAXPROCS, 1 = sequential), with no effect on the result.
+// The solve records under parent (model size, branch-and-bound progress,
+// gap trajectory); a nil parent records nothing.
 //
 // Model notes relative to the paper:
 //   - Eq. 2 (collision avoidance) is implemented as per-segment clique
@@ -42,7 +44,7 @@ type SolveInfo struct {
 //     b_{s,λ} ≤ y_λ, plus symmetry-breaking y_λ ≥ y_{λ+1}.
 //   - Eq. 5's il_s is substituted directly into Eqs. 6-7: il_s = L_s +
 //     L_sp · b_sp^{n(s)}, removing one continuous variable per path.
-func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration, parent *obs.Span) (*Assignment, SolveInfo, error) {
+func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration, parallelism int, parent *obs.Span) (*Assignment, SolveInfo, error) {
 	if numLambda < 1 {
 		return nil, SolveInfo{}, fmt.Errorf("wavelength: SolveMILP needs numLambda >= 1, got %d", numLambda)
 	}
@@ -218,7 +220,7 @@ func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment
 	msp.SetInt("constraints", int64(len(prob.LP.Constraints)))
 	msp.SetBool("seeded", incumbent != nil)
 
-	opts := milp.Options{TimeLimit: timeLimit, Obs: msp}
+	opts := milp.Options{TimeLimit: timeLimit, Parallelism: parallelism, Obs: msp}
 	if incumbent != nil {
 		opts.Incumbent = incumbentVector(infos, incumbent, numVars, L, bVar, yVar, spVar, ilSmaxVar, ilMaxVar, w)
 	}

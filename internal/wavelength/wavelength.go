@@ -449,8 +449,15 @@ type Options struct {
 	// UseMILP enables the exact branch-and-bound polish after the
 	// heuristic.
 	UseMILP bool
-	// MILPTimeLimit bounds the exact solve. Zero means 10 s.
+	// MILPTimeLimit bounds the exact solve. Zero means the pipeline-wide
+	// default, milp.DefaultTimeLimit (10 s); the value is passed through
+	// unchanged so the default lives in one place.
 	MILPTimeLimit time.Duration
+	// Parallelism is the worker count for the exact solve's LP
+	// relaxations, forwarded to milp.Options.Parallelism: 0 means
+	// GOMAXPROCS, 1 means sequential. The assignment returned is
+	// bit-identical either way.
+	Parallelism int
 	// MaxBinaries skips the MILP when |S| x |Λ| exceeds it (the dense
 	// simplex would be too slow to help within the budget — a single LP
 	// solve can overshoot the time limit). Zero means 500.
@@ -514,11 +521,7 @@ func Assign(infos []PathInfo, opt Options) (*Assignment, *Stats, error) {
 		}
 		numLambda := best.NumLambda + extra
 		if len(infos)*numLambda <= maxBin {
-			tl := opt.MILPTimeLimit
-			if tl == 0 {
-				tl = 10 * time.Second
-			}
-			milpA, info, err := SolveMILP(infos, numLambda, w, best, tl, sp)
+			milpA, info, err := SolveMILP(infos, numLambda, w, best, opt.MILPTimeLimit, opt.Parallelism, sp)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -36,8 +36,12 @@ type Options struct {
 	MaxChords int
 	// UseMILP enables the exact assignment polish.
 	UseMILP bool
-	// MILPTimeLimit bounds the exact solve (zero: wavelength default).
+	// MILPTimeLimit bounds the exact solve (zero: the pipeline default,
+	// milp.DefaultTimeLimit).
 	MILPTimeLimit time.Duration
+	// Parallelism is the worker count for the exact solve (0 = GOMAXPROCS,
+	// 1 = sequential); the result is bit-identical either way.
+	Parallelism int
 }
 
 // Synthesize builds the XRing design for the application.
@@ -116,6 +120,7 @@ func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
 		Weights:       wavelength.Weights{Alpha: 10, Beta: 1, Gamma: 1, SplitterStageDB: 0},
 		UseMILP:       opt.UseMILP,
 		MILPTimeLimit: opt.MILPTimeLimit,
+		Parallelism:   opt.Parallelism,
 	}
 	d, err := design.Finish(app, "XRing", rings, paths, dopt)
 	if err != nil {

@@ -29,6 +29,7 @@ package sring
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"sring/internal/cluster"
@@ -36,9 +37,11 @@ import (
 	"sring/internal/design"
 	"sring/internal/floorplan"
 	"sring/internal/loss"
+	"sring/internal/milp"
 	"sring/internal/netlist"
 	"sring/internal/obs"
 	"sring/internal/ornoc"
+	"sring/internal/par"
 	"sring/internal/pdn"
 	"sring/internal/ring"
 	"sring/internal/wavelength"
@@ -123,9 +126,19 @@ func Methods() []Method {
 	return []Method{MethodORNoC, MethodCTORing, MethodXRing, MethodSRing}
 }
 
+// DefaultMILPTimeLimit is the wall-clock budget of the exact wavelength
+// assignment when Options.MILPTimeLimit is zero. It is defined once, in the
+// solver (milp.DefaultTimeLimit); every layer above passes zero through.
+const DefaultMILPTimeLimit = milp.DefaultTimeLimit
+
 // Options configures synthesis.
 type Options struct {
 	// Tech overrides the technology parameters (zero value: DefaultTech).
+	// A non-zero Tech must be a plausible, fully populated parameter set:
+	// Synthesize rejects negative or non-finite losses and the
+	// partially-populated structs that Validate alone cannot catch (zero
+	// SplitRatioDB or DetectorSensitivityDBm). Start from DefaultTech()
+	// and override fields rather than building a Tech from scratch.
 	Tech Tech
 	// TreeHeight is the paper's h, the height of the L_max search tree
 	// used by SRing's clustering (zero: 6).
@@ -138,8 +151,14 @@ type Options struct {
 	// III-B) on instances small enough for the built-in solver; the
 	// splitter-aware heuristic always runs and seeds it.
 	UseMILP bool
-	// MILPTimeLimit bounds the exact solve (zero: 10 s).
+	// MILPTimeLimit bounds the exact solve (zero: DefaultMILPTimeLimit).
 	MILPTimeLimit time.Duration
+	// Parallelism is the worker count used throughout the pipeline — the
+	// MILP's speculative LP evaluations, the clustering's concurrent L_max
+	// probes, and Evaluate's method fan-out. 0 means GOMAXPROCS (the
+	// default: parallel), 1 means fully sequential. The synthesised design
+	// is bit-identical for every setting; see README.md §Parallelism.
+	Parallelism int
 	// PhysicalPDN routes the power-distribution tree physically (median
 	// splits, rectilinear trunks) instead of the abstract stage-count
 	// model; feed lengths and stage counts then come from the routed tree.
@@ -191,6 +210,7 @@ func synthesize(app *Application, method Method, opt Options, root *obs.Span) (*
 			},
 			UseMILP:       opt.UseMILP,
 			MILPTimeLimit: opt.MILPTimeLimit,
+			Parallelism:   opt.Parallelism,
 		})
 	case MethodXRing:
 		return xring.Synthesize(app, xring.Options{
@@ -201,6 +221,7 @@ func synthesize(app *Application, method Method, opt Options, root *obs.Span) (*
 			},
 			UseMILP:       opt.UseMILP,
 			MILPTimeLimit: opt.MILPTimeLimit,
+			Parallelism:   opt.Parallelism,
 		})
 	default:
 		return nil, fmt.Errorf("sring: unknown method %q", method)
@@ -213,6 +234,7 @@ func synthesizeSRing(app *Application, opt Options, root *obs.Span) (*Design, er
 	res, err := cluster.Synthesize(app, cluster.Options{
 		TreeHeight:       opt.TreeHeight,
 		MaxInitialTrials: opt.ClusterTrials,
+		Parallelism:      opt.Parallelism,
 		Obs:              root,
 	})
 	if err != nil {
@@ -234,9 +256,9 @@ func synthesizeSRing(app *Application, opt Options, root *obs.Span) (*Design, er
 		}
 		paths[i] = p
 	}
-	tech := opt.Tech
-	if tech == (Tech{}) {
-		tech = DefaultTech()
+	tech, err := loss.Normalize(opt.Tech)
+	if err != nil {
+		return nil, fmt.Errorf("sring: %w", err)
 	}
 	weights := wavelength.DefaultWeights()
 	weights.SplitterStageDB = tech.SplitterStageDB()
@@ -247,6 +269,7 @@ func synthesizeSRing(app *Application, opt Options, root *obs.Span) (*Design, er
 			Weights:       weights,
 			UseMILP:       opt.UseMILP,
 			MILPTimeLimit: opt.MILPTimeLimit,
+			Parallelism:   opt.Parallelism,
 		},
 		Obs: root,
 	})
@@ -268,20 +291,61 @@ func PlaceAndSynthesize(app *Application, method Method, opt Options) (*Design, 
 	return Synthesize(placed, method, opt)
 }
 
-// Evaluate synthesises the application with every method and returns the
-// metrics side by side, in Methods() order — one Table I row group.
-func Evaluate(app *Application, opt Options) (map[Method]*Metrics, error) {
-	out := make(map[Method]*Metrics, 4)
+// MethodErrors collects the per-method failures of an Evaluate call. It is
+// returned alongside the metrics of the methods that succeeded, so one
+// failing baseline does not throw away the rest of a Table I row group.
+type MethodErrors map[Method]error
+
+// Error joins the failures in Methods() order.
+func (e MethodErrors) Error() string {
+	var b strings.Builder
+	b.WriteString("sring: ")
+	first := true
 	for _, m := range Methods() {
+		if err, ok := e[m]; ok {
+			if !first {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "%s: %v", m, err)
+			first = false
+		}
+	}
+	return b.String()
+}
+
+// Evaluate synthesises the application with every method and returns the
+// metrics side by side, in Methods() order — one Table I row group. The
+// methods run concurrently under Options.Parallelism (0 = GOMAXPROCS,
+// 1 = sequential) with bit-identical per-method results either way.
+//
+// A method failure does not abort the others: the returned map always
+// holds the metrics of every method that succeeded, and the error (a
+// MethodErrors, when non-nil) says which methods failed and why.
+func Evaluate(app *Application, opt Options) (map[Method]*Metrics, error) {
+	methods := Methods()
+	mets := make([]*Metrics, len(methods))
+	errs := make([]error, len(methods))
+	par.ForEach(opt.Parallelism, len(methods), func(i int) {
+		m := methods[i]
 		d, err := Synthesize(app, m, opt)
 		if err != nil {
-			return nil, fmt.Errorf("sring: %s on %s: %w", m, app.Name, err)
+			errs[i] = fmt.Errorf("on %s: %w", app.Name, err)
+			return
 		}
-		met, err := d.Metrics()
-		if err != nil {
-			return nil, err
+		mets[i], errs[i] = d.Metrics()
+	})
+	out := make(map[Method]*Metrics, len(methods))
+	failed := make(MethodErrors)
+	for i, m := range methods {
+		switch {
+		case errs[i] != nil:
+			failed[m] = errs[i]
+		default:
+			out[m] = mets[i]
 		}
-		out[m] = met
+	}
+	if len(failed) > 0 {
+		return out, failed
 	}
 	return out, nil
 }
