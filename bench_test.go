@@ -66,6 +66,33 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
+// BenchmarkSynthesize times the exact (MILP-enabled) SRing synthesis per
+// benchmark application, reporting the solver's optimality gap and node
+// count alongside the wall clock. CI runs a single iteration of the MWD
+// subtest as a smoke check:
+//
+//	go test -run - -bench Synthesize/MWD -benchtime 1x
+func BenchmarkSynthesize(b *testing.B) {
+	for _, app := range Benchmarks() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			var d *Design
+			for i := 0; i < b.N; i++ {
+				var err error
+				d, err = Synthesize(app, MethodSRing, Options{UseMILP: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if st := d.AssignStats; st != nil && st.MILPRan {
+				b.ReportMetric(st.MILPGap, "gap")
+				b.ReportMetric(float64(st.MILPNodes), "nodes")
+			}
+		})
+	}
+}
+
 // BenchmarkFig7 regenerates Fig. 7: total laser power and wavelength usage
 // per method per benchmark.
 func BenchmarkFig7(b *testing.B) {

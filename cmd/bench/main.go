@@ -11,7 +11,10 @@
 // Each entry carries ns/op plus the allocation counts from the Go
 // benchmark harness (testing.Benchmark), one entry per method/benchmark
 // pair, named like "Synthesize/MWD/SRing" — or, with more than one -j
-// value, per parallelism setting, like "Synthesize/MWD/SRing/j=4".
+// value, per parallelism setting, like "Synthesize/MWD/SRing/j=4". With
+// -milp, entries also record the solver's relative optimality gap
+// (milp_gap, 0 = proven optimal) and whether the wall-clock budget cut
+// the search off (time_limit_hit).
 package main
 
 import (
@@ -68,6 +71,12 @@ type entry struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Runs        int     `json:"runs"`
+	// MILPGap is the relative optimality gap of the MILP assignment (0
+	// means proven optimal); present only when the MILP ran.
+	MILPGap *float64 `json:"milp_gap,omitempty"`
+	// TimeLimitHit reports that the MILP search was cut off by its
+	// wall-clock budget rather than finishing.
+	TimeLimitHit bool `json:"time_limit_hit,omitempty"`
 }
 
 type snapshot struct {
@@ -117,8 +126,10 @@ func main() {
 			for _, j := range jvals {
 				app, m, j := app, m, j
 				opt := sring.Options{UseMILP: *milp, Parallelism: j}
+				var last *sring.Design
 				r := testingBenchmark(func() error {
-					_, err := sring.Synthesize(app, m, opt)
+					d, err := sring.Synthesize(app, m, opt)
+					last = d
 					return err
 				})
 				if r.err != nil {
@@ -129,15 +140,26 @@ func main() {
 				if len(jvals) > 1 {
 					name = fmt.Sprintf("%s/j=%d", name, j)
 				}
-				snap.Entries = append(snap.Entries, entry{
+				e := entry{
 					Name:        name,
 					Parallelism: j,
 					NsPerOp:     r.nsPerOp,
 					AllocsPerOp: r.allocsPerOp,
 					BytesPerOp:  r.bytesPerOp,
 					Runs:        r.n,
-				})
-				fmt.Printf("%-32s %12.0f ns/op %10d allocs/op\n", name, r.nsPerOp, r.allocsPerOp)
+				}
+				milpNote := ""
+				if last != nil && last.AssignStats != nil && last.AssignStats.MILPRan {
+					gap := last.AssignStats.MILPGap
+					e.MILPGap = &gap
+					e.TimeLimitHit = last.AssignStats.MILPTimeLimitHit
+					milpNote = fmt.Sprintf("  gap=%.4f", gap)
+					if e.TimeLimitHit {
+						milpNote += " (time limit)"
+					}
+				}
+				snap.Entries = append(snap.Entries, e)
+				fmt.Printf("%-32s %12.0f ns/op %10d allocs/op%s\n", name, r.nsPerOp, r.allocsPerOp, milpNote)
 			}
 		}
 	}

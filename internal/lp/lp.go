@@ -134,10 +134,23 @@ type Solution struct {
 	Objective float64   // c . X, valid when Optimal
 	// Phase1Pivots and Phase2Pivots count the simplex pivots performed in
 	// each phase; BlandPivots counts how many of them ran under Bland's
-	// anti-cycling rule. Always populated, whatever the Status.
+	// anti-cycling rule. Always populated, whatever the Status. For a
+	// Solver cold solve, Phase1Pivots counts the zero-cost dual pivots of
+	// the feasibility phase.
 	Phase1Pivots int
 	Phase2Pivots int
 	BlandPivots  int
+	// DualPivots counts dual-simplex pivots of a warm-started solve
+	// (Solver.SolveDual); Phase2Pivots then counts its primal clean-up
+	// pivots.
+	DualPivots int
+	// WarmStarted marks a solution produced by Solver.SolveDual from a
+	// basis snapshot.
+	WarmStarted bool
+	// WarmFallback marks a cold solution obtained after a warm start was
+	// attempted and failed (singular basis or iteration trouble); set by
+	// callers that implement the fallback, for telemetry attribution.
+	WarmFallback bool
 }
 
 const (
@@ -313,6 +326,13 @@ func AccumulateStats(rec *obs.Recorder, sol *Solution) {
 	if sol.BlandPivots > 0 {
 		rec.Add("lp.bland_pivots", int64(sol.BlandPivots))
 		rec.Add("lp.bland_activations", 1)
+	}
+	if sol.WarmStarted {
+		rec.Add("lp.warmstart.solves", 1)
+		rec.Add("lp.pivots.dual", int64(sol.DualPivots))
+	}
+	if sol.WarmFallback {
+		rec.Add("lp.warmstart.fallbacks", 1)
 	}
 }
 

@@ -1,0 +1,222 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// bruteForceLP finds the optimum of min c.x, rows, lo <= x <= hi by
+// enumerating every vertex of the feasible region: all choices of n active
+// hyperplanes among the constraint rows (as equalities) and the finite
+// variable bounds, solved by Gaussian elimination and filtered for
+// feasibility. All lower bounds are finite, so the region is pointed and a
+// finite optimum — if one exists — is attained at an enumerated vertex.
+// Returns (bestObjective, found); found is false for an infeasible region.
+// The caller must keep the instance bounded (the enumerator cannot certify
+// unboundedness).
+func bruteForceLP(p *Problem, lo, hi []float64) (float64, bool) {
+	n := p.NumVars
+	type hyper struct {
+		a   []float64
+		rhs float64
+	}
+	var planes []hyper
+	for _, c := range p.Constraints {
+		a := make([]float64, n)
+		for v, coeff := range c.Coeffs {
+			a[v] = coeff
+		}
+		planes = append(planes, hyper{a, c.RHS})
+	}
+	for j := 0; j < n; j++ {
+		a := make([]float64, n)
+		a[j] = 1
+		planes = append(planes, hyper{a, lo[j]})
+		if !math.IsInf(hi[j], 1) {
+			b := make([]float64, n)
+			b[j] = 1
+			planes = append(planes, hyper{b, hi[j]})
+		}
+	}
+
+	feasible := func(x []float64) bool {
+		const tol = 1e-6
+		for j := 0; j < n; j++ {
+			if x[j] < lo[j]-tol || x[j] > hi[j]+tol {
+				return false
+			}
+		}
+		for _, c := range p.Constraints {
+			var lhs float64
+			for v, coeff := range c.Coeffs {
+				lhs += coeff * x[v]
+			}
+			switch c.Rel {
+			case LE:
+				if lhs > c.RHS+tol {
+					return false
+				}
+			case GE:
+				if lhs < c.RHS-tol {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	best, found := math.Inf(1), false
+	idx := make([]int, n)
+	var rec func(start, k int)
+	solveAndCheck := func() {
+		// Gaussian elimination with partial pivoting on the n chosen planes.
+		A := make([][]float64, n)
+		for r := 0; r < n; r++ {
+			A[r] = append(append([]float64(nil), planes[idx[r]].a...), planes[idx[r]].rhs)
+		}
+		for col := 0; col < n; col++ {
+			piv, pivAbs := -1, 1e-9
+			for r := col; r < n; r++ {
+				if abs := math.Abs(A[r][col]); abs > pivAbs {
+					piv, pivAbs = r, abs
+				}
+			}
+			if piv < 0 {
+				return // singular choice of planes
+			}
+			A[col], A[piv] = A[piv], A[col]
+			f := 1 / A[col][col]
+			for j := col; j <= n; j++ {
+				A[col][j] *= f
+			}
+			for r := 0; r < n; r++ {
+				if r == col {
+					continue
+				}
+				g := A[r][col]
+				if g == 0 {
+					continue
+				}
+				for j := col; j <= n; j++ {
+					A[r][j] -= g * A[col][j]
+				}
+			}
+		}
+		x := make([]float64, n)
+		for r := 0; r < n; r++ {
+			x[r] = A[r][n]
+		}
+		if !feasible(x) {
+			return
+		}
+		found = true
+		var obj float64
+		for j := 0; j < n; j++ {
+			if p.Objective != nil {
+				obj += p.Objective[j] * x[j]
+			}
+		}
+		if obj < best {
+			best = obj
+		}
+	}
+	rec = func(start, k int) {
+		if k == n {
+			solveAndCheck()
+			return
+		}
+		for i := start; i < len(planes); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// TestFuzzAgainstVertexEnumeration is the LP property test: random small
+// LPs are solved by the legacy two-phase solver, the bounded cold solver,
+// and a warm-started dual re-solve, and every optimum is cross-checked
+// against brute-force vertex enumeration.
+func TestFuzzAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 400
+	if testing.Short() {
+		trials = 80
+	}
+	checked, infeasibles := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		p, lo, hi := randomBoundedProblem(rng)
+
+		s, err := NewSolver(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := s.SolveBounded(lo, hi, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status == Unbounded || sol.Status == IterLimit {
+			continue // the enumerator cannot cross-check these
+		}
+		want, found := bruteForceLP(p, lo, hi)
+		switch sol.Status {
+		case Optimal:
+			if !found {
+				t.Fatalf("trial %d: solver found optimum %v, brute force says infeasible\n%+v lo=%v hi=%v",
+					trial, sol.Objective, p, lo, hi)
+			}
+			if !approx(sol.Objective, want, 1e-5) {
+				t.Fatalf("trial %d: solver optimum %v, brute force %v\n%+v lo=%v hi=%v",
+					trial, sol.Objective, want, p, lo, hi)
+			}
+			checked++
+		case Infeasible:
+			if found {
+				t.Fatalf("trial %d: solver says infeasible, brute force found vertex with objective %v\n%+v lo=%v hi=%v",
+					trial, want, p, lo, hi)
+			}
+			infeasibles++
+			continue
+		}
+
+		// Legacy solver with bounds expressed as rows must agree.
+		rowP := &Problem{NumVars: p.NumVars, Objective: p.Objective}
+		rowP.Constraints = append(rowP.Constraints, p.Constraints...)
+		for j := 0; j < p.NumVars; j++ {
+			if lo[j] > 0 {
+				rowP.AddConstraint(GE, lo[j], map[int]float64{j: 1})
+			}
+			if !math.IsInf(hi[j], 1) {
+				rowP.AddConstraint(LE, hi[j], map[int]float64{j: 1})
+			}
+		}
+		legacy, err := Solve(rowP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legacy.Status != Optimal || !approx(legacy.Objective, want, 1e-5) {
+			t.Fatalf("trial %d: legacy got %v (%v), brute force %v", trial, legacy.Objective, legacy.Status, want)
+		}
+
+		// A warm dual re-solve of the same bounds from the optimal basis
+		// must terminate immediately at the same optimum.
+		warm, ok, err := s.SolveDual(s.Basis(), lo, hi, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || warm.Status != Optimal || !approx(warm.Objective, want, 1e-5) {
+			t.Fatalf("trial %d: identity warm re-solve diverged: ok=%v %+v want %v", trial, ok, warm, want)
+		}
+	}
+	if checked < trials/4 {
+		t.Errorf("only %d/%d trials produced a checkable optimum", checked, trials)
+	}
+	t.Logf("verified %d optima and %d infeasibilities against vertex enumeration", checked, infeasibles)
+}

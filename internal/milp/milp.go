@@ -64,6 +64,14 @@ type Options struct {
 	// Incumbent optionally seeds the search with a known feasible solution
 	// (e.g. from a heuristic); it is validated before use.
 	Incumbent []float64
+	// BranchPriority optionally ranks integer variables for branching:
+	// among the fractional integer variables of a relaxation, one with the
+	// highest priority is branched on, ties broken by fractionality. nil
+	// means pure most-fractional branching. Length must equal NumVars when
+	// set. Model-structure variables (e.g. wavelength activations) branched
+	// before dependent assignment variables can shrink the tree by orders
+	// of magnitude.
+	BranchPriority []int
 	// Gap is the relative optimality gap at which the search stops early.
 	// Zero means solve to proven optimality.
 	Gap float64
@@ -114,6 +122,9 @@ type Result struct {
 	Objective float64   // objective of X
 	Bound     float64   // proven lower bound on the optimum
 	Nodes     int       // branch-and-bound nodes explored
+	// TimeLimitHit reports that the wall-clock budget expired before the
+	// search finished (the node limit alone does not set it).
+	TimeLimitHit bool
 }
 
 // Gap returns the relative optimality gap (Objective − Bound) / |Objective|
@@ -140,6 +151,10 @@ type node struct {
 	bound float64
 	depth int
 	seq   int // tie-break for determinism
+	// basis is the parent's optimal LP basis; the node's relaxation is
+	// warm-started from it by dual simplex (both children share the one
+	// snapshot, which is immutable once taken). nil means solve cold.
+	basis *lp.Basis
 }
 
 // nodeLess is the canonical search order: best bound first, then deeper
@@ -177,6 +192,9 @@ func (h *nodeHeap) Pop() interface{} {
 func Solve(p *Problem, opt Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if opt.BranchPriority != nil && len(opt.BranchPriority) != p.LP.NumVars {
+		return nil, fmt.Errorf("milp: BranchPriority has length %d, want %d", len(opt.BranchPriority), p.LP.NumVars)
 	}
 	if opt.Incumbent != nil {
 		// Validate against the original problem before any reduction so
@@ -220,6 +238,15 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 				}
 				sub.Incumbent = shrunk
 			}
+			if opt.BranchPriority != nil {
+				prio := make([]int, pr.reduced.LP.NumVars)
+				for i, j := range pr.oldToNew {
+					if j >= 0 {
+						prio[j] = opt.BranchPriority[i]
+					}
+				}
+				sub.BranchPriority = prio
+			}
 			res, err := solveBB(pr.reduced, sub)
 			if err != nil {
 				return nil, err
@@ -257,10 +284,23 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 		nodeLimit = 200000
 	}
 	deadline := time.Now().Add(timeLimit)
+	// Convert singleton/empty/duplicate rows into root variable bounds so
+	// every node solves a smaller bounded-variable LP.
+	pp := prepRelaxation(p, rec)
+	if pp == nil {
+		sp.SetString("status", Infeasible.String())
+		sp.End()
+		return &Result{Status: Infeasible, Objective: math.Inf(1), Bound: math.Inf(1)}, nil
+	}
+	sp.SetInt("prepped_constraints", int64(len(pp.p.LP.Constraints)))
 	// LP solves share the exact same deadline: the simplex checks it
 	// between pivots and returns IterLimit, which the search records as an
 	// unresolved node, so one long relaxation cannot overshoot TimeLimit.
-	eval := newEvaluator(p, opt.Parallelism, deadline, rec)
+	eval, err := newEvaluator(pp, opt.Parallelism, deadline, rec)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	defer eval.close()
 
 	res := &Result{Status: Unknown, Objective: math.Inf(1), Bound: math.Inf(-1)}
@@ -294,6 +334,7 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 		if res.Nodes >= nodeLimit || time.Now().After(deadline) {
 			// The best open bound is the proven lower bound.
 			res.Bound = math.Max(res.Bound, (*open)[0].bound)
+			res.TimeLimitHit = time.Now().After(deadline)
 			return res, nil
 		}
 		nd := heap.Pop(open).(*node)
@@ -305,7 +346,7 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 		res.Nodes++
 		nodesC.Add(1)
 
-		sol, err := eval.solve(nd, open)
+		sol, bas, err := eval.solve(nd, open)
 		if err != nil {
 			return nil, err
 		}
@@ -323,7 +364,7 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 		if sol.Objective >= res.Objective-1e-9 {
 			continue // bound: cannot improve
 		}
-		branchVar := mostFractional(p, sol.X)
+		branchVar := mostFractional(p, opt.BranchPriority, sol.X)
 		if branchVar < 0 {
 			// Integral: new incumbent.
 			x := append([]float64(nil), sol.X...)
@@ -354,15 +395,36 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 			}
 			continue
 		}
+		if nd.depth == 0 && res.Nodes == 1 {
+			// Root primal heuristic: a deterministic rounding dive seeds the
+			// incumbent so bound pruning bites from the very first branches.
+			if hs, herr := newRelaxSolver(pp); herr == nil {
+				if x, obj, ok := diveHeuristic(pp, hs, opt.BranchPriority, sol, bas, deadline, rec); ok && obj < res.Objective-1e-9 {
+					res.X = x
+					res.Objective = obj
+					res.Status = Feasible
+					incumbentsC.Add(1)
+					eval.publish(obj)
+					if sp.Enabled() {
+						sp.Event("incumbent", obj, sol.Objective)
+					}
+				}
+			}
+		}
 		v := sol.X[branchVar]
 		down := child(nd, &seq, sol.Objective)
 		down.upper[branchVar] = math.Floor(v)
+		down.basis = bas
 		up := child(nd, &seq, sol.Objective)
 		up.lower[branchVar] = math.Ceil(v)
+		up.basis = bas
 		heap.Push(open, down)
 		heap.Push(open, up)
 	}
 
+	if unresolved && time.Now().After(deadline) {
+		res.TimeLimitHit = true
+	}
 	switch {
 	case res.X != nil && !unresolved:
 		res.Status = Optimal
@@ -397,40 +459,26 @@ func child(parent *node, seq *int, bound float64) *node {
 	return c
 }
 
-// solveRelaxation solves the node's LP: the root LP plus bound rows. It is
-// a pure function of (p, nd) apart from the deadline cutoff, which is what
-// lets the parallel evaluator solve nodes speculatively. Pivot counters are
-// attributed by the caller (lp.AccumulateStats) when a solution is consumed.
-func solveRelaxation(p *Problem, nd *node, deadline time.Time) (*lp.Solution, error) {
-	sub := lp.Problem{
-		NumVars:     p.LP.NumVars,
-		Objective:   p.LP.Objective,
-		Constraints: make([]lp.Constraint, len(p.LP.Constraints), len(p.LP.Constraints)+len(nd.lower)+len(nd.upper)),
-	}
-	copy(sub.Constraints, p.LP.Constraints)
-	for v, lo := range nd.lower {
-		if lo > 0 {
-			sub.AddConstraint(lp.GE, lo, map[int]float64{v: 1})
-		}
-	}
-	for v, hi := range nd.upper {
-		sub.AddConstraint(lp.LE, hi, map[int]float64{v: 1})
-	}
-	return lp.SolveDeadline(&sub, deadline)
-}
-
-// mostFractional returns the integer variable whose LP value is farthest
-// from integral, or -1 if all integer variables are integral.
-func mostFractional(p *Problem, x []float64) int {
-	best, bestDist := -1, intTol
+// mostFractional returns the integer variable to branch on — the highest
+// priority class first, farthest from integral within it — or -1 if all
+// integer variables are integral. prio may be nil (uniform priority).
+func mostFractional(p *Problem, prio []int, x []float64) int {
+	best, bestDist, bestPrio := -1, intTol, math.MinInt
 	for i, isInt := range p.Integer {
 		if !isInt {
 			continue
 		}
 		f := x[i] - math.Floor(x[i])
 		dist := math.Min(f, 1-f)
-		if dist > bestDist {
-			best, bestDist = i, dist
+		if dist <= intTol {
+			continue
+		}
+		pr := 0
+		if prio != nil {
+			pr = prio[i]
+		}
+		if pr > bestPrio || (pr == bestPrio && dist > bestDist) {
+			best, bestDist, bestPrio = i, dist, pr
 		}
 	}
 	return best

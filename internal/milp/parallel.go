@@ -18,10 +18,11 @@ import (
 // Either way the main loop consumes solutions in its own (canonical) order,
 // so the search trajectory is identical.
 type evaluator interface {
-	// solve returns the LP relaxation solution for nd. open is the current
-	// frontier, which a speculative implementation may scan to schedule
-	// work ahead; it must not be mutated.
-	solve(nd *node, open *nodeHeap) (*lp.Solution, error)
+	// solve returns the LP relaxation solution for nd, plus the optimal
+	// basis for warm-starting its children (nil unless Optimal). open is
+	// the current frontier, which a speculative implementation may scan to
+	// schedule work ahead; it must not be mutated.
+	solve(nd *node, open *nodeHeap) (*lp.Solution, *lp.Basis, error)
 	// publish announces a new (lower) incumbent objective so speculative
 	// workers can skip nodes the main loop is guaranteed to prune.
 	publish(objective float64)
@@ -30,27 +31,32 @@ type evaluator interface {
 }
 
 // newEvaluator picks the implementation for the resolved worker count.
-func newEvaluator(p *Problem, parallelism int, deadline time.Time, rec *obs.Recorder) evaluator {
-	if workers := par.Resolve(parallelism); workers > 1 {
-		return newPrefetcher(p, workers, deadline, rec)
+func newEvaluator(pp *prepped, parallelism int, deadline time.Time, rec *obs.Recorder) (evaluator, error) {
+	rs, err := newRelaxSolver(pp)
+	if err != nil {
+		return nil, err
 	}
-	return &inlineEvaluator{p: p, deadline: deadline, rec: rec}
+	if workers := par.Resolve(parallelism); workers > 1 {
+		return newPrefetcher(pp, rs, workers, deadline, rec), nil
+	}
+	return &inlineEvaluator{rs: rs, deadline: deadline, rec: rec}, nil
 }
 
 // inlineEvaluator is the sequential path: every relaxation is solved on the
-// calling goroutine at the moment the main loop needs it.
+// calling goroutine at the moment the main loop needs it, against one
+// persistent bounded-simplex arena.
 type inlineEvaluator struct {
-	p        *Problem
+	rs       *relaxSolver
 	deadline time.Time
 	rec      *obs.Recorder
 }
 
-func (e *inlineEvaluator) solve(nd *node, _ *nodeHeap) (*lp.Solution, error) {
-	sol, err := solveRelaxation(e.p, nd, e.deadline)
+func (e *inlineEvaluator) solve(nd *node, _ *nodeHeap) (*lp.Solution, *lp.Basis, error) {
+	sol, bas, err := e.rs.solve(nd, e.deadline)
 	if err == nil {
 		lp.AccumulateStats(e.rec, sol)
 	}
-	return sol, err
+	return sol, bas, err
 }
 
 func (e *inlineEvaluator) publish(float64) {}
@@ -63,6 +69,7 @@ type lpFuture struct {
 	nd      *node
 	done    chan struct{}
 	sol     *lp.Solution
+	bas     *lp.Basis
 	err     error
 	skipped bool // worker declined: the node is certain to be pruned
 }
@@ -71,8 +78,11 @@ type lpFuture struct {
 // of workers while the main loop runs the exact sequential control flow.
 //
 // Determinism: the main loop alone pops nodes, prunes, branches and accepts
-// incumbents — workers only ever compute solveRelaxation, a pure function of
-// (problem, node). A speculative result is consumed only when the main loop
+// incumbents — workers only ever run relaxSolver.solve, a pure function of
+// (prepped problem, node): a warm start refactorises the node's parent
+// basis canonically, so the result does not depend on which worker's arena
+// ran it, nor on any tableau state left by earlier solves. A speculative
+// result is consumed only when the main loop
 // reaches that node in canonical heap order, so explored-node counts,
 // incumbents, bounds and the final X match the sequential solve bit for bit.
 // LP pivot counters are attributed at consumption time (lp.AccumulateStats),
@@ -87,7 +97,8 @@ type lpFuture struct {
 // inline if a skipped future is ever reached, keeping exactness independent
 // of that argument.
 type prefetcher struct {
-	p        *Problem
+	pp       *prepped
+	rs       *relaxSolver // main-goroutine solver for non-speculated nodes
 	deadline time.Time
 	rec      *obs.Recorder
 	workers  int
@@ -107,9 +118,10 @@ type prefetcher struct {
 	consumed  int64
 }
 
-func newPrefetcher(p *Problem, workers int, deadline time.Time, rec *obs.Recorder) *prefetcher {
+func newPrefetcher(pp *prepped, rs *relaxSolver, workers int, deadline time.Time, rec *obs.Recorder) *prefetcher {
 	f := &prefetcher{
-		p:        p,
+		pp:       pp,
+		rs:       rs,
 		deadline: deadline,
 		rec:      rec,
 		workers:  workers,
@@ -126,13 +138,22 @@ func newPrefetcher(p *Problem, workers int, deadline time.Time, rec *obs.Recorde
 
 func (f *prefetcher) worker() {
 	defer f.wg.Done()
+	rs, err := newRelaxSolver(f.pp)
 	for fut := range f.tasks {
+		if err != nil {
+			// The main goroutine's identical construction succeeded, so this
+			// cannot normally happen; degrade to skipped futures (the consume
+			// path re-solves inline).
+			fut.skipped = true
+			close(fut.done)
+			continue
+		}
 		if inc := math.Float64frombits(f.incumbent.Load()); fut.nd.bound >= inc-1e-9 {
 			fut.skipped = true
 			close(fut.done)
 			continue
 		}
-		fut.sol, fut.err = solveRelaxation(f.p, fut.nd, f.deadline)
+		fut.sol, fut.bas, fut.err = rs.solve(fut.nd, f.deadline)
 		close(fut.done)
 	}
 }
@@ -176,7 +197,7 @@ func (f *prefetcher) prefetch(open *nodeHeap) {
 	}
 }
 
-func (f *prefetcher) solve(nd *node, open *nodeHeap) (*lp.Solution, error) {
+func (f *prefetcher) solve(nd *node, open *nodeHeap) (*lp.Solution, *lp.Basis, error) {
 	fut, ok := f.futures[nd]
 	if ok {
 		delete(f.futures, nd)
@@ -185,27 +206,27 @@ func (f *prefetcher) solve(nd *node, open *nodeHeap) (*lp.Solution, error) {
 	// stay busy while the main loop waits.
 	f.prefetch(open)
 	if !ok {
-		sol, err := solveRelaxation(f.p, nd, f.deadline)
+		sol, bas, err := f.rs.solve(nd, f.deadline)
 		if err == nil {
 			lp.AccumulateStats(f.rec, sol)
 		}
-		return sol, err
+		return sol, bas, err
 	}
 	<-fut.done
 	if fut.skipped {
 		// Unreachable per the skip argument in the type comment; re-solve
 		// inline so correctness never rests on it.
-		sol, err := solveRelaxation(f.p, nd, f.deadline)
+		sol, bas, err := f.rs.solve(nd, f.deadline)
 		if err == nil {
 			lp.AccumulateStats(f.rec, sol)
 		}
-		return sol, err
+		return sol, bas, err
 	}
 	f.consumed++
 	if fut.err == nil {
 		lp.AccumulateStats(f.rec, fut.sol)
 	}
-	return fut.sol, fut.err
+	return fut.sol, fut.bas, fut.err
 }
 
 func (f *prefetcher) close() {

@@ -482,6 +482,13 @@ type Stats struct {
 	MILPBound float64
 	// MILPNodes counts the branch-and-bound nodes explored.
 	MILPNodes int
+	// MILPGap is the relative optimality gap of the final assignment:
+	// 0 for a proven optimum, +Inf when no bound was established
+	// (valid when MILPRan).
+	MILPGap float64
+	// MILPTimeLimitHit reports that the MILP's wall-clock budget expired
+	// before the search finished (valid when MILPRan).
+	MILPTimeLimitHit bool
 }
 
 // Assign computes a wavelength assignment for the given paths: DSATUR,
@@ -529,6 +536,8 @@ func Assign(infos []PathInfo, opt Options) (*Assignment, *Stats, error) {
 			stats.MILPExact = info.Exact
 			stats.MILPBound = info.Bound
 			stats.MILPNodes = info.Nodes
+			stats.MILPGap = info.Gap
+			stats.MILPTimeLimitHit = info.TimeLimitHit
 			if milpA != nil {
 				if err := Verify(infos, milpA); err != nil {
 					return nil, nil, fmt.Errorf("wavelength: MILP produced invalid assignment: %w", err)
