@@ -18,13 +18,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -87,6 +90,55 @@ type snapshot struct {
 	NumCPU    int     `json:"num_cpu"` // parallel entries only beat sequential with >1 core
 	MILP      bool    `json:"milp"`
 	Entries   []entry `json:"entries"`
+	// Cache is the stage-cache cold/warm measurement (see measureCache).
+	Cache *cacheBench `json:"cache,omitempty"`
+}
+
+// cacheBench records one cold-vs-warm stage-cache sweep: the same
+// benchmark × tech-variant grid synthesised twice against one shared
+// cache. The warm pass should be markedly faster, and the hit counters
+// nonzero — that is the memoization working.
+type cacheBench struct {
+	// ColdNs is the wall-clock of the first pass (empty cache; within the
+	// pass the tech variants already reuse each other's upstream stages).
+	ColdNs int64 `json:"cold_ns"`
+	// WarmNs is the wall-clock of the identical second pass (every stage
+	// served from the cache).
+	WarmNs int64 `json:"warm_ns"`
+	// Hits and Misses are the cache's cumulative counters after both passes.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// measureCache times the cold-vs-warm sweep: every benchmark under three
+// loss-parameter variants, twice, sharing one cache.
+func measureCache(ctx context.Context) (*cacheBench, error) {
+	techs := []sring.Tech{sring.DefaultTech(), sring.DefaultTech(), sring.DefaultTech()}
+	techs[1].SplitRatioDB = 3.5
+	techs[2].PropagationDBPerMM = 0.1
+	cache := sring.NewCache()
+	pass := func() (time.Duration, error) {
+		start := time.Now()
+		for _, app := range sring.Benchmarks() {
+			for _, tech := range techs {
+				opt := sring.Options{Tech: tech, Cache: cache, Parallelism: 1}
+				if _, err := sring.SynthesizeContext(ctx, app, sring.MethodSRing, opt); err != nil {
+					return 0, fmt.Errorf("%s: %w", app.Name, err)
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+	cold, err := pass()
+	if err != nil {
+		return nil, err
+	}
+	warm, err := pass()
+	if err != nil {
+		return nil, err
+	}
+	hits, misses := cache.Stats()
+	return &cacheBench{ColdNs: cold.Nanoseconds(), WarmNs: warm.Nanoseconds(), Hits: hits, Misses: misses}, nil
 }
 
 func main() {
@@ -97,6 +149,8 @@ func main() {
 		jstr = flag.String("j", "0", "comma-separated Parallelism settings to time (0 = all CPUs, 1 = sequential), e.g. 1,4")
 	)
 	flag.Parse()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	jvals, err := parseJobs(*jstr)
 	if err != nil {
 		fatal(err)
@@ -128,7 +182,7 @@ func main() {
 				opt := sring.Options{UseMILP: *milp, Parallelism: j}
 				var last *sring.Design
 				r := testingBenchmark(func() error {
-					d, err := sring.Synthesize(app, m, opt)
+					d, err := sring.SynthesizeContext(ctx, app, m, opt)
 					last = d
 					return err
 				})
@@ -163,6 +217,14 @@ func main() {
 			}
 		}
 	}
+
+	cb, err := measureCache(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	snap.Cache = cb
+	fmt.Printf("%-32s %12d ns cold %12d ns warm   %d hits / %d misses\n",
+		"Cache/SRing/sweep", cb.ColdNs, cb.WarmNs, cb.Hits, cb.Misses)
 
 	f, err := os.Create(path)
 	if err != nil {

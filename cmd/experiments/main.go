@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sring"
@@ -25,6 +28,9 @@ import (
 	"sring/internal/report"
 	"sring/internal/ring"
 )
+
+// runCtx is cancelled by ^C/SIGTERM; every synthesis call runs under it.
+var runCtx = context.Background()
 
 func main() {
 	var (
@@ -43,6 +49,9 @@ func main() {
 		jobs     = flag.Int("j", 0, "benchmark-grid worker count (0 = all CPUs, 1 = sequential; tables are identical either way, but Table II runtimes reflect the concurrent run)")
 	)
 	flag.Parse()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	runCtx = ctx
 	if *cpuProf != "" {
 		stop, err := obs.StartCPUProfile(*cpuProf)
 		if err != nil {
@@ -108,7 +117,7 @@ func main() {
 				rec = sring.NewRecorder()
 				mopt.Recorder = rec
 			}
-			d, err := sring.Synthesize(app, m, mopt)
+			d, err := sring.SynthesizeContext(runCtx, app, m, mopt)
 			if err != nil {
 				out.err = err
 				return
@@ -208,7 +217,7 @@ func runFig8(opt sring.Options, samples int, seed int64) {
 		if name != "MWD" {
 			continue // the paper histograms MWD only
 		}
-		d, err := sring.Synthesize(app, sring.MethodSRing, opt)
+		d, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, opt)
 		if err != nil {
 			fatal(err)
 		}

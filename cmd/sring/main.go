@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sring"
@@ -61,7 +64,11 @@ func main() {
 	if *traceFile != "" || *timing {
 		rec = sring.NewRecorder()
 	}
-	d, err := sring.Synthesize(app, sring.Method(*methodName), sring.Options{
+	// ^C cancels the synthesis gracefully: the engine returns its best
+	// feasible design flagged Cancelled instead of dying mid-solve.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	d, err := sring.SynthesizeContext(ctx, app, sring.Method(*methodName), sring.Options{
 		UseMILP:       *useMILP,
 		MILPTimeLimit: *milpLimit,
 		TreeHeight:    *treeHeight,
@@ -70,6 +77,9 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if d.Cancelled {
+		fmt.Fprintln(os.Stderr, "sring: interrupted — reporting the best design found so far")
 	}
 	m, err := d.Metrics()
 	if err != nil {

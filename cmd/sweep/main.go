@@ -20,9 +20,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sring"
@@ -37,6 +40,15 @@ import (
 // clustering parallelism) and to fan the benchmark × method grids out.
 var jobs int
 
+// runCtx is cancelled by ^C/SIGTERM; every synthesis call runs under it.
+var runCtx = context.Background()
+
+// cache is the shared stage cache: sweeps that revisit an application with
+// only downstream parameters changed (the -sensitivity tech grid, the
+// -milpgap budget) reuse the upstream construction/layout results. Nil
+// when -nocache is set.
+var cache *sring.Cache
+
 func main() {
 	var (
 		sensitivity = flag.Bool("sensitivity", false, "loss-parameter sensitivity sweep")
@@ -49,9 +61,17 @@ func main() {
 		load        = flag.Float64("load", 0.5, "offered load for -traffic")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		nocache     = flag.Bool("nocache", false, "disable the shared stage cache (identical tables either way)")
 	)
 	flag.IntVar(&jobs, "j", 0, "worker count (0 = all CPUs, 1 = sequential; identical results either way)")
 	flag.Parse()
+	if !*nocache {
+		cache = sring.NewCache()
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runCtx = ctx
+	defer reportCache()
 	if !*sensitivity && !*traffic && !*density && !*crossbar && !*scale && !*resources && !*milpgap {
 		flag.Usage()
 		os.Exit(2)
@@ -102,8 +122,8 @@ func runMILPGap() {
 	fmt.Printf("%-10s %12s %12s %12s %8s %8s\n",
 		"benchmark", "heuristic", "final", "bound", "exact", "nodes")
 	for _, app := range sring.Benchmarks() {
-		d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{
-			UseMILP: true, MILPTimeLimit: 20 * time.Second, Parallelism: jobs,
+		d, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{
+			UseMILP: true, MILPTimeLimit: 20 * time.Second, Parallelism: jobs, Cache: cache,
 		})
 		if err != nil {
 			fatal(err)
@@ -128,7 +148,7 @@ func runResources() {
 	fmt.Printf("%-10s %-9s %8s %8s %8s %10s %12s %12s\n",
 		"benchmark", "method", "sndMRR", "rcvMRR", "split", "wg[mm]", "worst snd", "worst seg")
 	forEachGridCell(func(app *sring.Application, m sring.Method) (string, error) {
-		d, err := sring.Synthesize(app, m, sring.Options{Parallelism: 1})
+		d, err := sring.SynthesizeContext(runCtx, app, m, sring.Options{Parallelism: 1, Cache: cache})
 		if err != nil {
 			return "", err
 		}
@@ -187,7 +207,7 @@ func runScale() {
 				continue // the uncapped paper algorithm is O(n^2) growths per L_max
 			}
 			start := time.Now()
-			d, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{ClusterTrials: trials, Parallelism: jobs})
+			d, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{ClusterTrials: trials, Parallelism: jobs})
 			if err != nil {
 				fatal(err)
 			}
@@ -223,7 +243,7 @@ func runCrossbar() {
 		if err != nil {
 			fatal(err)
 		}
-		ct, err := sring.Synthesize(app, sring.MethodCTORing, sring.Options{Parallelism: jobs})
+		ct, err := sring.SynthesizeContext(runCtx, app, sring.MethodCTORing, sring.Options{Parallelism: jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -231,7 +251,7 @@ func runCrossbar() {
 		if err != nil {
 			fatal(err)
 		}
-		sr, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{Parallelism: jobs})
+		sr, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{Parallelism: jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -254,11 +274,11 @@ func runDensity() {
 		"#M", "density", "SRing P[mW]", "CTORing P[mW]", "SRing #wl", "CTOR #wl")
 	for _, m := range []int{12, 18, 24, 36, 48, 72, 96} {
 		app := sring.RandomApplication(12, m, 3)
-		sr, err := sring.Synthesize(app, sring.MethodSRing, sring.Options{Parallelism: jobs})
+		sr, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{Parallelism: jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
-		ct, err := sring.Synthesize(app, sring.MethodCTORing, sring.Options{Parallelism: jobs})
+		ct, err := sring.SynthesizeContext(runCtx, app, sring.MethodCTORing, sring.Options{Parallelism: jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -303,7 +323,7 @@ func runSensitivity() {
 		wins := 0
 		total := 0
 		for _, app := range sring.Benchmarks() {
-			res, err := sring.Evaluate(app, sring.Options{Tech: s.tech, Parallelism: jobs})
+			res, err := sring.EvaluateContext(runCtx, app, sring.Options{Tech: s.tech, Parallelism: jobs, Cache: cache})
 			if err != nil {
 				fatal(err)
 			}
@@ -330,7 +350,7 @@ func runTraffic(load float64) {
 	fmt.Printf("%-10s %-9s %10s %12s %12s %12s\n",
 		"benchmark", "method", "packets", "avg lat[ns]", "thrpt[Gb/s]", "pJ/bit")
 	forEachGridCell(func(app *sring.Application, m sring.Method) (string, error) {
-		d, err := sring.Synthesize(app, m, sring.Options{Parallelism: 1})
+		d, err := sring.SynthesizeContext(runCtx, app, m, sring.Options{Parallelism: 1, Cache: cache})
 		if err != nil {
 			return "", err
 		}
@@ -345,6 +365,16 @@ func runTraffic(load float64) {
 			app.Name, m, res.PacketsDelivered, res.AvgLatencyNS,
 			res.ThroughputGbps, res.LaserEnergyPJPerBit), nil
 	})
+}
+
+// reportCache prints the shared cache's hit/miss totals to stderr (tables
+// on stdout stay byte-identical with and without the cache).
+func reportCache() {
+	if cache == nil {
+		return
+	}
+	hits, misses := cache.Stats()
+	fmt.Fprintf(os.Stderr, "sweep: stage cache: %d hits, %d misses, %d entries\n", hits, misses, cache.Len())
 }
 
 func fatal(err error) {

@@ -1,0 +1,167 @@
+package sring
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Satellite regression: Evaluate/Synthesize on a nil application must return
+// an error, not panic (the old Evaluate dereferenced app.Name while building
+// its per-method error messages).
+func TestNilApplication(t *testing.T) {
+	if _, err := Synthesize(nil, MethodSRing, Options{}); err == nil || !strings.Contains(err.Error(), "nil application") {
+		t.Errorf("Synthesize(nil) err = %v, want nil-application error", err)
+	}
+	if _, err := PlaceAndSynthesize(nil, MethodSRing, Options{}); err == nil || !strings.Contains(err.Error(), "nil application") {
+		t.Errorf("PlaceAndSynthesize(nil) err = %v, want nil-application error", err)
+	}
+	if _, err := Evaluate(nil, Options{}); err == nil || !strings.Contains(err.Error(), "nil application") {
+		t.Errorf("Evaluate(nil) err = %v, want nil-application error", err)
+	}
+}
+
+// An already-cancelled context fails fast at the pipeline entry with the
+// context error wrapped — no design, no partial work.
+func TestSynthesizeContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, err := SynthesizeContext(ctx, MWD(), MethodSRing, Options{})
+	if d != nil {
+		t.Errorf("pre-cancelled synthesis returned a design: %v", d)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// EvaluateContext under a pre-cancelled context reports every method as not
+// started, each carrying the context error.
+func TestEvaluateContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mets, err := EvaluateContext(ctx, MWD(), Options{Parallelism: 1})
+	if len(mets) != 0 {
+		t.Errorf("pre-cancelled evaluate returned %d metrics, want 0", len(mets))
+	}
+	var merr MethodErrors
+	if !errors.As(err, &merr) {
+		t.Fatalf("err = %T %v, want MethodErrors", err, err)
+	}
+	if len(merr) != len(Methods()) {
+		t.Fatalf("MethodErrors holds %d methods, want %d: %v", len(merr), len(Methods()), merr)
+	}
+	for m, e := range merr {
+		if !errors.Is(e, context.Canceled) {
+			t.Errorf("%s: err = %v, want wrapped context.Canceled", m, e)
+		}
+	}
+}
+
+// A cancellation striking mid-solve degrades gracefully: the engine returns
+// the best feasible design flagged Cancelled — not an error — and returns
+// promptly rather than running out the MILP time limit. MPEG's exact solve
+// runs well past the cancel point, so the cancel lands inside the solver.
+func TestSynthesizeContextCancelMidSolve(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	d, err := SynthesizeContext(ctx, MPEG(), MethodSRing, Options{
+		UseMILP:       true,
+		MILPTimeLimit: 30 * time.Second,
+		Parallelism:   1,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("cancelled synthesis returned error %v, want flagged design", err)
+	}
+	if !d.Cancelled {
+		t.Error("design not flagged Cancelled")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("cancelled design invalid: %v", err)
+	}
+	if d.Assignment == nil || d.Assignment.NumLambda == 0 {
+		t.Error("cancelled design carries no incumbent assignment")
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancelled synthesis took %v, want prompt return (limit was 30s)", elapsed)
+	}
+}
+
+// cacheFingerprint captures everything the cache must reproduce bit-identically:
+// the wavelength assignment and every evaluated metric.
+func cacheFingerprint(t *testing.T, d *Design) string {
+	t.Helper()
+	m, err := d.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%v|%d|%+v", d.Assignment.Lambda, d.Assignment.NumLambda, *m)
+}
+
+// Cached synthesis must be bit-identical to uncached synthesis: same
+// assignment, same metrics, across repeated hits against a shared cache.
+func TestCacheBitIdentical(t *testing.T) {
+	apps := []*Application{MWD(), VOPD(), PM24()}
+	cache := NewCache()
+	for _, app := range apps {
+		for _, method := range Methods() {
+			cold, err := Synthesize(app, method, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := cacheFingerprint(t, cold)
+			for pass := 0; pass < 2; pass++ {
+				d, err := Synthesize(app, method, Options{Cache: cache})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := cacheFingerprint(t, d); got != want {
+					t.Errorf("%s/%s pass %d: cached fingerprint diverged\n got %s\nwant %s",
+						app.Name, method, pass, got, want)
+				}
+			}
+		}
+	}
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Error("cache recorded no hits across repeated synthesis")
+	}
+}
+
+// A sweep that varies only the technology parameters must reuse the
+// construction and layout stages (they are tech-independent) and report the
+// reuse through the pipeline.cache.* counters.
+func TestCacheSkipsUpstreamStagesAcrossTechs(t *testing.T) {
+	cache := NewCache()
+	app := MWD()
+	if _, err := Synthesize(app, MethodSRing, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	tech := DefaultTech()
+	tech.SplitRatioDB = 3.5
+	rec := NewRecorder()
+	if _, err := Synthesize(app, MethodSRing, Options{Cache: cache, Tech: tech, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	counters := rec.Snapshot().Counters
+	for _, stage := range []string{"construct", "layout"} {
+		if got := counters["pipeline.cache."+stage+".hits"]; got != 1 {
+			t.Errorf("pipeline.cache.%s.hits = %d, want 1 (stage is tech-independent)", stage, got)
+		}
+	}
+	// Loss pricing depends on the tech, so the changed tech must miss.
+	if got := counters["pipeline.cache.loss.hits"]; got != 0 {
+		t.Errorf("pipeline.cache.loss.hits = %d, want 0 (tech changed)", got)
+	}
+	if hits, misses := cache.Stats(); hits < 2 || misses == 0 {
+		t.Errorf("cache stats = %d hits / %d misses, want >=2 hits and >0 misses", hits, misses)
+	}
+}

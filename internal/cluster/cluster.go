@@ -14,6 +14,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -70,10 +71,23 @@ type Result struct {
 	D1, D2 float64
 	// Evaluated counts how many L_max values the binary search tried.
 	Evaluated int
+	// Cancelled reports that the L_max binary search was interrupted by
+	// context cancellation: the construction is the best (smallest) feasible
+	// L_max found before the interrupt, valid but possibly not minimal.
+	Cancelled bool
 }
 
-// Synthesize runs the SRing clustering for the application.
+// Synthesize runs the SRing clustering with no cancellation hook. See
+// SynthesizeContext.
 func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), app, opt)
+}
+
+// SynthesizeContext runs the SRing clustering for the application.
+// Cancelling ctx stops the L_max binary search after the candidate being
+// evaluated: if a feasible clustering was already found it is returned
+// with Result.Cancelled set; otherwise the context error is returned.
+func SynthesizeContext(ctx context.Context, app *netlist.Application, opt Options) (*Result, error) {
 	if err := app.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
@@ -132,9 +146,14 @@ func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
 		defer pb.close(sp.Recorder())
 	}
 	var best *Result
+	cancelled := false
 	evaluated := 0
 	lo, hi := 1, count
 	for lo <= hi {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
 		mid := (lo + hi) / 2
 		lmax := valueAt(mid)
 		evaluated++
@@ -157,6 +176,10 @@ func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
 		}
 	}
 	if best == nil {
+		if cancelled {
+			// Nothing feasible yet: there is no incumbent to degrade to.
+			return nil, fmt.Errorf("cluster: %w", ctx.Err())
+		}
 		// Right edge of the range, then the unbounded fallback (always
 		// feasible: every communication component collapses into one
 		// cluster and no inter ring is needed).
@@ -176,11 +199,13 @@ func Synthesize(app *netlist.Application, opt Options) (*Result, error) {
 	}
 	best.D1, best.D2 = d1, d2
 	best.Evaluated = evaluated
+	best.Cancelled = cancelled
 	sp.SetInt("evaluated", int64(evaluated))
 	sp.SetInt("clusters", int64(len(best.Clusters)))
 	sp.SetInt("rings", int64(len(best.Rings)))
 	sp.SetBool("inter_ring", best.InterRing != nil)
 	sp.SetFloat("lmax", best.Lmax)
+	sp.SetBool("cancelled", cancelled)
 	return best, nil
 }
 

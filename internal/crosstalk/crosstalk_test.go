@@ -1,14 +1,16 @@
 package crosstalk
 
 import (
+	"context"
 	"math"
 	"testing"
 
-	"sring/internal/ctoring"
+	_ "sring/internal/ctoring"
 	"sring/internal/design"
 	"sring/internal/netlist"
-	"sring/internal/ornoc"
+	_ "sring/internal/ornoc"
 	"sring/internal/pdn"
+	"sring/internal/pipeline"
 	"sring/internal/ring"
 )
 
@@ -107,7 +109,7 @@ func TestNegativeSuppressionRejected(t *testing.T) {
 // concern", Sec. II-B).
 func TestBenchmarksKeepPositiveSNR(t *testing.T) {
 	for _, app := range netlist.Benchmarks() {
-		d, err := ctoring.Synthesize(app, ctoring.Options{})
+		d, err := pipeline.Synthesize(context.Background(), app, "CTORing", pipeline.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,11 +126,11 @@ func TestBenchmarksKeepPositiveSNR(t *testing.T) {
 func TestMoreTrafficMoreAggressors(t *testing.T) {
 	// ORNoC on 8PM-44 concentrates far more signals per waveguide than on
 	// 8PM-24: aggressor pairs must grow.
-	d24, err := ornoc.Synthesize(netlist.PM24(), ornoc.Options{})
+	d24, err := pipeline.Synthesize(context.Background(), netlist.PM24(), "ORNoC", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d44, err := ornoc.Synthesize(netlist.PM44(), ornoc.Options{})
+	d44, err := pipeline.Synthesize(context.Background(), netlist.PM44(), "ORNoC", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,34 +10,28 @@
 package ctoring
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"sring/internal/baseline"
-	"sring/internal/design"
 	"sring/internal/netlist"
+	"sring/internal/obs"
 	"sring/internal/pdn"
+	"sring/internal/pipeline"
 	"sring/internal/ring"
 	"sring/internal/wavelength"
 )
 
-// Options configures the synthesis.
-type Options struct {
-	// Design carries the shared downstream configuration; PDN settings are
-	// overwritten by the method's convention.
-	Design design.Options
-	// UseMILP enables the exact assignment polish.
-	UseMILP bool
-	// MILPTimeLimit bounds the exact solve (zero: the pipeline default,
-	// milp.DefaultTimeLimit).
-	MILPTimeLimit time.Duration
-	// Parallelism is the worker count for the exact solve (0 = GOMAXPROCS,
-	// 1 = sequential); the result is bit-identical either way.
-	Parallelism int
+func init() {
+	pipeline.Register("CTORing", Construct)
 }
 
-// Synthesize builds the CTORing design for the application.
-func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
+// Construct is the CTORing pipeline constructor: the conventional dual
+// ring with shorter-direction routing, leaving the wavelength assignment
+// to the shared optimiser under the method's splitter-blind objective.
+// The construction itself is combinatorial and never blocks, so ctx is
+// only honoured by the stages downstream.
+func Construct(_ context.Context, app *netlist.Application, _ pipeline.Options, _ *obs.Span) (*pipeline.Construction, error) {
 	cw, ccw, err := baseline.DualRing(app)
 	if err != nil {
 		return nil, fmt.Errorf("ctoring: %w", err)
@@ -46,22 +40,15 @@ func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ctoring: %w", err)
 	}
-
-	dopt := opt.Design
-	dopt.PDN = pdn.Config{Style: pdn.StyleShared, ForceNodeSplitter: true, LaserPos: dopt.PDN.LaserPos, RoutePhysical: dopt.PDN.RoutePhysical}
-	dopt.PDNAllTwoSender = true
-	dopt.MRRFullComplement = true
-	dopt.Assign = wavelength.Options{
+	return &pipeline.Construction{
+		Rings:             []*ring.Ring{cw, ccw},
+		Paths:             paths,
+		PDNStyle:          pdn.StyleShared,
+		ForceNodeSplitter: true,
+		PDNAllTwoSender:   true,
+		MRRFullComplement: true,
 		// Splitters are forced by convention, so the optimiser must not
 		// spend wavelengths avoiding them: L_sp = 0 in the objective.
-		Weights:       wavelength.Weights{Alpha: 1, Beta: 1, Gamma: 1, SplitterStageDB: 0},
-		UseMILP:       opt.UseMILP,
-		MILPTimeLimit: opt.MILPTimeLimit,
-		Parallelism:   opt.Parallelism,
-	}
-	d, err := design.Finish(app, "CTORing", []*ring.Ring{cw, ccw}, paths, dopt)
-	if err != nil {
-		return nil, fmt.Errorf("ctoring: %w", err)
-	}
-	return d, nil
+		Weights: wavelength.Weights{Alpha: 1, Beta: 1, Gamma: 1, SplitterStageDB: 0},
+	}, nil
 }

@@ -1,17 +1,26 @@
 package ctoring
 
 import (
+	"context"
 	"testing"
 
+	"sring/internal/design"
 	"sring/internal/netlist"
-	"sring/internal/ornoc"
+	"sring/internal/pipeline"
+
+	_ "sring/internal/ornoc" // registers the ORNoC constructor for comparison tests
 )
+
+func synth(t *testing.T, app *netlist.Application, method string) (*design.Design, error) {
+	t.Helper()
+	return pipeline.Synthesize(context.Background(), app, method, pipeline.Options{})
+}
 
 func TestSynthesizeBenchmarks(t *testing.T) {
 	for _, app := range netlist.Benchmarks() {
 		app := app
 		t.Run(app.Name, func(t *testing.T) {
-			d, err := Synthesize(app, Options{})
+			d, err := synth(t, app, "CTORing")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -30,11 +39,11 @@ func TestSynthesizeBenchmarks(t *testing.T) {
 // (optimised assignment).
 func TestBeatsORNoC(t *testing.T) {
 	for _, app := range netlist.Benchmarks() {
-		cto, err := Synthesize(app, Options{})
+		cto, err := synth(t, app, "CTORing")
 		if err != nil {
 			t.Fatal(err)
 		}
-		orn, err := ornoc.Synthesize(app, ornoc.Options{})
+		orn, err := synth(t, app, "ORNoC")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,11 +68,11 @@ func TestSameStructureAsORNoC(t *testing.T) {
 	// Both methods share the sequential dual-ring structure: identical
 	// ring orders, different assignments.
 	app := netlist.MWD()
-	cto, err := Synthesize(app, Options{})
+	cto, err := synth(t, app, "CTORing")
 	if err != nil {
 		t.Fatal(err)
 	}
-	orn, err := ornoc.Synthesize(app, ornoc.Options{})
+	orn, err := synth(t, app, "ORNoC")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +85,7 @@ func TestSameStructureAsORNoC(t *testing.T) {
 
 func TestErrorPropagation(t *testing.T) {
 	bad := &netlist.Application{Name: "bad"}
-	if _, err := Synthesize(bad, Options{}); err == nil {
+	if _, err := synth(t, bad, "CTORing"); err == nil {
 		t.Error("invalid app accepted")
 	}
 }

@@ -43,7 +43,17 @@ type Design struct {
 	// SynthesisTime is the wall-clock time of the full synthesis, set by
 	// the method front-ends (Table II).
 	SynthesisTime time.Duration
+	// Cancelled reports that synthesis was interrupted by context
+	// cancellation and this design is the best feasible result found so
+	// far (a best-so-far clustering, a MILP incumbent) rather than the
+	// fully converged one. The design is still complete and valid.
+	Cancelled bool
 }
+
+// LayoutResult aliases the layout engine's result for the staged pipeline's
+// signatures, so pipeline code can name it without importing the layout
+// package directly.
+type LayoutResult = layout.Result
 
 // Options configures Finish.
 type Options struct {
@@ -75,7 +85,10 @@ type Options struct {
 }
 
 // Finish completes a design: it lays out the rings, prices every path's
-// insertion loss, assigns wavelengths, and builds the PDN.
+// insertion loss, assigns wavelengths, and builds the PDN. It is the
+// single-call composition of the exported stage functions (RouteLayout,
+// PriceLoss, UsePreset, BuildPDN) that the staged pipeline engine runs —
+// and caches — individually.
 //
 // paths must contain exactly one entry per message of app, in message
 // order, each produced by ring.Route on one of the given rings.
@@ -103,7 +116,59 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 		return nil, err
 	}
 
-	lsp := opt.Obs.StartSpan("design.layout")
+	lay, err := RouteLayout(app, rings, opt.Obs)
+	if err != nil {
+		return nil, err
+	}
+	infos, err := PriceLoss(app, rings, paths, lay, tech, opt.MRRFullComplement, opt.Obs)
+	if err != nil {
+		return nil, err
+	}
+
+	var assignment *wavelength.Assignment
+	var stats *wavelength.Stats
+	if opt.PresetAssignment != nil {
+		assignment, stats, err = UsePreset(infos, opt.PresetAssignment, opt.Obs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		assignOpts := opt.Assign
+		if assignOpts.Weights == (wavelength.Weights{}) {
+			assignOpts.Weights = wavelength.DefaultWeights()
+			assignOpts.Weights.SplitterStageDB = tech.SplitterStageDB()
+		}
+		assignOpts.Obs = opt.Obs
+		assignment, stats, err = wavelength.Assign(infos, assignOpts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	network, err := BuildPDN(app, infos, assignment, opt.PDN, opt.PDNAllTwoSender, opt.Obs)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Design{
+		App:         app,
+		Method:      method,
+		Rings:       rings,
+		Infos:       infos,
+		Assignment:  assignment,
+		Layout:      lay,
+		PDN:         network,
+		Tech:        tech,
+		AssignStats: stats,
+		Cancelled:   stats != nil && stats.Cancelled,
+	}, nil
+}
+
+// RouteLayout runs the physical layout stage: it routes every ring
+// waveguide and counts bends and crossings, recording the design.layout
+// span under parent.
+func RouteLayout(app *netlist.Application, rings []*ring.Ring, parent *obs.Span) (*layout.Result, error) {
+	lsp := parent.StartSpan("design.layout")
 	lay, err := layout.Route(app, rings)
 	if err != nil {
 		lsp.End()
@@ -114,14 +179,26 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 	lsp.SetInt("bends", int64(lay.TotalBends))
 	lsp.SetFloat("waveguide_mm", lay.TotalWaveguideMM)
 	lsp.End()
+	return lay, nil
+}
 
+// PriceLoss runs the loss-pricing stage: it derives each path's insertion
+// loss L_s from the layout under the given technology, recording the
+// design.loss span under parent. mrrFullComplement selects the ORNoC/
+// CTORing convention of populating every node's complete MRR arrays on
+// every ring (see Options.MRRFullComplement).
+func PriceLoss(app *netlist.Application, rings []*ring.Ring, paths []ring.Path, lay *layout.Result, tech loss.Tech, mrrFullComplement bool, parent *obs.Span) ([]wavelength.PathInfo, error) {
+	ringByID := make(map[int]*ring.Ring, len(rings))
+	for _, r := range rings {
+		ringByID[r.ID] = r
+	}
 	// Off-resonance MRR population per (node, ring): one MRR per message
 	// sent plus one per message received by the node on that ring (the
 	// assignment-independent upper bound used for through-loss). Under the
 	// full-complement convention the node carries its complete arrays on
 	// every ring instead.
 	mrrs := make(map[[2]int]int)
-	if opt.MRRFullComplement {
+	if mrrFullComplement {
 		total := make(map[int]int)
 		for _, p := range paths {
 			total[int(p.Msg.Src)]++
@@ -139,7 +216,7 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 		}
 	}
 
-	losssp := opt.Obs.StartSpan("design.loss")
+	losssp := parent.StartSpan("design.loss")
 	infos := make([]wavelength.PathInfo, len(paths))
 	for i, p := range paths {
 		r := ringByID[p.RingID]
@@ -175,38 +252,36 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 	losssp.SetInt("paths", int64(len(infos)))
 	losssp.SetFloat("worst_il_db", worst)
 	losssp.End()
+	return infos, nil
+}
 
-	var assignment *wavelength.Assignment
-	var stats *wavelength.Stats
-	if opt.PresetAssignment != nil {
-		assignment = opt.PresetAssignment.Clone()
-		assignment.Normalize()
-		if err := wavelength.Verify(infos, assignment); err != nil {
-			return nil, fmt.Errorf("design: preset assignment: %w", err)
-		}
-		o := wavelength.Evaluate(infos, assignment, wavelength.DefaultWeights())
-		stats = &wavelength.Stats{Heuristic: o, Final: o}
-		if sp := opt.Obs.StartSpan("wavelength.assign"); sp.Enabled() {
-			sp.SetBool("preset", true)
-			sp.SetInt("paths", int64(len(infos)))
-			sp.SetInt("wavelengths", int64(assignment.NumLambda))
-			sp.SetFloat("final_objective", o.Value)
-			sp.End()
-		}
-	} else {
-		assignOpts := opt.Assign
-		if assignOpts.Weights == (wavelength.Weights{}) {
-			assignOpts.Weights = wavelength.DefaultWeights()
-			assignOpts.Weights.SplitterStageDB = tech.SplitterStageDB()
-		}
-		assignOpts.Obs = opt.Obs
-		var err error
-		assignment, stats, err = wavelength.Assign(infos, assignOpts)
-		if err != nil {
-			return nil, err
-		}
+// UsePreset runs the assignment stage for methods whose wavelength
+// assignment is part of the method itself (e.g. ORNoC's first-fit): the
+// preset is cloned, normalised, verified collision-free and evaluated.
+// The input assignment is not modified.
+func UsePreset(infos []wavelength.PathInfo, preset *wavelength.Assignment, parent *obs.Span) (*wavelength.Assignment, *wavelength.Stats, error) {
+	assignment := preset.Clone()
+	assignment.Normalize()
+	if err := wavelength.Verify(infos, assignment); err != nil {
+		return nil, nil, fmt.Errorf("design: preset assignment: %w", err)
 	}
+	o := wavelength.Evaluate(infos, assignment, wavelength.DefaultWeights())
+	stats := &wavelength.Stats{Heuristic: o, Final: o}
+	if sp := parent.StartSpan("wavelength.assign"); sp.Enabled() {
+		sp.SetBool("preset", true)
+		sp.SetInt("paths", int64(len(infos)))
+		sp.SetInt("wavelengths", int64(assignment.NumLambda))
+		sp.SetFloat("final_objective", o.Value)
+		sp.End()
+	}
+	return assignment, stats, nil
+}
 
+// BuildPDN runs the PDN stage: it derives the sender and splitter demand
+// implied by the assignment and builds the power-distribution network,
+// recording the design.pdn span under parent. allTwoSender applies the
+// ORNoC/CTORing full two-sender convention (see Options.PDNAllTwoSender).
+func BuildPDN(app *netlist.Application, infos []wavelength.PathInfo, assignment *wavelength.Assignment, cfg pdn.Config, allTwoSender bool, parent *obs.Span) (*pdn.Network, error) {
 	senderNodes := app.Senders()
 	twoSender := make(map[netlist.NodeID]bool)
 	ringsPerNode := make(map[netlist.NodeID]map[int]bool)
@@ -222,14 +297,14 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 			twoSender[n] = true
 		}
 	}
-	if opt.PDNAllTwoSender {
+	if allTwoSender {
 		for _, n := range senderNodes {
 			twoSender[n] = true
 		}
 	}
-	psp := opt.Obs.StartSpan("design.pdn")
+	psp := parent.StartSpan("design.pdn")
 	splitters := wavelength.NodeSplitters(infos, assignment)
-	network, err := pdn.Build(app, senderNodes, twoSender, splitters, opt.PDN)
+	network, err := pdn.Build(app, senderNodes, twoSender, splitters, cfg)
 	if err != nil {
 		psp.End()
 		return nil, err
@@ -238,18 +313,7 @@ func Finish(app *netlist.Application, method string, rings []*ring.Ring, paths [
 	psp.SetInt("two_sender", int64(len(twoSender)))
 	psp.SetInt("total_splitters", int64(network.TotalSplitters))
 	psp.End()
-
-	return &Design{
-		App:         app,
-		Method:      method,
-		Rings:       rings,
-		Infos:       infos,
-		Assignment:  assignment,
-		Layout:      lay,
-		PDN:         network,
-		Tech:        tech,
-		AssignStats: stats,
-	}, nil
+	return network, nil
 }
 
 // Metrics are the evaluation results the paper reports per design:

@@ -1,12 +1,14 @@
 package design_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
-	"sring/internal/ctoring"
+	_ "sring/internal/ctoring"
 	"sring/internal/netlist"
-	"sring/internal/ornoc"
+	_ "sring/internal/ornoc"
+	"sring/internal/pipeline"
 )
 
 // The paper's Table I identity: il_w_all equals il_w plus the PDN losses of
@@ -15,7 +17,7 @@ import (
 // designs.
 func TestILAllDecomposition(t *testing.T) {
 	for _, app := range netlist.Benchmarks() {
-		d, err := ctoring.Synthesize(app, ctoring.Options{})
+		d, err := pipeline.Synthesize(context.Background(), app, "CTORing", pipeline.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +56,7 @@ func TestILAllDecomposition(t *testing.T) {
 // Laser power must be reproducible from the per-wavelength losses alone,
 // and monotone: removing the worst wavelength strictly decreases it.
 func TestPowerAggregationConsistency(t *testing.T) {
-	d, err := ornoc.Synthesize(netlist.VOPD(), ornoc.Options{})
+	d, err := pipeline.Synthesize(context.Background(), netlist.VOPD(), "ORNoC", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +82,7 @@ func TestPowerAggregationConsistency(t *testing.T) {
 // Metrics must be stable: calling Metrics twice returns identical values
 // (no internal mutation).
 func TestMetricsIdempotent(t *testing.T) {
-	d, err := ctoring.Synthesize(netlist.MWD(), ctoring.Options{})
+	d, err := pipeline.Synthesize(context.Background(), netlist.MWD(), "CTORing", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

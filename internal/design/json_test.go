@@ -2,16 +2,18 @@ package design_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
-	"sring/internal/ctoring"
+	_ "sring/internal/ctoring"
 	"sring/internal/design"
 	"sring/internal/netlist"
+	"sring/internal/pipeline"
 )
 
 func TestEncodeJSON(t *testing.T) {
-	d, err := ctoring.Synthesize(netlist.MWD(), ctoring.Options{})
+	d, err := pipeline.Synthesize(context.Background(), netlist.MWD(), "CTORing", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func TestEncodeJSON(t *testing.T) {
 }
 
 func TestEncodeJSONDeterministic(t *testing.T) {
-	d, err := ctoring.Synthesize(netlist.PM24(), ctoring.Options{})
+	d, err := pipeline.Synthesize(context.Background(), netlist.PM24(), "CTORing", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,17 +1,19 @@
 package fault
 
 import (
+	"context"
 	"testing"
 
-	"sring/internal/ctoring"
+	_ "sring/internal/ctoring"
 	"sring/internal/design"
 	"sring/internal/netlist"
 	"sring/internal/pdn"
+	"sring/internal/pipeline"
 	"sring/internal/ring"
 )
 
 func TestAnalyzeBasics(t *testing.T) {
-	d, err := ctoring.Synthesize(netlist.MWD(), ctoring.Options{})
+	d, err := pipeline.Synthesize(context.Background(), netlist.MWD(), "CTORing", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestCustomisationConcentratesExposure(t *testing.T) {
 	// (the direction can tie on tiny cases): front-end counts and worst
 	// losses must be consistent with the sender complements.
 	for _, app := range netlist.Benchmarks() {
-		d, err := ctoring.Synthesize(app, ctoring.Options{})
+		d, err := pipeline.Synthesize(context.Background(), app, "CTORing", pipeline.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,11 +1,13 @@
 package lambdarouter
 
 import (
+	"context"
 	"testing"
 
-	"sring/internal/ctoring"
+	_ "sring/internal/ctoring"
 	"sring/internal/loss"
 	"sring/internal/netlist"
+	"sring/internal/pipeline"
 )
 
 func TestSynthesizeBasics(t *testing.T) {
@@ -146,7 +148,7 @@ func TestRingBeatsCrossbarOnLoss(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rd, err := ctoring.Synthesize(app, ctoring.Options{})
+		rd, err := pipeline.Synthesize(context.Background(), app, "CTORing", pipeline.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

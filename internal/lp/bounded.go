@@ -110,7 +110,19 @@ type Solver struct {
 	// starts a fresh iteration counter, so a warm-started re-solve never
 	// inherits the previous solve's cycling suspicion.
 	blandAfterOverride int
+
+	// interrupt, when non-nil, is polled between pivots (at the deadline
+	// cadence): once it is closed, the current and every subsequent solve
+	// stops with IterLimit, exactly as if the deadline had passed. Set via
+	// SetInterrupt; used to propagate context cancellation into
+	// long-running pivot loops.
+	interrupt <-chan struct{}
 }
+
+// SetInterrupt installs a cancellation channel (typically a
+// context.Context's Done channel) that the pivot loop polls alongside the
+// deadline. A nil channel disables the check.
+func (s *Solver) SetInterrupt(ch <-chan struct{}) { s.interrupt = ch }
 
 // NewSolver validates the problem and builds the reusable solve state.
 // Variable bounds are supplied per solve; the Problem's constraint rows and
@@ -416,17 +428,23 @@ func (s *Solver) Basis() *Basis {
 // iterState carries the shared pivot-loop bookkeeping of one solve.
 type iterState struct {
 	deadline    time.Time
+	interrupt   <-chan struct{}
 	maxIter     int
 	blandAfter  int
 	iter        int
 	pivots      int
 	blandPivots int
-	deadlineHit bool // the last step() returned false because of the deadline
+	// deadlineHit: the last step() returned false because the wall-clock
+	// budget was exhausted — the deadline passed or the interrupt channel
+	// closed — rather than the pivot cap. Callers use it to tell "out of
+	// time" from "cycling suspicion".
+	deadlineHit bool
 }
 
 func (s *Solver) newIterState(deadline time.Time) iterState {
 	st := iterState{
 		deadline:   deadline,
+		interrupt:  s.interrupt,
 		maxIter:    200 * (s.m + s.nCols + 10),
 		blandAfter: blandTriggerFactor * (s.m + s.nCols),
 	}
@@ -437,14 +455,24 @@ func (s *Solver) newIterState(deadline time.Time) iterState {
 }
 
 // step advances the shared iteration accounting and reports whether the
-// loop may continue (false: iteration or deadline limit reached).
+// loop may continue (false: iteration limit, deadline, or interrupt).
 func (st *iterState) step() bool {
 	if st.iter >= st.maxIter {
 		return false
 	}
-	if !st.deadline.IsZero() && st.iter%16 == 0 && time.Now().After(st.deadline) {
-		st.deadlineHit = true
-		return false
+	if st.iter%16 == 0 {
+		if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+			st.deadlineHit = true
+			return false
+		}
+		if st.interrupt != nil {
+			select {
+			case <-st.interrupt:
+				st.deadlineHit = true
+				return false
+			default:
+			}
+		}
 	}
 	st.iter++
 	return true

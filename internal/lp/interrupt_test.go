@@ -1,0 +1,54 @@
+package lp
+
+import (
+	"testing"
+	"time"
+)
+
+// A closed interrupt channel stops the pivot loop with IterLimit — exactly
+// the deadline-expired behaviour — and clearing it re-enables the solver.
+func TestSolverInterrupt(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{-3, -5}}
+	p.AddConstraint(LE, 4, map[int]float64{0: 1})
+	p.AddConstraint(LE, 12, map[int]float64{1: 2})
+	p.AddConstraint(LE, 18, map[int]float64{0: 3, 1: 2})
+
+	s, err := NewSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan struct{})
+	close(ch)
+	s.SetInterrupt(ch)
+	sol, err := s.SolveBounded(nil, nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit {
+		t.Fatalf("interrupted solve status = %v, want IterLimit", sol.Status)
+	}
+
+	// Disabling the interrupt restores normal solving on the same Solver.
+	s.SetInterrupt(nil)
+	sol, err = s.SolveBounded(nil, nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("post-interrupt solve status = %v, want Optimal", sol.Status)
+	}
+	if !approx(sol.Objective, -36, 1e-6) {
+		t.Errorf("objective = %v, want -36", sol.Objective)
+	}
+
+	// An open channel must not disturb the solve.
+	open := make(chan struct{})
+	s.SetInterrupt(open)
+	sol, err = s.SolveBounded(nil, nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("open-channel solve status = %v, want Optimal", sol.Status)
+	}
+}

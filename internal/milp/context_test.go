@@ -1,0 +1,102 @@
+package milp
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sring/internal/lp"
+)
+
+// A cancelled context must not discard a seeded incumbent: the solver
+// returns it promptly with Result.Cancelled set, as an unproven Feasible —
+// never an error.
+func TestSolveContextCancelledKeepsIncumbent(t *testing.T) {
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   4,
+			Objective: []float64{-10, -13, -7, -4},
+		},
+		Integer: allInt(4),
+	}
+	p.LP.AddConstraint(lp.LE, 10, map[int]float64{0: 5, 1: 7, 2: 4, 3: 3})
+	binaryBox(&p.LP)
+	// {x2, x3}: weight 7 <= 10, objective -11. Feasible but not optimal
+	// (-17), so returning it proves the solver kept the seed rather than
+	// re-solving.
+	incumbent := []float64{0, 0, 1, 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := SolveContext(ctx, p, Options{Incumbent: incumbent})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled {
+		t.Error("Result.Cancelled not set")
+	}
+	if res.Status != Feasible {
+		t.Errorf("status = %v, want Feasible (unproven incumbent)", res.Status)
+	}
+	if !approx(res.Objective, -11, 1e-9) {
+		t.Errorf("objective = %v, want the seeded incumbent's -11", res.Objective)
+	}
+	for i, v := range incumbent {
+		if !approx(res.X[i], v, 1e-9) {
+			t.Errorf("X[%d] = %v, want seeded %v", i, res.X[i], v)
+		}
+	}
+	if elapsed > time.Second {
+		t.Errorf("cancelled solve took %v, want immediate return", elapsed)
+	}
+}
+
+// Without an incumbent a cancelled solve reports Unknown/Infeasible-free
+// cancellation: no X, Cancelled set, no error.
+func TestSolveContextCancelledWithoutIncumbent(t *testing.T) {
+	p := &Problem{
+		LP:      lp.Problem{NumVars: 2, Objective: []float64{-1, -1}},
+		Integer: allInt(2),
+	}
+	p.LP.AddConstraint(lp.LE, 3, map[int]float64{0: 2, 1: 2})
+	binaryBox(&p.LP)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveContext(ctx, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled {
+		t.Error("Result.Cancelled not set")
+	}
+	if res.X != nil {
+		t.Errorf("X = %v, want nil (no incumbent existed)", res.X)
+	}
+}
+
+// Solve (the context-free wrapper) must behave exactly as before: same
+// knapsack, optimal, no cancellation flag.
+func TestSolveWrapperUncancelled(t *testing.T) {
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   4,
+			Objective: []float64{-10, -13, -7, -4},
+		},
+		Integer: allInt(4),
+	}
+	p.LP.AddConstraint(lp.LE, 10, map[int]float64{0: 5, 1: 7, 2: 4, 3: 3})
+	binaryBox(&p.LP)
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || res.Cancelled {
+		t.Errorf("status = %v cancelled = %v, want Optimal, not cancelled", res.Status, res.Cancelled)
+	}
+	if !approx(res.Objective, -17, 1e-6) {
+		t.Errorf("objective = %v, want -17", res.Objective)
+	}
+}

@@ -10,6 +10,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -125,6 +126,11 @@ type Result struct {
 	// TimeLimitHit reports that the wall-clock budget expired before the
 	// search finished (the node limit alone does not set it).
 	TimeLimitHit bool
+	// Cancelled reports that the context passed to SolveContext was
+	// cancelled before the search finished. The result is still valid:
+	// X is the best incumbent found (the seeded incumbent at worst) and
+	// Bound the best proven bound at the moment of cancellation.
+	Cancelled bool
 }
 
 // Gap returns the relative optimality gap (Objective − Bound) / |Objective|
@@ -173,8 +179,8 @@ func nodeLess(a, b *node) bool {
 
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int           { return len(h) }
-func (h nodeHeap) Less(i, j int) bool { return nodeLess(h[i], h[j]) }
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return nodeLess(h[i], h[j]) }
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() interface{} {
@@ -186,10 +192,23 @@ func (h *nodeHeap) Pop() interface{} {
 	return it
 }
 
-// Solve runs presolve followed by branch and bound. The returned error is
-// non-nil only for malformed input (including an infeasible or fractional
-// seeded incumbent).
+// Solve runs presolve followed by branch and bound with no cancellation
+// hook. See SolveContext.
 func Solve(p *Problem, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), p, opt)
+}
+
+// SolveContext runs presolve followed by branch and bound. The returned
+// error is non-nil only for malformed input (including an infeasible or
+// fractional seeded incumbent).
+//
+// ctx unifies with the wall-clock budget: a context deadline earlier than
+// TimeLimit tightens it, and cancellation stops the search gracefully —
+// the branch-and-bound loop checks ctx between nodes and the LP pivot
+// loops poll ctx.Done() at their deadline cadence, so the solve returns
+// its best incumbent promptly with Result.Cancelled set instead of an
+// error.
+func SolveContext(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -247,7 +266,7 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 				}
 				sub.BranchPriority = prio
 			}
-			res, err := solveBB(pr.reduced, sub)
+			res, err := solveBB(ctx, pr.reduced, sub)
 			if err != nil {
 				return nil, err
 			}
@@ -263,11 +282,11 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 			return res, nil
 		}
 	}
-	return solveBB(p, opt)
+	return solveBB(ctx, p, opt)
 }
 
 // solveBB is the branch-and-bound core.
-func solveBB(p *Problem, opt Options) (*Result, error) {
+func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	sp := opt.Obs.StartSpan("milp.solve")
 	rec := sp.Recorder()
 	nodesC := rec.Counter("milp.nodes")
@@ -284,6 +303,11 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 		nodeLimit = 200000
 	}
 	deadline := time.Now().Add(timeLimit)
+	// A context deadline earlier than the time limit tightens the budget;
+	// both are enforced by the same deadline checks.
+	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
+		deadline = cd
+	}
 	// Convert singleton/empty/duplicate rows into root variable bounds so
 	// every node solves a smaller bounded-variable LP.
 	pp := prepRelaxation(p, rec)
@@ -296,7 +320,7 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 	// LP solves share the exact same deadline: the simplex checks it
 	// between pivots and returns IterLimit, which the search records as an
 	// unresolved node, so one long relaxation cannot overshoot TimeLimit.
-	eval, err := newEvaluator(pp, opt.Parallelism, deadline, rec)
+	eval, err := newEvaluator(pp, opt.Parallelism, deadline, ctx.Done(), rec)
 	if err != nil {
 		sp.End()
 		return nil, err
@@ -331,10 +355,11 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 	heap.Init(open)
 
 	for open.Len() > 0 {
-		if res.Nodes >= nodeLimit || time.Now().After(deadline) {
+		if res.Nodes >= nodeLimit || ctx.Err() != nil || time.Now().After(deadline) {
 			// The best open bound is the proven lower bound.
 			res.Bound = math.Max(res.Bound, (*open)[0].bound)
 			res.TimeLimitHit = time.Now().After(deadline)
+			res.Cancelled = ctx.Err() != nil
 			return res, nil
 		}
 		nd := heap.Pop(open).(*node)
@@ -398,7 +423,7 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 		if nd.depth == 0 && res.Nodes == 1 {
 			// Root primal heuristic: a deterministic rounding dive seeds the
 			// incumbent so bound pruning bites from the very first branches.
-			if hs, herr := newRelaxSolver(pp); herr == nil {
+			if hs, herr := newRelaxSolver(pp, ctx.Done()); herr == nil {
 				if x, obj, ok := diveHeuristic(pp, hs, opt.BranchPriority, sol, bas, deadline, rec); ok && obj < res.Objective-1e-9 {
 					res.X = x
 					res.Objective = obj
@@ -424,6 +449,9 @@ func solveBB(p *Problem, opt Options) (*Result, error) {
 
 	if unresolved && time.Now().After(deadline) {
 		res.TimeLimitHit = true
+	}
+	if unresolved && ctx.Err() != nil {
+		res.Cancelled = true
 	}
 	switch {
 	case res.X != nil && !unresolved:

@@ -31,13 +31,15 @@ type evaluator interface {
 }
 
 // newEvaluator picks the implementation for the resolved worker count.
-func newEvaluator(pp *prepped, parallelism int, deadline time.Time, rec *obs.Recorder) (evaluator, error) {
-	rs, err := newRelaxSolver(pp)
+// interrupt (a context's Done channel, possibly nil) is installed in every
+// LP solver the evaluator creates, the workers' included.
+func newEvaluator(pp *prepped, parallelism int, deadline time.Time, interrupt <-chan struct{}, rec *obs.Recorder) (evaluator, error) {
+	rs, err := newRelaxSolver(pp, interrupt)
 	if err != nil {
 		return nil, err
 	}
 	if workers := par.Resolve(parallelism); workers > 1 {
-		return newPrefetcher(pp, rs, workers, deadline, rec), nil
+		return newPrefetcher(pp, rs, workers, deadline, interrupt, rec), nil
 	}
 	return &inlineEvaluator{rs: rs, deadline: deadline, rec: rec}, nil
 }
@@ -97,11 +99,12 @@ type lpFuture struct {
 // inline if a skipped future is ever reached, keeping exactness independent
 // of that argument.
 type prefetcher struct {
-	pp       *prepped
-	rs       *relaxSolver // main-goroutine solver for non-speculated nodes
-	deadline time.Time
-	rec      *obs.Recorder
-	workers  int
+	pp        *prepped
+	rs        *relaxSolver // main-goroutine solver for non-speculated nodes
+	deadline  time.Time
+	interrupt <-chan struct{} // installed in each worker's LP solver
+	rec       *obs.Recorder
+	workers   int
 
 	tasks chan *lpFuture
 	wg    sync.WaitGroup
@@ -118,15 +121,16 @@ type prefetcher struct {
 	consumed  int64
 }
 
-func newPrefetcher(pp *prepped, rs *relaxSolver, workers int, deadline time.Time, rec *obs.Recorder) *prefetcher {
+func newPrefetcher(pp *prepped, rs *relaxSolver, workers int, deadline time.Time, interrupt <-chan struct{}, rec *obs.Recorder) *prefetcher {
 	f := &prefetcher{
-		pp:       pp,
-		rs:       rs,
-		deadline: deadline,
-		rec:      rec,
-		workers:  workers,
-		tasks:    make(chan *lpFuture, 2*workers),
-		futures:  make(map[*node]*lpFuture),
+		pp:        pp,
+		rs:        rs,
+		deadline:  deadline,
+		interrupt: interrupt,
+		rec:       rec,
+		workers:   workers,
+		tasks:     make(chan *lpFuture, 2*workers),
+		futures:   make(map[*node]*lpFuture),
 	}
 	f.incumbent.Store(math.Float64bits(math.Inf(1)))
 	f.wg.Add(workers)
@@ -138,7 +142,7 @@ func newPrefetcher(pp *prepped, rs *relaxSolver, workers int, deadline time.Time
 
 func (f *prefetcher) worker() {
 	defer f.wg.Done()
-	rs, err := newRelaxSolver(f.pp)
+	rs, err := newRelaxSolver(f.pp, f.interrupt)
 	for fut := range f.tasks {
 		if err != nil {
 			// The main goroutine's identical construction succeeded, so this

@@ -183,11 +183,15 @@ type relaxSolver struct {
 	lo, hi []float64 // per-solve scratch bounds
 }
 
-func newRelaxSolver(pp *prepped) (*relaxSolver, error) {
+// newRelaxSolver builds a solver arena for pp. interrupt, when non-nil
+// (typically a context's Done channel), is polled inside the LP pivot
+// loops so a cancellation stops even a single long relaxation promptly.
+func newRelaxSolver(pp *prepped, interrupt <-chan struct{}) (*relaxSolver, error) {
 	s, err := lp.NewSolver(&pp.p.LP)
 	if err != nil {
 		return nil, err
 	}
+	s.SetInterrupt(interrupt)
 	return &relaxSolver{
 		pp: pp,
 		s:  s,

@@ -12,25 +12,29 @@
 package ornoc
 
 import (
+	"context"
 	"fmt"
 
 	"sring/internal/baseline"
-	"sring/internal/design"
 	"sring/internal/netlist"
+	"sring/internal/obs"
 	"sring/internal/pdn"
+	"sring/internal/pipeline"
 	"sring/internal/ring"
 	"sring/internal/wavelength"
 )
 
-// Options configures the synthesis.
-type Options struct {
-	// Design carries the shared downstream configuration. PDN settings
-	// and the preset assignment are overwritten by the method.
-	Design design.Options
+func init() {
+	pipeline.Register("ORNoC", Construct)
 }
 
-// Synthesize builds the ORNoC design for the application.
-func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
+// Construct is the ORNoC pipeline constructor: the conventional dual ring
+// with the method's own first-fit wavelength assignment carried as a
+// preset, plus the full-complement PDN/MRR conventions of Sec. II-C.
+// ORNoC's construction is purely combinatorial — it never consults the
+// technology or the optimiser, so ctx is only honoured by the stages
+// downstream.
+func Construct(_ context.Context, app *netlist.Application, _ pipeline.Options, _ *obs.Span) (*pipeline.Construction, error) {
 	cw, ccw, err := baseline.DualRing(app)
 	if err != nil {
 		return nil, fmt.Errorf("ornoc: %w", err)
@@ -86,14 +90,14 @@ func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
 		}
 	}
 
-	dopt := opt.Design
-	dopt.PresetAssignment = &wavelength.Assignment{Lambda: lambdas, NumLambda: maxLambda + 1}
-	dopt.PDN = pdn.Config{Style: pdn.StyleShared, ForceNodeSplitter: true, LaserPos: dopt.PDN.LaserPos, RoutePhysical: dopt.PDN.RoutePhysical}
-	dopt.PDNAllTwoSender = true
-	dopt.MRRFullComplement = true
-	d, err := design.Finish(app, "ORNoC", rings, paths, dopt)
-	if err != nil {
-		return nil, fmt.Errorf("ornoc: %w", err)
-	}
-	return d, nil
+	return &pipeline.Construction{
+		Rings:             rings,
+		Paths:             paths,
+		Preset:            &wavelength.Assignment{Lambda: lambdas, NumLambda: maxLambda + 1},
+		PDNStyle:          pdn.StyleShared,
+		ForceNodeSplitter: true,
+		PDNAllTwoSender:   true,
+		MRRFullComplement: true,
+		Weights:           wavelength.DefaultWeights(),
+	}, nil
 }

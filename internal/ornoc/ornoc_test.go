@@ -1,17 +1,25 @@
 package ornoc
 
 import (
+	"context"
 	"testing"
 
 	"sring/internal/baseline"
+	"sring/internal/design"
 	"sring/internal/netlist"
+	"sring/internal/pipeline"
 )
+
+func synth(t *testing.T, app *netlist.Application) (*design.Design, error) {
+	t.Helper()
+	return pipeline.Synthesize(context.Background(), app, "ORNoC", pipeline.Options{})
+}
 
 func TestSynthesizeBenchmarks(t *testing.T) {
 	for _, app := range netlist.Benchmarks() {
 		app := app
 		t.Run(app.Name, func(t *testing.T) {
-			d, err := Synthesize(app, Options{})
+			d, err := synth(t, app)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -33,7 +41,7 @@ func TestFirstFitKeepsAssignment(t *testing.T) {
 	// optimised one: with first-fit, the first message always gets λ0 on
 	// the CW ring.
 	app := netlist.MWD()
-	d, err := Synthesize(app, Options{})
+	d, err := synth(t, app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +57,7 @@ func TestForcedSplitterConvention(t *testing.T) {
 	// ORNoC's PDN joins every node's two senders with a splitter: the max
 	// splitters per path is the tree depth + 1.
 	app := netlist.PM24()
-	d, err := Synthesize(app, Options{})
+	d, err := synth(t, app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +75,11 @@ func TestForcedSplitterConvention(t *testing.T) {
 }
 
 func TestDeterministic(t *testing.T) {
-	a, err := Synthesize(netlist.VOPD(), Options{})
+	a, err := synth(t, netlist.VOPD())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Synthesize(netlist.VOPD(), Options{})
+	b, err := synth(t, netlist.VOPD())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +92,7 @@ func TestDeterministic(t *testing.T) {
 
 func TestErrorPropagation(t *testing.T) {
 	bad := &netlist.Application{Name: "bad"}
-	if _, err := Synthesize(bad, Options{}); err == nil {
+	if _, err := synth(t, bad); err == nil {
 		t.Error("invalid app accepted")
 	}
 }

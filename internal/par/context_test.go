@@ -1,0 +1,55 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// Sequential path: a cancellation between indices stops the loop; indices
+// already dispatched have run, the rest were never touched.
+func TestForEachContextSequentialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := make([]bool, 5)
+	err := ForEachContext(ctx, 1, len(ran), func(i int) {
+		ran[i] = true
+		if i == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	want := []bool{true, true, false, false, false}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Errorf("ran[%d] = %v, want %v", i, ran[i], want[i])
+		}
+	}
+}
+
+// Parallel path: a pre-cancelled context dispatches nothing.
+func TestForEachContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	err := ForEachContext(ctx, 4, 100, func(i int) { calls.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Errorf("fn ran %d times under a pre-cancelled context, want 0", n)
+	}
+}
+
+// Uncancelled contexts change nothing: every index runs, nil error.
+func TestForEachContextComplete(t *testing.T) {
+	var calls atomic.Int32
+	if err := ForEachContext(context.Background(), 4, 64, func(i int) { calls.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 64 {
+		t.Errorf("fn ran %d times, want 64", n)
+	}
+}

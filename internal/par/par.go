@@ -11,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,15 +38,27 @@ func Resolve(parallelism int) int {
 // A panic in fn is re-raised on the calling goroutine after the remaining
 // workers drain.
 func ForEach(parallelism, n int, fn func(i int)) {
+	_ = ForEachContext(context.Background(), parallelism, n, fn)
+}
+
+// ForEachContext is ForEach with cooperative cancellation: once ctx is
+// cancelled no further indices are dispatched (calls already running
+// finish) and the context's error is returned. Indices not dispatched are
+// simply skipped — the caller can identify them because fn never wrote
+// their slots. A nil return means fn ran for every index.
+func ForEachContext(ctx context.Context, parallelism, n int, fn func(i int)) error {
 	workers := Resolve(parallelism)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var (
 		next      atomic.Int64
@@ -64,6 +77,9 @@ func ForEach(parallelism, n int, fn func(i int)) {
 				}
 			}()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -76,4 +92,5 @@ func ForEach(parallelism, n int, fn func(i int)) {
 	if panicked != nil {
 		panic(panicked)
 	}
+	return ctx.Err()
 }

@@ -1,0 +1,219 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"sring/internal/loss"
+	"sring/internal/netlist"
+	"sring/internal/obs"
+)
+
+// Cache memoizes stage outputs across Synthesize calls. Keys are
+// content-addressed — a SHA-256 over the application's full content plus
+// the option prefix the stage depends on — so a cache can safely be shared
+// between applications, methods and option sweeps; only genuinely
+// identical stage work hits. The zero value is not usable; create caches
+// with NewCache. All methods are safe for concurrent use, and a nil *Cache
+// is a valid "caching off" value everywhere in this package.
+//
+// Cached stage outputs are either treated as immutable by all downstream
+// code (rings, paths, layouts, priced paths, PDNs) or defensively copied on
+// the way in and out (wavelength assignments, whose Normalize mutates), so
+// designs served from the cache are bit-identical to uncached ones.
+// Parallelism and Recorder never enter a key: neither changes the result.
+type Cache struct {
+	mu           sync.Mutex
+	m            map[cacheKey]interface{}
+	hits, misses atomic.Int64
+}
+
+// NewCache returns an empty stage cache.
+func NewCache() *Cache { return &Cache{m: make(map[cacheKey]interface{})} }
+
+type cacheKey [sha256.Size]byte
+
+// lookup fetches a stage entry and updates the hit/miss telemetry: the
+// cache's own counters plus the run's pipeline.cache.* obs counters.
+func (c *Cache) lookup(rec *obs.Recorder, stage string, key cacheKey) (interface{}, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	v, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		rec.Add("pipeline.cache.hits", 1)
+		rec.Add("pipeline.cache."+stage+".hits", 1)
+	} else {
+		c.misses.Add(1)
+		rec.Add("pipeline.cache.misses", 1)
+		rec.Add("pipeline.cache."+stage+".misses", 1)
+	}
+	return v, ok
+}
+
+// store inserts a stage entry. First writer wins: a concurrent duplicate
+// insert keeps the existing value, so racing synthesis calls always read
+// one consistent (and, by determinism, identical) result.
+func (c *Cache) store(key cacheKey, v interface{}) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, exists := c.m[key]; !exists {
+		c.m[key] = v
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached stage entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// stageKeys holds one content-addressed key per stage. Keys chain: each
+// stage's key incorporates its upstream stage's key, so a change anywhere
+// upstream invalidates everything after it while downstream-only option
+// changes (e.g. Tech in a sensitivity sweep) leave the upstream keys — and
+// their cached outputs — intact.
+type stageKeys struct {
+	construct cacheKey
+	layout    cacheKey
+	loss      cacheKey
+	assign    cacheKey
+	pdn       cacheKey
+}
+
+// buildStageKeys derives the stage keys for one synthesis run. The leading
+// version tags let a future change to any stage's semantics invalidate old
+// entries wholesale.
+func buildStageKeys(app *netlist.Application, method string, opt Options, tech loss.Tech) stageKeys {
+	var ks stageKeys
+
+	h := newKeyHasher("construct/1")
+	h.application(app)
+	h.str(method)
+	h.i64(int64(opt.TreeHeight))
+	h.i64(int64(opt.ClusterTrials))
+	h.i64(int64(opt.MaxChords))
+	ks.construct = h.sum()
+
+	h = newKeyHasher("layout/1")
+	h.key(ks.construct)
+	ks.layout = h.sum()
+
+	h = newKeyHasher("loss/1")
+	h.key(ks.layout)
+	h.tech(tech)
+	ks.loss = h.sum()
+
+	// The assignment depends on the effective weights too, but those are a
+	// pure function of (construction, tech) — both already in the chain.
+	h = newKeyHasher("assign/1")
+	h.key(ks.loss)
+	h.bool(opt.UseMILP)
+	h.i64(int64(opt.MILPTimeLimit))
+	ks.assign = h.sum()
+
+	h = newKeyHasher("pdn/1")
+	h.key(ks.assign)
+	h.bool(opt.PhysicalPDN)
+	ks.pdn = h.sum()
+
+	return ks
+}
+
+// keyHasher serialises values into a SHA-256 with unambiguous (length
+// prefixed, fixed width) encodings.
+type keyHasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newKeyHasher(tag string) *keyHasher {
+	kh := &keyHasher{h: sha256.New()}
+	kh.str(tag)
+	return kh
+}
+
+func (kh *keyHasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(kh.buf[:], v)
+	kh.h.Write(kh.buf[:])
+}
+
+func (kh *keyHasher) i64(v int64)   { kh.u64(uint64(v)) }
+func (kh *keyHasher) f64(v float64) { kh.u64(math.Float64bits(v)) }
+
+func (kh *keyHasher) bool(v bool) {
+	if v {
+		kh.u64(1)
+	} else {
+		kh.u64(0)
+	}
+}
+
+func (kh *keyHasher) str(s string) {
+	kh.u64(uint64(len(s)))
+	io.WriteString(kh.h, s)
+}
+
+func (kh *keyHasher) key(k cacheKey) { kh.h.Write(k[:]) }
+
+func (kh *keyHasher) sum() cacheKey {
+	var k cacheKey
+	kh.h.Sum(k[:0])
+	return k
+}
+
+// application hashes the full synthesis-relevant content of an application:
+// every node's identity and position, every message's endpoints and
+// bandwidth.
+func (kh *keyHasher) application(app *netlist.Application) {
+	kh.str(app.Name)
+	kh.u64(uint64(len(app.Nodes)))
+	for _, n := range app.Nodes {
+		kh.i64(int64(n.ID))
+		kh.f64(n.Pos.X)
+		kh.f64(n.Pos.Y)
+	}
+	kh.u64(uint64(len(app.Messages)))
+	for _, m := range app.Messages {
+		kh.i64(int64(m.Src))
+		kh.i64(int64(m.Dst))
+		kh.f64(m.Bandwidth)
+	}
+}
+
+// tech hashes every technology parameter, field by field.
+func (kh *keyHasher) tech(t loss.Tech) {
+	kh.f64(t.PropagationDBPerMM)
+	kh.f64(t.DropDB)
+	kh.f64(t.ThroughDB)
+	kh.f64(t.BendDB)
+	kh.f64(t.CrossingDB)
+	kh.f64(t.ModulatorDB)
+	kh.f64(t.PhotodetectorDB)
+	kh.f64(t.SplitterExcessDB)
+	kh.f64(t.SplitRatioDB)
+	kh.f64(t.DetectorSensitivityDBm)
+}

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"sring/internal/loss"
+	"sring/internal/netlist"
+)
+
+// Stage keys must react to exactly the options each stage depends on:
+// upstream keys stay stable under downstream-only changes (that is the
+// whole point of the chain), and every relevant knob invalidates its stage
+// plus everything after it.
+func TestStageKeySensitivity(t *testing.T) {
+	app := netlist.MWD()
+	tech := loss.Default()
+	base := buildStageKeys(app, "SRing", Options{}, tech)
+
+	t.Run("deterministic", func(t *testing.T) {
+		again := buildStageKeys(app, "SRing", Options{}, tech)
+		if base != again {
+			t.Error("same inputs produced different stage keys")
+		}
+	})
+
+	t.Run("parallelism and recorder never enter keys", func(t *testing.T) {
+		k := buildStageKeys(app, "SRing", Options{Parallelism: 7}, tech)
+		if base != k {
+			t.Error("Parallelism changed a stage key")
+		}
+	})
+
+	t.Run("method invalidates from construct", func(t *testing.T) {
+		k := buildStageKeys(app, "XRing", Options{}, tech)
+		if base.construct == k.construct || base.pdn == k.pdn {
+			t.Error("method change did not invalidate the chain")
+		}
+	})
+
+	t.Run("tree height invalidates from construct", func(t *testing.T) {
+		k := buildStageKeys(app, "SRing", Options{TreeHeight: 4}, tech)
+		if base.construct == k.construct {
+			t.Error("TreeHeight did not change the construct key")
+		}
+	})
+
+	t.Run("tech invalidates loss but not construct or layout", func(t *testing.T) {
+		tech2 := tech
+		tech2.SplitRatioDB = 3.5
+		k := buildStageKeys(app, "SRing", Options{}, tech2)
+		if base.construct != k.construct || base.layout != k.layout {
+			t.Error("tech change invalidated tech-independent upstream stages")
+		}
+		if base.loss == k.loss || base.assign == k.assign || base.pdn == k.pdn {
+			t.Error("tech change did not invalidate loss and downstream")
+		}
+	})
+
+	t.Run("milp options invalidate assign but not loss", func(t *testing.T) {
+		k := buildStageKeys(app, "SRing", Options{UseMILP: true, MILPTimeLimit: time.Second}, tech)
+		if base.loss != k.loss {
+			t.Error("MILP options invalidated the loss stage")
+		}
+		if base.assign == k.assign || base.pdn == k.pdn {
+			t.Error("MILP options did not invalidate the assignment")
+		}
+	})
+
+	t.Run("physical pdn invalidates only pdn", func(t *testing.T) {
+		k := buildStageKeys(app, "SRing", Options{PhysicalPDN: true}, tech)
+		if base.assign != k.assign {
+			t.Error("PhysicalPDN invalidated the assignment stage")
+		}
+		if base.pdn == k.pdn {
+			t.Error("PhysicalPDN did not invalidate the PDN stage")
+		}
+	})
+
+	t.Run("application content invalidates everything", func(t *testing.T) {
+		app2 := netlist.MWD()
+		app2.Messages[0].Bandwidth++
+		k := buildStageKeys(app2, "SRing", Options{}, tech)
+		if base.construct == k.construct {
+			t.Error("message bandwidth change did not invalidate the construct key")
+		}
+	})
+}
+
+// First writer wins: a duplicate store keeps the original value, so racing
+// synthesis calls always read one consistent result.
+func TestCacheFirstWriterWins(t *testing.T) {
+	c := NewCache()
+	var key cacheKey
+	c.store(key, "first")
+	c.store(key, "second")
+	v, ok := c.lookup(nil, "construct", key)
+	if !ok || v != "first" {
+		t.Errorf("lookup = %v %v, want the first stored value", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 0 {
+		t.Errorf("Stats = %d/%d, want 1 hit, 0 misses", hits, misses)
+	}
+}
+
+// A nil *Cache is a valid "caching off" value: lookups miss without
+// counting, stores vanish.
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	var key cacheKey
+	if _, ok := c.lookup(nil, "construct", key); ok {
+		t.Error("nil cache reported a hit")
+	}
+	c.store(key, "x")
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Errorf("nil cache stats = %d/%d, want 0/0", h, m)
+	}
+	if c.Len() != 0 {
+		t.Errorf("nil cache Len = %d, want 0", c.Len())
+	}
+}
+
+// Unknown methods fail with an error naming the registered alternatives.
+func TestUnknownMethod(t *testing.T) {
+	_, err := Synthesize(context.Background(), netlist.MWD(), "NoSuchMethod", Options{})
+	if err == nil || !strings.Contains(err.Error(), "NoSuchMethod") {
+		t.Errorf("err = %v, want unknown-method error naming the method", err)
+	}
+}

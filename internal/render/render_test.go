@@ -2,15 +2,17 @@ package render
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
-	"sring/internal/ctoring"
+	_ "sring/internal/ctoring"
 	"sring/internal/netlist"
+	"sring/internal/pipeline"
 )
 
 func TestSVG(t *testing.T) {
-	d, err := ctoring.Synthesize(netlist.MWD(), ctoring.Options{})
+	d, err := pipeline.Synthesize(context.Background(), netlist.MWD(), "CTORing", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func TestSVG(t *testing.T) {
 
 func TestSVGAllBenchmarks(t *testing.T) {
 	for _, app := range netlist.Benchmarks() {
-		d, err := ctoring.Synthesize(app, ctoring.Options{})
+		d, err := pipeline.Synthesize(context.Background(), app, "CTORing", pipeline.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +56,7 @@ func TestSVGAllBenchmarks(t *testing.T) {
 }
 
 func TestSVGDeterministic(t *testing.T) {
-	d, err := ctoring.Synthesize(netlist.VOPD(), ctoring.Options{})
+	d, err := pipeline.Synthesize(context.Background(), netlist.VOPD(), "CTORing", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

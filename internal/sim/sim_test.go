@@ -1,21 +1,23 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
-	"sring/internal/ctoring"
+	_ "sring/internal/ctoring"
 	"sring/internal/design"
 	"sring/internal/netlist"
-	"sring/internal/ornoc"
+	_ "sring/internal/ornoc"
 	"sring/internal/pdn"
+	"sring/internal/pipeline"
 	"sring/internal/ring"
 	"sring/internal/wavelength"
 )
 
 func ctoringDesign(t *testing.T, app *netlist.Application) *design.Design {
 	t.Helper()
-	d, err := ctoring.Synthesize(app, ctoring.Options{})
+	d, err := pipeline.Synthesize(context.Background(), app, "CTORing", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,8 +180,12 @@ func TestConfigValidation(t *testing.T) {
 func TestAllMethodsCollisionFree(t *testing.T) {
 	for _, app := range netlist.Benchmarks() {
 		for name, synth := range map[string]func() (*design.Design, error){
-			"ORNoC":   func() (*design.Design, error) { return ornoc.Synthesize(app, ornoc.Options{}) },
-			"CTORing": func() (*design.Design, error) { return ctoring.Synthesize(app, ctoring.Options{}) },
+			"ORNoC": func() (*design.Design, error) {
+				return pipeline.Synthesize(context.Background(), app, "ORNoC", pipeline.Options{})
+			},
+			"CTORing": func() (*design.Design, error) {
+				return pipeline.Synthesize(context.Background(), app, "CTORing", pipeline.Options{})
+			},
 		} {
 			d, err := synth()
 			if err != nil {
@@ -200,7 +206,7 @@ func TestAllMethodsCollisionFree(t *testing.T) {
 // delivers the same traffic for less energy.
 func TestEnergyPerBitOrdering(t *testing.T) {
 	app := netlist.MWD()
-	orn, err := ornoc.Synthesize(app, ornoc.Options{})
+	orn, err := pipeline.Synthesize(context.Background(), app, "ORNoC", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package wavelength
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -97,7 +98,7 @@ func TestSolveMILPNoSolutionWithinLimits(t *testing.T) {
 	// A tiny time budget with no incumbent: the solver may return no
 	// assignment; Assign must then fall back to the heuristic.
 	infos := cliqueInfos(4)
-	a, _, err := SolveMILP(infos, 4, DefaultWeights(), nil, 1, 1, nil)
+	a, _, err := SolveMILP(context.Background(), infos, 4, DefaultWeights(), nil, 1, 1, nil)
 	if err != nil {
 		t.Fatalf("unexpected error: %v", err)
 	}
@@ -124,7 +125,7 @@ func TestSolveMILPThreeRingSender(t *testing.T) {
 	if err := Verify(infos, inc); err != nil {
 		t.Fatal(err)
 	}
-	a, info, err := SolveMILP(infos, 3, DefaultWeights(), inc, 30*time.Second, 1, nil)
+	a, info, err := SolveMILP(context.Background(), infos, 3, DefaultWeights(), inc, 30*time.Second, 1, nil)
 	if err != nil {
 		t.Fatalf("MILP rejected a 3-ring sender: %v", err)
 	}

@@ -1,6 +1,7 @@
 package wavelength
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -27,6 +28,10 @@ type SolveInfo struct {
 	// TimeLimitHit reports that the solver's wall-clock budget expired
 	// before the search finished.
 	TimeLimitHit bool
+	// Cancelled reports that the solve was interrupted by context
+	// cancellation; the returned assignment is the solver's best incumbent
+	// at that moment.
+	Cancelled bool
 }
 
 // SolveMILP builds and solves the SRing wavelength-assignment MILP
@@ -35,8 +40,10 @@ type SolveInfo struct {
 // It returns the best assignment found and the solver telemetry. A zero
 // timeLimit means milp.DefaultTimeLimit; parallelism is the LP worker
 // count (0 = GOMAXPROCS, 1 = sequential), with no effect on the result.
-// The solve records under parent (model size, branch-and-bound progress,
-// gap trajectory); a nil parent records nothing.
+// Cancelling ctx stops the search gracefully: the incumbent at that point
+// is returned with SolveInfo.Cancelled set. The solve records under parent
+// (model size, branch-and-bound progress, gap trajectory); a nil parent
+// records nothing.
 //
 // Model notes relative to the paper:
 //   - Eq. 2 (collision avoidance) is implemented as per-segment clique
@@ -50,7 +57,7 @@ type SolveInfo struct {
 //     b_{s,λ} ≤ y_λ, plus symmetry-breaking y_λ ≥ y_{λ+1}.
 //   - Eq. 5's il_s is substituted directly into Eqs. 6-7: il_s = L_s +
 //     L_sp · b_sp^{n(s)}, removing one continuous variable per path.
-func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration, parallelism int, parent *obs.Span) (*Assignment, SolveInfo, error) {
+func SolveMILP(ctx context.Context, infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration, parallelism int, parent *obs.Span) (*Assignment, SolveInfo, error) {
 	if numLambda < 1 {
 		return nil, SolveInfo{}, fmt.Errorf("wavelength: SolveMILP needs numLambda >= 1, got %d", numLambda)
 	}
@@ -563,7 +570,7 @@ func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment
 		norm.Normalize()
 		opts.Incumbent = incumbentVector(infos, norm, numVars, L, bVar, yVar, spVar, ilSmaxVar, ilMaxVar, w)
 	}
-	res, err := milp.Solve(prob, opts)
+	res, err := milp.SolveContext(ctx, prob, opts)
 	if err != nil {
 		return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP solve: %w", err)
 	}
@@ -573,12 +580,14 @@ func SolveMILP(infos []PathInfo, numLambda int, w Weights, incumbent *Assignment
 		Nodes:        res.Nodes,
 		Gap:          res.Gap(),
 		TimeLimitHit: res.TimeLimitHit,
+		Cancelled:    res.Cancelled,
 	}
 	msp.SetBool("exact", info.Exact)
 	msp.SetFloat("bound", info.Bound)
 	msp.SetInt("nodes", int64(info.Nodes))
 	msp.SetFloat("milp_gap", info.Gap)
 	msp.SetBool("time_limit_hit", info.TimeLimitHit)
+	msp.SetBool("cancelled", info.Cancelled)
 	switch res.Status {
 	case milp.Optimal, milp.Feasible:
 		a := &Assignment{Lambda: make([]int, S), NumLambda: L}

@@ -15,6 +15,7 @@
 package wavelength
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -489,12 +490,25 @@ type Stats struct {
 	// MILPTimeLimitHit reports that the MILP's wall-clock budget expired
 	// before the search finished (valid when MILPRan).
 	MILPTimeLimitHit bool
+	// Cancelled reports that the assignment was interrupted by context
+	// cancellation: the exact solve stopped early and the returned
+	// assignment is the best of the heuristic and the solver's incumbent
+	// at that moment, not the converged result.
+	Cancelled bool
 }
 
-// Assign computes a wavelength assignment for the given paths: DSATUR,
-// splitter-aware hill climbing, and (optionally) the paper's MILP seeded
-// with the heuristic incumbent. The best solution found is returned.
+// Assign computes a wavelength assignment with no cancellation hook. See
+// AssignContext.
 func Assign(infos []PathInfo, opt Options) (*Assignment, *Stats, error) {
+	return AssignContext(context.Background(), infos, opt)
+}
+
+// AssignContext computes a wavelength assignment for the given paths:
+// DSATUR, splitter-aware hill climbing, and (optionally) the paper's MILP
+// seeded with the heuristic incumbent. The best solution found is
+// returned. Cancelling ctx stops the exact solve gracefully: the best
+// solution known at that point is returned with Stats.Cancelled set.
+func AssignContext(ctx context.Context, infos []PathInfo, opt Options) (*Assignment, *Stats, error) {
 	if len(infos) == 0 {
 		return nil, nil, fmt.Errorf("wavelength: no paths to assign")
 	}
@@ -528,7 +542,7 @@ func Assign(infos []PathInfo, opt Options) (*Assignment, *Stats, error) {
 		}
 		numLambda := best.NumLambda + extra
 		if len(infos)*numLambda <= maxBin {
-			milpA, info, err := SolveMILP(infos, numLambda, w, best, opt.MILPTimeLimit, opt.Parallelism, sp)
+			milpA, info, err := SolveMILP(ctx, infos, numLambda, w, best, opt.MILPTimeLimit, opt.Parallelism, sp)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -538,6 +552,7 @@ func Assign(infos []PathInfo, opt Options) (*Assignment, *Stats, error) {
 			stats.MILPNodes = info.Nodes
 			stats.MILPGap = info.Gap
 			stats.MILPTimeLimitHit = info.TimeLimitHit
+			stats.Cancelled = info.Cancelled
 			if milpA != nil {
 				if err := Verify(infos, milpA); err != nil {
 					return nil, nil, fmt.Errorf("wavelength: MILP produced invalid assignment: %w", err)

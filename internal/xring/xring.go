@@ -14,38 +14,29 @@
 package xring
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"sring/internal/baseline"
-	"sring/internal/design"
 	"sring/internal/netlist"
+	"sring/internal/obs"
 	"sring/internal/pdn"
+	"sring/internal/pipeline"
 	"sring/internal/ring"
 	"sring/internal/wavelength"
 )
 
-// Options configures the synthesis.
-type Options struct {
-	// Design carries the shared downstream configuration; PDN settings are
-	// overwritten by the method's convention.
-	Design design.Options
-	// MaxChords caps the number of OSE express chords. Zero means
-	// max(1, #activeNodes / 3).
-	MaxChords int
-	// UseMILP enables the exact assignment polish.
-	UseMILP bool
-	// MILPTimeLimit bounds the exact solve (zero: the pipeline default,
-	// milp.DefaultTimeLimit).
-	MILPTimeLimit time.Duration
-	// Parallelism is the worker count for the exact solve (0 = GOMAXPROCS,
-	// 1 = sequential); the result is bit-identical either way.
-	Parallelism int
+func init() {
+	pipeline.Register("XRing", Construct)
 }
 
-// Synthesize builds the XRing design for the application.
-func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
+// Construct is the XRing pipeline constructor: the dual ring plus express
+// chords for the worst signal paths (capped by Options.MaxChords), with
+// the method's pack-aggressively wavelength objective. The chord search is
+// a short deterministic loop, so ctx is only honoured by the stages
+// downstream.
+func Construct(_ context.Context, app *netlist.Application, opt pipeline.Options, _ *obs.Span) (*pipeline.Construction, error) {
 	cw, ccw, err := baseline.DualRing(app)
 	if err != nil {
 		return nil, fmt.Errorf("xring: %w", err)
@@ -108,23 +99,17 @@ func Synthesize(app *netlist.Application, opt Options) (*design.Design, error) {
 		}
 	}
 
-	// Drop chord rings in deterministic order for reproducible layouts.
+	// Keep chord rings in deterministic order for reproducible layouts.
 	sort.Slice(rings, func(i, j int) bool { return rings[i].ID < rings[j].ID })
 
-	dopt := opt.Design
-	dopt.PDN = pdn.Config{Style: pdn.StyleXRing, ForceNodeSplitter: true, LaserPos: dopt.PDN.LaserPos, RoutePhysical: dopt.PDN.RoutePhysical}
-	dopt.Assign = wavelength.Options{
+	return &pipeline.Construction{
+		Rings:             rings,
+		Paths:             paths,
+		PDNStyle:          pdn.StyleXRing,
+		ForceNodeSplitter: true,
 		// XRing shares wavelengths across senders (splitters are cheap in
 		// its convention), so the optimiser packs for minimum wavelength
 		// count: high α, splitter-blind.
-		Weights:       wavelength.Weights{Alpha: 10, Beta: 1, Gamma: 1, SplitterStageDB: 0},
-		UseMILP:       opt.UseMILP,
-		MILPTimeLimit: opt.MILPTimeLimit,
-		Parallelism:   opt.Parallelism,
-	}
-	d, err := design.Finish(app, "XRing", rings, paths, dopt)
-	if err != nil {
-		return nil, fmt.Errorf("xring: %w", err)
-	}
-	return d, nil
+		Weights: wavelength.Weights{Alpha: 10, Beta: 1, Gamma: 1, SplitterStageDB: 0},
+	}, nil
 }

@@ -1,17 +1,26 @@
 package xring
 
 import (
+	"context"
 	"testing"
 
-	"sring/internal/ctoring"
+	"sring/internal/design"
 	"sring/internal/netlist"
+	"sring/internal/pipeline"
+
+	_ "sring/internal/ctoring" // registers the CTORing constructor for comparison tests
 )
+
+func synth(t *testing.T, app *netlist.Application, method string, opt pipeline.Options) (*design.Design, error) {
+	t.Helper()
+	return pipeline.Synthesize(context.Background(), app, method, opt)
+}
 
 func TestSynthesizeBenchmarks(t *testing.T) {
 	for _, app := range netlist.Benchmarks() {
 		app := app
 		t.Run(app.Name, func(t *testing.T) {
-			d, err := Synthesize(app, Options{})
+			d, err := synth(t, app, "XRing", pipeline.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -29,11 +38,11 @@ func TestSynthesizeBenchmarks(t *testing.T) {
 // CTORing (OSE shortcuts) and the fewest wavelengths.
 func TestBeatsCTORingOnPathAndWavelengths(t *testing.T) {
 	for _, app := range netlist.Benchmarks() {
-		xr, err := Synthesize(app, Options{})
+		xr, err := synth(t, app, "XRing", pipeline.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		cto, err := ctoring.Synthesize(app, ctoring.Options{})
+		cto, err := synth(t, app, "CTORing", pipeline.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,7 +69,7 @@ func TestBeatsCTORingOnPathAndWavelengths(t *testing.T) {
 
 func TestChordCap(t *testing.T) {
 	app := netlist.D26()
-	d, err := Synthesize(app, Options{MaxChords: 2})
+	d, err := synth(t, app, "XRing", pipeline.Options{MaxChords: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +80,7 @@ func TestChordCap(t *testing.T) {
 
 func TestChordsShortenWorstMessages(t *testing.T) {
 	app := netlist.MWD()
-	d, err := Synthesize(app, Options{})
+	d, err := synth(t, app, "XRing", pipeline.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +97,7 @@ func TestChordsShortenWorstMessages(t *testing.T) {
 
 func TestErrorPropagation(t *testing.T) {
 	bad := &netlist.Application{Name: "bad"}
-	if _, err := Synthesize(bad, Options{}); err == nil {
+	if _, err := synth(t, bad, "XRing", pipeline.Options{}); err == nil {
 		t.Error("invalid app accepted")
 	}
 }

@@ -1,0 +1,88 @@
+package sring
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The pipeline's determinism guarantee — same inputs, bit-identical designs
+// — forbids wall-clock reads and unseeded randomness inside the synthesis
+// code. This lint walks every non-test Go file and rejects new time.Now or
+// math/rand uses outside the audited allowlists below. Extend an allowlist
+// only for code that provably cannot influence a design (telemetry,
+// deadlines, CLI reporting, seeded generators).
+
+// timeNowAllowed lists the files (and directory prefixes) where time.Now is
+// legitimate: CLI reporting, wall-clock deadlines inside the solvers, and
+// telemetry timestamps. None of these feed design content.
+var timeNowAllowed = []string{
+	"cmd/",                          // CLI timing and report headers
+	"internal/lp/bounded.go",        // pivot-loop deadline checks
+	"internal/lp/lp.go",             // pivot-loop deadline checks
+	"internal/milp/milp.go",         // branch-and-bound time limit
+	"internal/milp/relax.go",        // relaxation deadline checks
+	"internal/obs/obs.go",           // span timestamps
+	"internal/pipeline/pipeline.go", // SynthesisTime measurement
+}
+
+// mathRandAllowed lists the files where math/rand is legitimate: all are
+// deterministic, explicitly-seeded generators.
+var mathRandAllowed = []string{
+	"internal/floorplan/floorplan.go", // seeded simulated annealing
+	"internal/netlist/generate.go",    // seeded random applications
+	"internal/randsol/randsol.go",     // seeded random-restart baseline
+	"internal/sim/sim.go",             // seeded traffic generator
+}
+
+func allowed(rel string, list []string) bool {
+	for _, a := range list {
+		if rel == a || (strings.HasSuffix(a, "/") && strings.HasPrefix(rel, a)) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDeterminismLint(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		text := string(src)
+		if strings.Contains(text, "time.Now(") && !allowed(rel, timeNowAllowed) {
+			t.Errorf("%s: time.Now outside the determinism allowlist — synthesis code must not read the wall clock", rel)
+		}
+		if strings.Contains(text, `"math/rand"`) && !allowed(rel, mathRandAllowed) {
+			t.Errorf("%s: math/rand outside the determinism allowlist — synthesis code must use explicitly seeded generators", rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

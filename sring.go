@@ -17,6 +17,14 @@
 //     paper compares against, sharing the same layout, loss and PDN
 //     substrate.
 //
+// Every method runs on one staged engine (internal/pipeline): a
+// method-specific construction stage followed by shared layout, loss
+// pricing, wavelength assignment and PDN stages. The engine is
+// context-aware — SynthesizeContext honours cancellation, degrading
+// gracefully to the best feasible design (Design.Cancelled) — and
+// memoizing: an Options.Cache reuses stage outputs across calls that share
+// their upstream inputs.
+//
 // Quick start:
 //
 //	app := sring.MWD()
@@ -25,27 +33,39 @@
 //	m, err := d.Metrics()
 //	fmt.Printf("laser power: %.3f mW on %d wavelengths\n",
 //	    m.TotalLaserPowerMW, m.NumWavelengths)
+//
+// With a deadline and a cache:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	opt := sring.Options{UseMILP: true, Cache: sring.NewCache()}
+//	d, err := sring.SynthesizeContext(ctx, app, sring.MethodSRing, opt)
+//	// On timeout d is still returned, flagged d.Cancelled, carrying the
+//	// solver's best incumbent instead of an error.
 package sring
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
-	"time"
 
-	"sring/internal/cluster"
-	"sring/internal/ctoring"
 	"sring/internal/design"
 	"sring/internal/floorplan"
 	"sring/internal/loss"
 	"sring/internal/milp"
 	"sring/internal/netlist"
 	"sring/internal/obs"
-	"sring/internal/ornoc"
 	"sring/internal/par"
-	"sring/internal/pdn"
-	"sring/internal/ring"
-	"sring/internal/wavelength"
-	"sring/internal/xring"
+	"sring/internal/pipeline"
+
+	// Each method package registers its constructor with the pipeline
+	// engine from init(); importing them is what makes the four methods
+	// available.
+	_ "sring/internal/cluster"
+	_ "sring/internal/ctoring"
+	_ "sring/internal/ornoc"
+	_ "sring/internal/xring"
 )
 
 // Re-exported model types. Aliases keep one set of definitions across the
@@ -75,10 +95,23 @@ type (
 	Trace = obs.Trace
 	// SpanSnap is one node of a Trace's span tree.
 	SpanSnap = obs.SpanSnap
+	// Options configures synthesis. It is the staged engine's option
+	// struct, shared by all four methods; see the field docs in
+	// internal/pipeline.
+	Options = pipeline.Options
+	// Cache memoizes pipeline stage outputs across Synthesize calls
+	// (content-addressed, safe for concurrent use). Pass one in
+	// Options.Cache to let sweeps that vary only downstream parameters
+	// skip the upstream stages; cached designs are bit-identical to
+	// uncached ones.
+	Cache = pipeline.Cache
 )
 
 // NewRecorder returns an empty telemetry recorder.
 func NewRecorder() *Recorder { return obs.New() }
+
+// NewCache returns an empty stage-output cache.
+func NewCache() *Cache { return pipeline.NewCache() }
 
 // DefaultTech returns the calibrated technology parameters (DESIGN.md §2).
 func DefaultTech() Tech { return loss.Default() }
@@ -131,152 +164,26 @@ func Methods() []Method {
 // solver (milp.DefaultTimeLimit); every layer above passes zero through.
 const DefaultMILPTimeLimit = milp.DefaultTimeLimit
 
-// Options configures synthesis.
-type Options struct {
-	// Tech overrides the technology parameters (zero value: DefaultTech).
-	// A non-zero Tech must be a plausible, fully populated parameter set:
-	// Synthesize rejects negative or non-finite losses and the
-	// partially-populated structs that Validate alone cannot catch (zero
-	// SplitRatioDB or DetectorSensitivityDBm). Start from DefaultTech()
-	// and override fields rather than building a Tech from scratch.
-	Tech Tech
-	// TreeHeight is the paper's h, the height of the L_max search tree
-	// used by SRing's clustering (zero: 6).
-	TreeHeight int
-	// ClusterTrials caps the initial vertices tried per cluster round
-	// (zero: unlimited, the paper's behaviour). Set for networks much
-	// larger than the benchmarks to bound synthesis time.
-	ClusterTrials int
-	// UseMILP enables the exact MILP wavelength assignment (paper Sec.
-	// III-B) on instances small enough for the built-in solver; the
-	// splitter-aware heuristic always runs and seeds it.
-	UseMILP bool
-	// MILPTimeLimit bounds the exact solve (zero: DefaultMILPTimeLimit).
-	MILPTimeLimit time.Duration
-	// Parallelism is the worker count used throughout the pipeline — the
-	// MILP's speculative LP evaluations, the clustering's concurrent L_max
-	// probes, and Evaluate's method fan-out. 0 means GOMAXPROCS (the
-	// default: parallel), 1 means fully sequential. The synthesised design
-	// is bit-identical for every setting; see README.md §Parallelism.
-	Parallelism int
-	// PhysicalPDN routes the power-distribution tree physically (median
-	// splits, rectilinear trunks) instead of the abstract stage-count
-	// model; feed lengths and stage counts then come from the routed tree.
-	PhysicalPDN bool
-	// Recorder, when non-nil, collects a full synthesis trace: timed spans
-	// for every pipeline stage (clustering, layout, loss, wavelength
-	// assignment, MILP, PDN) and solver counters (simplex pivots, B&B
-	// nodes, absorption steps). Nil disables all telemetry at zero cost.
-	Recorder *Recorder
-}
-
 // Synthesize builds a router design for the application with the chosen
-// method. Synthesis wall-clock time is measured here, uniformly for all
-// methods, and stored in the returned design's SynthesisTime (Table II).
+// method. Synthesis wall-clock time is measured by the engine, uniformly
+// for all methods, and stored in the returned design's SynthesisTime
+// (Table II). See SynthesizeContext for the cancellable form.
 func Synthesize(app *Application, method Method, opt Options) (*Design, error) {
-	start := time.Now()
-	root := opt.Recorder.StartSpan("synthesize")
-	root.SetString("method", string(method))
-	if app != nil {
-		root.SetString("app", app.Name)
-		root.SetInt("nodes", int64(len(app.Nodes)))
-		root.SetInt("messages", int64(len(app.Messages)))
-	}
-	d, err := synthesize(app, method, opt, root)
-	root.End()
-	if err != nil {
-		return nil, err
-	}
-	d.SynthesisTime = time.Since(start)
-	return d, nil
+	return SynthesizeContext(context.Background(), app, method, opt)
 }
 
-func synthesize(app *Application, method Method, opt Options, root *obs.Span) (*Design, error) {
-	switch method {
-	case MethodSRing:
-		return synthesizeSRing(app, opt, root)
-	case MethodORNoC:
-		return ornoc.Synthesize(app, ornoc.Options{Design: design.Options{
-			Tech: opt.Tech,
-			PDN:  pdn.Config{RoutePhysical: opt.PhysicalPDN},
-			Obs:  root,
-		}})
-	case MethodCTORing:
-		return ctoring.Synthesize(app, ctoring.Options{
-			Design: design.Options{
-				Tech: opt.Tech,
-				PDN:  pdn.Config{RoutePhysical: opt.PhysicalPDN},
-				Obs:  root,
-			},
-			UseMILP:       opt.UseMILP,
-			MILPTimeLimit: opt.MILPTimeLimit,
-			Parallelism:   opt.Parallelism,
-		})
-	case MethodXRing:
-		return xring.Synthesize(app, xring.Options{
-			Design: design.Options{
-				Tech: opt.Tech,
-				PDN:  pdn.Config{RoutePhysical: opt.PhysicalPDN},
-				Obs:  root,
-			},
-			UseMILP:       opt.UseMILP,
-			MILPTimeLimit: opt.MILPTimeLimit,
-			Parallelism:   opt.Parallelism,
-		})
-	default:
-		return nil, fmt.Errorf("sring: unknown method %q", method)
+// SynthesizeContext is Synthesize with cancellation. An already-cancelled
+// context fails fast with the context error wrapped. A cancellation (or
+// deadline) that strikes mid-synthesis degrades gracefully: the clustering
+// keeps its best feasible construction, the MILP keeps its best incumbent,
+// and the design is returned with Design.Cancelled set instead of an
+// error. A context deadline unifies with Options.MILPTimeLimit — the
+// solver stops at whichever comes first.
+func SynthesizeContext(ctx context.Context, app *Application, method Method, opt Options) (*Design, error) {
+	if app == nil {
+		return nil, errors.New("sring: nil application")
 	}
-}
-
-// synthesizeSRing runs the paper's flow: sub-ring construction (Sec. III-A)
-// followed by wavelength assignment (Sec. III-B) and PDN construction.
-func synthesizeSRing(app *Application, opt Options, root *obs.Span) (*Design, error) {
-	res, err := cluster.Synthesize(app, cluster.Options{
-		TreeHeight:       opt.TreeHeight,
-		MaxInitialTrials: opt.ClusterTrials,
-		Parallelism:      opt.Parallelism,
-		Obs:              root,
-	})
-	if err != nil {
-		return nil, err
-	}
-	ringByID := make(map[int]*ring.Ring, len(res.Rings))
-	for _, r := range res.Rings {
-		ringByID[r.ID] = r
-	}
-	paths := make([]ring.Path, len(app.Messages))
-	for i, m := range app.Messages {
-		r, ok := ringByID[res.RingForMessage[i]]
-		if !ok {
-			return nil, fmt.Errorf("sring: message %d unmapped", i)
-		}
-		p, err := ring.Route(app, r, m)
-		if err != nil {
-			return nil, err
-		}
-		paths[i] = p
-	}
-	tech, err := loss.Normalize(opt.Tech)
-	if err != nil {
-		return nil, fmt.Errorf("sring: %w", err)
-	}
-	weights := wavelength.DefaultWeights()
-	weights.SplitterStageDB = tech.SplitterStageDB()
-	d, err := design.Finish(app, string(MethodSRing), res.Rings, paths, design.Options{
-		Tech: tech,
-		PDN:  pdn.Config{Style: pdn.StyleShared, RoutePhysical: opt.PhysicalPDN},
-		Assign: wavelength.Options{
-			Weights:       weights,
-			UseMILP:       opt.UseMILP,
-			MILPTimeLimit: opt.MILPTimeLimit,
-			Parallelism:   opt.Parallelism,
-		},
-		Obs: root,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return d, nil
+	return pipeline.Synthesize(ctx, app, string(method), opt)
 }
 
 // PlaceAndSynthesize places the application's nodes by simulated annealing
@@ -284,11 +191,20 @@ func synthesizeSRing(app *Application, opt Options, root *obs.Span) (*Design, er
 // resulting floorplan. Use it for inputs that arrive as bare task graphs;
 // the returned design's App field holds the placed application.
 func PlaceAndSynthesize(app *Application, method Method, opt Options) (*Design, error) {
+	return PlaceAndSynthesizeContext(context.Background(), app, method, opt)
+}
+
+// PlaceAndSynthesizeContext is PlaceAndSynthesize with cancellation,
+// following the SynthesizeContext semantics.
+func PlaceAndSynthesizeContext(ctx context.Context, app *Application, method Method, opt Options) (*Design, error) {
+	if app == nil {
+		return nil, errors.New("sring: nil application")
+	}
 	placed, err := floorplan.Place(app, floorplan.Options{Seed: 1})
 	if err != nil {
 		return nil, err
 	}
-	return Synthesize(placed, method, opt)
+	return SynthesizeContext(ctx, placed, method, opt)
 }
 
 // MethodErrors collects the per-method failures of an Evaluate call. It is
@@ -322,18 +238,38 @@ func (e MethodErrors) Error() string {
 // holds the metrics of every method that succeeded, and the error (a
 // MethodErrors, when non-nil) says which methods failed and why.
 func Evaluate(app *Application, opt Options) (map[Method]*Metrics, error) {
+	return EvaluateContext(context.Background(), app, opt)
+}
+
+// EvaluateContext is Evaluate with cancellation: methods whose synthesis
+// never started when the context fell carry the context error in the
+// returned MethodErrors; methods already running degrade per the
+// SynthesizeContext semantics.
+func EvaluateContext(ctx context.Context, app *Application, opt Options) (map[Method]*Metrics, error) {
+	if app == nil {
+		return nil, errors.New("sring: nil application")
+	}
 	methods := Methods()
 	mets := make([]*Metrics, len(methods))
 	errs := make([]error, len(methods))
-	par.ForEach(opt.Parallelism, len(methods), func(i int) {
+	started := make([]bool, len(methods))
+	ctxErr := par.ForEachContext(ctx, opt.Parallelism, len(methods), func(i int) {
+		started[i] = true
 		m := methods[i]
-		d, err := Synthesize(app, m, opt)
+		d, err := SynthesizeContext(ctx, app, m, opt)
 		if err != nil {
 			errs[i] = fmt.Errorf("on %s: %w", app.Name, err)
 			return
 		}
 		mets[i], errs[i] = d.Metrics()
 	})
+	if ctxErr != nil {
+		for i := range methods {
+			if !started[i] {
+				errs[i] = fmt.Errorf("on %s: synthesis not started: %w", app.Name, ctxErr)
+			}
+		}
+	}
 	out := make(map[Method]*Metrics, len(methods))
 	failed := make(MethodErrors)
 	for i, m := range methods {
