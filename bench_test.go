@@ -345,3 +345,48 @@ func BenchmarkSynthesizeRecorder(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkParallelOverheadMWD guards the speculation gate on the smallest
+// application: exact (MILP) synthesis of MWD at -j 4 must never be more
+// than 10% slower than the sequential run. Before the gate, handing
+// microsecond-scale LP relaxations to a worker pool made MWD 1.3–1.6×
+// slower at j=4 (BENCH_2026-08-06-warmstart.json); with small problems
+// routed to the inline evaluator, the j=4 path does the same MILP work on
+// the calling goroutine. Timing is best-of-rounds (the minimum is robust
+// to scheduling noise, which only ever inflates a round). The j1/j4
+// subtests report the two timings; the assertion runs after both.
+func BenchmarkParallelOverheadMWD(b *testing.B) {
+	app := MWD()
+	measure := func(j int) time.Duration {
+		const rounds, iters = 5, 8
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := Synthesize(app, MethodSRing, Options{UseMILP: true, Parallelism: j}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best / iters
+	}
+	var j1, j4 time.Duration
+	b.Run("j1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j1 = measure(1)
+		}
+		b.ReportMetric(float64(j1.Nanoseconds()), "ns/synth")
+	})
+	b.Run("j4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j4 = measure(4)
+		}
+		b.ReportMetric(float64(j4.Nanoseconds()), "ns/synth")
+	})
+	if j1 > 0 && float64(j4) > 1.10*float64(j1) {
+		b.Fatalf("MWD exact synthesis at j=4 is %.2fx j=1 (j1=%v j4=%v), want <= 1.10x", float64(j4)/float64(j1), j1, j4)
+	}
+}

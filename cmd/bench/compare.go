@@ -1,0 +1,159 @@
+package main
+
+// Snapshot comparison: `bench -compare old.json new.json` prints a
+// benchstat-style delta table for the entries the two snapshots share and
+// exits non-zero when anything regressed beyond the threshold, turning the
+// dated BENCH_*.json files from write-only records into a gate.
+//
+// A regression is:
+//   - ns/op or allocs/op growing by more than -threshold (default 20%), or
+//   - the MILP optimality gap widening by more than one percentage point
+//     (gaps are small ratios, frequently exactly 0, so a relative test
+//     would divide by zero exactly where the comparison matters most).
+//
+// Entries present in only one snapshot are listed but never gate — adding
+// a benchmark must not fail the comparison that introduces it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// loadSnapshot reads one BENCH_*.json file.
+func loadSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// gapRegressionTol is the absolute milp_gap widening that counts as a
+// regression: one percentage point of relative optimality gap.
+const gapRegressionTol = 0.01
+
+// deltaPct formats the relative change from o to n as benchstat does;
+// "~" marks changes below one percent (noise at these sample counts).
+func deltaPct(o, n float64) string {
+	if o == 0 {
+		if n == 0 {
+			return "~"
+		}
+		return "+inf%"
+	}
+	d := (n - o) / o * 100
+	if math.Abs(d) < 1 {
+		return "~"
+	}
+	return fmt.Sprintf("%+.2f%%", d)
+}
+
+// compareSnapshots prints the delta table to stdout and returns the names
+// of the entries that regressed beyond threshold (the fraction, e.g. 0.20).
+func compareSnapshots(oldSnap, newSnap *snapshot, threshold float64) []string {
+	oldByName := make(map[string]entry, len(oldSnap.Entries))
+	for _, e := range oldSnap.Entries {
+		oldByName[e.Name] = e
+	}
+
+	var regressed []string
+	regress := func(o, n float64) bool {
+		return o > 0 && n > o*(1+threshold)
+	}
+
+	fmt.Printf("%-34s %14s %14s %9s %12s %12s %9s %10s %10s %9s\n",
+		"name", "old ns/op", "new ns/op", "delta",
+		"old allocs", "new allocs", "delta", "old gap", "new gap", "delta")
+	for _, n := range newSnap.Entries {
+		o, ok := oldByName[n.Name]
+		if !ok {
+			fmt.Printf("%-34s %14s %14.0f %9s %12s %12d %9s\n",
+				n.Name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp, "new")
+			continue
+		}
+		delete(oldByName, n.Name)
+
+		var why []string
+		if regress(o.NsPerOp, n.NsPerOp) {
+			why = append(why, "ns/op")
+		}
+		if regress(float64(o.AllocsPerOp), float64(n.AllocsPerOp)) {
+			why = append(why, "allocs/op")
+		}
+		gapCols := [3]string{"-", "-", ""}
+		if o.MILPGap != nil && n.MILPGap != nil {
+			gapCols[0] = fmt.Sprintf("%.4f", *o.MILPGap)
+			gapCols[1] = fmt.Sprintf("%.4f", *n.MILPGap)
+			switch {
+			case *n.MILPGap > *o.MILPGap+gapRegressionTol:
+				gapCols[2] = "WORSE"
+				why = append(why, "milp_gap")
+			case *o.MILPGap > *n.MILPGap+gapRegressionTol:
+				gapCols[2] = "better"
+			default:
+				gapCols[2] = "~"
+			}
+		} else if n.MILPGap != nil {
+			gapCols[1] = fmt.Sprintf("%.4f", *n.MILPGap)
+		}
+
+		fmt.Printf("%-34s %14.0f %14.0f %9s %12d %12d %9s %10s %10s %9s\n",
+			n.Name, o.NsPerOp, n.NsPerOp, deltaPct(o.NsPerOp, n.NsPerOp),
+			o.AllocsPerOp, n.AllocsPerOp,
+			deltaPct(float64(o.AllocsPerOp), float64(n.AllocsPerOp)),
+			gapCols[0], gapCols[1], gapCols[2])
+		if len(why) > 0 {
+			regressed = append(regressed, fmt.Sprintf("%s (%s)", n.Name, joinWhy(why)))
+		}
+	}
+	for _, o := range oldSnap.Entries {
+		if _, gone := oldByName[o.Name]; gone {
+			fmt.Printf("%-34s %14.0f %14s %9s\n", o.Name, o.NsPerOp, "-", "gone")
+		}
+	}
+	return regressed
+}
+
+func joinWhy(why []string) string {
+	s := why[0]
+	for _, w := range why[1:] {
+		s += ", " + w
+	}
+	return s
+}
+
+// runCompare is the -compare entry point: load both snapshots, print the
+// table, and exit 1 if anything regressed beyond the threshold.
+func runCompare(oldPath, newPath string, threshold float64) {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	regressed := compareSnapshots(oldSnap, newSnap, threshold)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d entr%s regressed more than %.0f%%:\n",
+			len(regressed), plural(len(regressed)), threshold*100)
+		for _, r := range regressed {
+			fmt.Fprintln(os.Stderr, "  ", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no regressions beyond %.0f%%\n", threshold*100)
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -8,6 +8,12 @@
 //	bench -milp         enables the exact MILP assignment during timing
 //	bench -j 1,4        times each pair at several Parallelism settings
 //
+//	bench -compare old.json new.json
+//	                    prints a benchstat-style delta table (ns/op,
+//	                    allocs/op, milp_gap) over the entries the snapshots
+//	                    share and exits non-zero when any entry regressed
+//	                    more than -threshold (default 20%); see compare.go
+//
 // Each entry carries ns/op plus the allocation counts from the Go
 // benchmark harness (testing.Benchmark), one entry per method/benchmark
 // pair, named like "Synthesize/MWD/SRing" — or, with more than one -j
@@ -77,6 +83,10 @@ type entry struct {
 	// MILPGap is the relative optimality gap of the MILP assignment (0
 	// means proven optimal); present only when the MILP ran.
 	MILPGap *float64 `json:"milp_gap,omitempty"`
+	// MILPNodes is the branch-and-bound node count of the MILP
+	// assignment. On time-limited apps (MPEG) it is the solver's
+	// throughput metric: more nodes in the same budget means faster LPs.
+	MILPNodes int64 `json:"milp_nodes,omitempty"`
 	// TimeLimitHit reports that the MILP search was cut off by its
 	// wall-clock budget rather than finishing.
 	TimeLimitHit bool `json:"time_limit_hit,omitempty"`
@@ -143,12 +153,24 @@ func measureCache(ctx context.Context) (*cacheBench, error) {
 
 func main() {
 	var (
-		out  = flag.String("o", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
-		full = flag.Bool("full", false, "also benchmark the ORNoC/CTORing/XRing baselines")
-		milp = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
-		jstr = flag.String("j", "0", "comma-separated Parallelism settings to time (0 = all CPUs, 1 = sequential), e.g. 1,4")
+		out       = flag.String("o", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
+		full      = flag.Bool("full", false, "also benchmark the ORNoC/CTORing/XRing baselines")
+		milp      = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
+		jstr      = flag.String("j", "0", "comma-separated Parallelism settings to time (0 = all CPUs, 1 = sequential), e.g. 1,4")
+		compare   = flag.Bool("compare", false, "compare two snapshots: bench -compare old.json new.json")
+		threshold = flag.Float64("threshold", 0.20, "with -compare, the relative ns/op / allocs/op growth that counts as a regression")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare wants exactly two snapshot paths, got %d", flag.NArg()))
+		}
+		if *threshold <= 0 {
+			fatal(fmt.Errorf("-threshold must be positive, got %v", *threshold))
+		}
+		runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		return
+	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	jvals, err := parseJobs(*jstr)
@@ -206,6 +228,7 @@ func main() {
 				if last != nil && last.AssignStats != nil && last.AssignStats.MILPRan {
 					gap := last.AssignStats.MILPGap
 					e.MILPGap = &gap
+					e.MILPNodes = int64(last.AssignStats.MILPNodes)
 					e.TimeLimitHit = last.AssignStats.MILPTimeLimitHit
 					milpNote = fmt.Sprintf("  gap=%.4f", gap)
 					if e.TimeLimitHit {

@@ -21,7 +21,6 @@ import (
 
 	"sring/internal/netlist"
 	"sring/internal/obs"
-	"sring/internal/par"
 	"sring/internal/ring"
 )
 
@@ -141,7 +140,7 @@ func SynthesizeContext(ctx context.Context, app *netlist.Application, opt Option
 		return d1 + float64(k)*(d2-d1)/float64(int(1)<<h)
 	}
 	var pb *prober
-	if workers := par.Resolve(opt.Parallelism); workers > 1 {
+	if workers := resolveSpecWorkers(opt.Parallelism); workers > 1 {
 		pb = newProber(app, adj, opt.MaxInitialTrials, valueAt, workers)
 		defer pb.close(sp.Recorder())
 	}

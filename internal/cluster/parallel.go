@@ -5,7 +5,15 @@ import (
 
 	"sring/internal/netlist"
 	"sring/internal/obs"
+	"sring/internal/par"
 )
+
+// resolveSpecWorkers caps speculative probe workers at the core count (see
+// par.ResolveSpeculative): look-ahead probes on a machine with no spare
+// cores execute serially and steal time from the search's critical path.
+// A var so tests can substitute par.Resolve and exercise the prober on
+// single-core machines.
+var resolveSpecWorkers = par.ResolveSpeculative
 
 // probe is one speculative buildSolution run for a candidate L_max index.
 // The goroutine writes sol and its local absorption count, then closes done;

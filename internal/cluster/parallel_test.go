@@ -6,13 +6,24 @@ import (
 
 	"sring/internal/netlist"
 	"sring/internal/obs"
+	"sring/internal/par"
 )
+
+// forceProbes ignores the speculative core cap for the duration of a test
+// so the prober is exercised even on single-core machines.
+func forceProbes(t *testing.T) {
+	t.Helper()
+	old := resolveSpecWorkers
+	resolveSpecWorkers = par.Resolve
+	t.Cleanup(func() { resolveSpecWorkers = old })
+}
 
 // TestParallelProbesMatchSequential: the construction returned with
 // concurrent L_max probes must equal the sequential one field for field on
 // every benchmark — same L_max, same clusters, same ring orders, same
 // message-to-ring mapping.
 func TestParallelProbesMatchSequential(t *testing.T) {
+	forceProbes(t)
 	for _, app := range netlist.Benchmarks() {
 		app := app
 		t.Run(app.Name, func(t *testing.T) {
@@ -37,6 +48,7 @@ func TestParallelProbesMatchSequential(t *testing.T) {
 // counters accumulate at consumption time, so they must match the
 // sequential run exactly (spec.* diagnostics excluded).
 func TestParallelProbeTelemetryMatchesSequential(t *testing.T) {
+	forceProbes(t)
 	app := netlist.Clustered(3, 4, 3, 5)
 	run := func(workers int) *obs.Recorder {
 		rec := obs.New()

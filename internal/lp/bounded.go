@@ -17,22 +17,40 @@ package lp
 // GE: s in (-inf,0], EQ: s = 0). Variable bounds are data, not rows, so a
 // branch-and-bound child costs no extra tableau columns, and no artificial
 // variables exist at all. The same Solver value is reused for every node:
-// the dense tableau, bound arrays and status flags are allocated once and
+// bound arrays, status flags and the kernel's scratch are allocated once and
 // overwritten per solve (a per-solver arena), which is what removes the
 // per-node allocation cost of the old path.
+//
+// The pivot loops are linear-algebra agnostic: they read reduced costs from
+// Solver.d, fetch tableau columns/rows from a kernel, and tell the kernel
+// when a basis exchange happened. Two kernels implement that contract:
+//
+//   - denseKernel (this file): the original dense Gauss-Jordan tableau.
+//     Every pivot rewrites the full m x nCols block. Retained as the
+//     reference implementation and for cross-checking.
+//   - sparseKernel (sparse.go): the sparse revised simplex — compressed
+//     sparse columns, a product-form LU factorisation of the basis, eta
+//     updates between periodic refactorisations, and partial (sparse)
+//     pricing updates of the reduced-cost row. The default.
+//
+// All pivot *selection* (entering/leaving rules, tie-breaking, Bland
+// switching, the bound-flipping dual ratio test, the deterministic cost
+// perturbation) lives in the Solver and is shared verbatim by both kernels,
+// which is what keeps their pivot sequences — and therefore golden outputs
+// and parallel determinism — aligned.
 //
 // Two entry points:
 //
 //   - SolveBounded: cold solve. Starts from the all-slack basis, restores
 //     primal feasibility with a zero-objective dual simplex (no artificials,
 //     no phase-1 objective), then runs the bounded primal simplex.
-//   - SolveDual: warm solve from a Basis snapshot. The tableau is rebuilt by
-//     canonical refactorisation (a pure function of the basis set, so every
-//     caller — sequential or speculative worker — computes bit-identical
-//     state), and the dual simplex repairs the handful of bound violations
-//     the caller introduced. An optimal basis stays dual feasible under any
-//     bound change, which is why a branch-and-bound child typically
-//     re-solves in a few pivots.
+//   - SolveDual: warm solve from a Basis snapshot. The kernel state is
+//     rebuilt by canonical refactorisation (a pure function of the basis
+//     set, so every caller — sequential or speculative worker — computes
+//     bit-identical state), and the dual simplex repairs the handful of
+//     bound violations the caller introduced. An optimal basis stays dual
+//     feasible under any bound change, which is why a branch-and-bound
+//     child typically re-solves in a few pivots.
 //
 // Pivot selection is Dantzig pricing with smallest-index tie-breaks,
 // switching to Bland's rule if the iteration count suggests cycling; the
@@ -42,6 +60,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,17 +74,76 @@ const (
 // each row and, for every nonbasic column, which of its bounds it sits at.
 // It is the whole warm-start state — a few kilobytes, cheap enough to attach
 // to every branch-and-bound node — and is immutable once taken.
+//
+// When the sparse kernel warm-starts from a Basis it memoises the canonical
+// LU factorisation of the basis on the snapshot itself, so sibling
+// branch-and-bound nodes (and speculative workers, which share the snapshot
+// pointer) exchange the LU factor instead of each refactorising from
+// scratch. The factor is a pure function of the basis set, so whether a
+// consumer hits or misses the memo is invisible in the results.
 type Basis struct {
 	Basic   []int32 // len m: column basic in row r
 	AtUpper []bool  // len nCols: nonbasic column rests at its upper bound
+
+	// factor memoises the canonical LU factorisation of this basis set
+	// (sparse kernel only). Concurrent warm starts may race to fill it;
+	// both compute identical content, so either store is fine.
+	factor atomic.Pointer[luFactor]
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (sharing the immutable factor memo, if any).
 func (b *Basis) Clone() *Basis {
-	return &Basis{
+	nb := &Basis{
 		Basic:   append([]int32(nil), b.Basic...),
 		AtUpper: append([]bool(nil), b.AtUpper...),
 	}
+	nb.factor.Store(b.factor.Load())
+	return nb
+}
+
+// DropFactor releases the memoised LU factor, if any. Callers that know a
+// snapshot will not be warm-started again (e.g. branch and bound after both
+// children of a node were explored) can call it to bound the memory held by
+// open-node snapshots; a subsequent warm start simply refactorises.
+func (b *Basis) DropFactor() {
+	if b != nil {
+		b.factor.Store(nil)
+	}
+}
+
+// kernel is the linear-algebra engine under the bounded simplex: it
+// maintains a representation of B^-1 applied to the problem matrix and
+// serves tableau columns and rows on demand. The Solver owns all pivot
+// selection and all basis bookkeeping (basis, inBasis, atUpper, xB); the
+// kernel owns the matrix representation plus the derived vectors rhsBar,
+// d and pert, which it must keep in sync at every pivot.
+type kernel interface {
+	// beginSolve resets per-solve statistics.
+	beginSolve()
+	// loadSlack installs the all-slack basis (B = I). Solver bookkeeping
+	// (basis/inBasis/atUpper/rhsBar/d) has already been reset by the caller.
+	loadSlack()
+	// refactorize rebuilds the representation for the basis set in bas,
+	// writes the canonical row assignment into s.basis, and recomputes
+	// rhsBar and d. Returns false when the basis is numerically singular.
+	// Solver bookkeeping (inBasis) is already consistent with bas.
+	refactorize(bas *Basis) bool
+	// column returns B^-1 A_j as a dense slice of length m, valid until the
+	// next column, computeXB, pivot or refactorize call.
+	column(j int) []float64
+	// row returns row i of B^-1 [A|I] as a dense slice of length nCols,
+	// valid until the next row, pivot or refactorize call (column calls do
+	// not invalidate it).
+	row(i int) []float64
+	// pivot applies the basis exchange (leaving row, entering column) to
+	// the representation, rhsBar, d and (when active) pert. The Solver has
+	// already updated basis/inBasis/atUpper/xB, and has fetched column(enter)
+	// since the previous pivot.
+	pivot(leave, enter int)
+	// computeXB recomputes s.xB from rhsBar and the nonbasic resting values.
+	computeXB()
+	// solveStats copies per-solve kernel statistics into the Solution.
+	solveStats(sol *Solution)
 }
 
 // Solver solves a fixed constraint system under varying variable bounds,
@@ -75,22 +153,22 @@ type Solver struct {
 	nStruct int // structural variables
 	nCols   int // nStruct + m (one slack per row)
 
-	obj     []float64   // len nCols: structural costs, zeros for slacks
-	rhs     []float64   // len m
-	rows    [][]float64 // m x nStruct pristine structural coefficients
-	slackLo []float64   // len m: slack bounds encoding the row relation
+	obj     []float64 // len nCols: structural costs, zeros for slacks
+	rhs     []float64 // len m
+	slackLo []float64 // len m: slack bounds encoding the row relation
 	slackHi []float64
 
-	// Scratch arena, allocated once in NewSolver and overwritten per solve.
-	a       [][]float64 // (m+1) x nCols tableau; row m is reduced costs
-	cells   []float64   // backing storage for a
-	rhsBar  []float64   // len m: B^-1 b, maintained alongside the tableau
-	xB      []float64   // len m: value of the basic variable of each row
-	basis   []int32     // len m
-	atUpper []bool      // len nCols
-	inBasis []bool      // len nCols
-	lo, hi  []float64   // len nCols: bounds of the current solve
-	perm    []int32     // len m: refactorisation scratch
+	// Scratch arena, allocated once in the constructor and overwritten per
+	// solve.
+	d       []float64 // len nCols: reduced costs of the current basis
+	rhsBar  []float64 // len m: B^-1 b, maintained alongside the pivots
+	xB      []float64 // len m: value of the basic variable of each row
+	basis   []int32   // len m
+	atUpper []bool    // len nCols
+	inBasis []bool    // len nCols
+	lo, hi  []float64 // len nCols: bounds of the current solve
+
+	k kernel // linear-algebra engine (sparse by default)
 
 	// pert is a second reduced-cost row holding a tiny deterministic cost
 	// perturbation, active only while usePert is set (the dual simplex
@@ -100,8 +178,12 @@ type Solver struct {
 	// objective progress, cycling until the Bland guard crawls it home. The
 	// row transforms under pivots exactly like the true cost row, the true
 	// row is never touched, and the perturbation is switched off before the
-	// primal clean-up certifies the true optimum.
+	// primal clean-up certifies the true optimum. pert0 keeps the initial
+	// perturbation pattern so the sparse kernel can rebuild the transformed
+	// row exactly at a refactorisation (pert = pert0 - y'.A with
+	// B'y' = pert0_B).
 	pert    []float64
+	pert0   []float64
 	usePert bool
 
 	// blandAfterOverride, when positive, replaces the computed Bland-switch
@@ -110,6 +192,11 @@ type Solver struct {
 	// starts a fresh iteration counter, so a warm-started re-solve never
 	// inherits the previous solve's cycling suspicion.
 	blandAfterOverride int
+
+	// refactorEveryOverride, when positive, replaces the sparse kernel's
+	// default refactorisation interval. Test hook for exercising
+	// refactorisation-boundary behaviour.
+	refactorEveryOverride int
 
 	// interrupt, when non-nil, is polled between pivots (at the deadline
 	// cadence): once it is closed, the current and every subsequent solve
@@ -124,10 +211,33 @@ type Solver struct {
 // deadline. A nil channel disables the check.
 func (s *Solver) SetInterrupt(ch <-chan struct{}) { s.interrupt = ch }
 
-// NewSolver validates the problem and builds the reusable solve state.
-// Variable bounds are supplied per solve; the Problem's constraint rows and
-// objective are fixed for the Solver's lifetime.
+// NewSolver validates the problem and builds the reusable solve state with
+// the sparse revised-simplex kernel (see sparse.go), the default engine.
 func NewSolver(p *Problem) (*Solver, error) {
+	s, err := newSolverCore(p)
+	if err != nil {
+		return nil, err
+	}
+	s.k = newSparseKernel(s, p)
+	return s, nil
+}
+
+// NewDenseSolver is NewSolver with the dense full-tableau kernel: every
+// pivot rewrites the whole (m+1) x nCols tableau. It is the reference
+// implementation the sparse kernel is cross-checked against and the escape
+// hatch for numerically hostile problems; both kernels share every pivot
+// rule, so their pivot sequences coincide up to floating-point tie noise.
+func NewDenseSolver(p *Problem) (*Solver, error) {
+	s, err := newSolverCore(p)
+	if err != nil {
+		return nil, err
+	}
+	s.k = newDenseKernel(s, p)
+	return s, nil
+}
+
+// newSolverCore builds the kernel-independent solve state.
+func newSolverCore(p *Problem) (*Solver, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -140,6 +250,7 @@ func NewSolver(p *Problem) (*Solver, error) {
 		rhs:     make([]float64, m),
 		slackLo: make([]float64, m),
 		slackHi: make([]float64, m),
+		d:       make([]float64, n+m),
 		rhsBar:  make([]float64, m),
 		xB:      make([]float64, m),
 		basis:   make([]int32, m),
@@ -147,19 +258,13 @@ func NewSolver(p *Problem) (*Solver, error) {
 		inBasis: make([]bool, n+m),
 		lo:      make([]float64, n+m),
 		hi:      make([]float64, n+m),
-		perm:    make([]int32, m),
 		pert:    make([]float64, n+m),
+		pert0:   make([]float64, n+m),
 	}
 	if p.Objective != nil {
 		copy(s.obj, p.Objective)
 	}
-	s.rows = make([][]float64, m)
-	rowCells := make([]float64, m*n)
 	for i, c := range p.Constraints {
-		s.rows[i] = rowCells[i*n : (i+1)*n]
-		for v, coeff := range c.Coeffs {
-			s.rows[i][v] = coeff
-		}
 		s.rhs[i] = c.RHS
 		switch c.Rel {
 		case LE:
@@ -169,11 +274,6 @@ func NewSolver(p *Problem) (*Solver, error) {
 		case EQ:
 			s.slackLo[i], s.slackHi[i] = 0, 0
 		}
-	}
-	s.a = make([][]float64, m+1)
-	s.cells = make([]float64, (m+1)*s.nCols)
-	for i := range s.a {
-		s.a[i] = s.cells[i*s.nCols : (i+1)*s.nCols]
 	}
 	return s, nil
 }
@@ -218,21 +318,15 @@ func (s *Solver) boundVal(j int) float64 {
 	return s.lo[j]
 }
 
-// loadSlackBasis fills the tableau with the pristine problem under the
-// all-slack basis: the coefficient part is A|I, reduced costs are the raw
-// objective, and every structural variable rests at its lower bound (or its
-// upper bound when only that is finite).
+// loadSlackBasis installs the all-slack basis: every structural variable
+// rests at its lower bound (or its upper bound when only that is finite),
+// reduced costs are the raw objective, and the kernel holds the pristine
+// problem under B = I.
 func (s *Solver) loadSlackBasis() {
 	for i := 0; i < s.m; i++ {
-		row := s.a[i]
-		copy(row, s.rows[i])
-		for j := s.nStruct; j < s.nCols; j++ {
-			row[j] = 0
-		}
-		row[s.nStruct+i] = 1
 		s.basis[i] = int32(s.nStruct + i)
 	}
-	copy(s.a[s.m], s.obj)
+	copy(s.d, s.obj)
 	for j := 0; j < s.nCols; j++ {
 		s.atUpper[j] = math.IsInf(s.lo[j], -1)
 		s.inBasis[j] = false
@@ -242,71 +336,14 @@ func (s *Solver) loadSlackBasis() {
 		s.atUpper[s.nStruct+i] = false
 	}
 	s.initRHSBar()
-	s.computeXB()
-}
-
-// computeXB recomputes the basic values from rhsBar (B^-1 b) and the
-// current nonbasic resting values: xB[i] = rhsBar[i] - sum over nonbasic j
-// of a[i][j] * x_j. The tableau rows must already be in basis form (B^-1 A).
-func (s *Solver) computeXB() {
-	copy(s.xB, s.rhsBar)
-	for j := 0; j < s.nCols; j++ {
-		if s.inBasis[j] {
-			continue
-		}
-		v := s.boundVal(j)
-		if v == 0 {
-			continue
-		}
-		for i := 0; i < s.m; i++ {
-			if aij := s.a[i][j]; aij != 0 {
-				s.xB[i] -= aij * v
-			}
-		}
-	}
+	s.k.loadSlack()
+	s.k.computeXB()
 }
 
 // initRHSBar resets rhsBar to the pristine right-hand side; subsequent
 // pivots keep it equal to B^-1 b.
 func (s *Solver) initRHSBar() {
 	copy(s.rhsBar, s.rhs)
-}
-
-// pivotTableau performs a Gauss-Jordan pivot on (row, col) over the
-// coefficient columns, the reduced-cost row and rhsBar.
-func (s *Solver) pivotTableau(row, col int) {
-	pr := s.a[row]
-	inv := 1 / pr[col]
-	for j := 0; j < s.nCols; j++ {
-		pr[j] *= inv
-	}
-	pr[col] = 1
-	s.rhsBar[row] *= inv
-	for i := 0; i <= s.m; i++ {
-		if i == row {
-			continue
-		}
-		f := s.a[i][col]
-		if f == 0 {
-			continue
-		}
-		ri := s.a[i]
-		for j := 0; j < s.nCols; j++ {
-			ri[j] -= f * pr[j]
-		}
-		ri[col] = 0
-		if i < s.m {
-			s.rhsBar[i] -= f * s.rhsBar[row]
-		}
-	}
-	if s.usePert {
-		if f := s.pert[col]; f != 0 {
-			for j := 0; j < s.nCols; j++ {
-				s.pert[j] -= f * pr[j]
-			}
-			s.pert[col] = 0
-		}
-	}
 }
 
 // pertEps scales the dual-degeneracy-breaking cost perturbation: far above
@@ -331,10 +368,11 @@ func (s *Solver) initPert() {
 			s.pert[j] = pertEps * float64(1+j%61)
 		}
 	}
+	copy(s.pert0, s.pert)
 }
 
-// refactorise rebuilds the tableau for the given basis by canonical
-// Gauss-Jordan elimination: basic columns are pivoted in ascending column
+// refactorise rebuilds the solve state for the given basis by canonical
+// refactorisation: the kernel eliminates basic columns in ascending column
 // order with partial (largest-magnitude, then lowest-row) pivoting. The
 // result is a pure function of the basis set and the pristine problem —
 // independent of the pivot history that produced the basis — which is what
@@ -353,49 +391,8 @@ func (s *Solver) refactorise(bas *Basis) bool {
 		}
 		s.inBasis[c] = true
 	}
-	// Pristine fill.
-	for i := 0; i < s.m; i++ {
-		row := s.a[i]
-		copy(row, s.rows[i])
-		for j := s.nStruct; j < s.nCols; j++ {
-			row[j] = 0
-		}
-		row[s.nStruct+i] = 1
-	}
-	copy(s.a[s.m], s.obj)
-	s.initRHSBar()
-
-	// Eliminate basic columns in ascending order; perm[r] < 0 marks rows
-	// still available as pivot rows.
-	for i := range s.perm {
-		s.perm[i] = -1
-	}
-	done := 0
-	for j := 0; j < s.nCols && done < s.m; j++ {
-		if !s.inBasis[j] {
-			continue
-		}
-		best, bestAbs := -1, pivTol
-		for r := 0; r < s.m; r++ {
-			if s.perm[r] >= 0 {
-				continue
-			}
-			if abs := math.Abs(s.a[r][j]); abs > bestAbs {
-				best, bestAbs = r, abs
-			}
-		}
-		if best < 0 {
-			return false // singular within tolerance
-		}
-		s.pivotTableau(best, j)
-		s.perm[best] = int32(j)
-		done++
-	}
-	if done != s.m {
+	if !s.k.refactorize(bas) {
 		return false
-	}
-	for r := 0; r < s.m; r++ {
-		s.basis[r] = s.perm[r]
 	}
 	copy(s.atUpper, bas.AtUpper)
 	// A nonbasic column whose recorded bound is infinite (a GE slack
@@ -412,7 +409,7 @@ func (s *Solver) refactorise(bas *Basis) bool {
 			s.atUpper[j] = true
 		}
 	}
-	s.computeXB()
+	s.k.computeXB()
 	return true
 }
 
@@ -481,7 +478,7 @@ func (st *iterState) step() bool {
 func (st *iterState) bland() bool { return st.iter > st.blandAfter }
 
 // primalSimplex runs the bounded primal method from the current (primal
-// feasible) tableau until optimality, unboundedness, or a limit.
+// feasible) state until optimality, unboundedness, or a limit.
 func (s *Solver) primalSimplex(st *iterState) Status {
 	for {
 		if !st.step() {
@@ -496,7 +493,7 @@ func (s *Solver) primalSimplex(st *iterState) Status {
 			if s.inBasis[j] || s.lo[j] == s.hi[j] {
 				continue // fixed columns can never move
 			}
-			d := s.a[s.m][j]
+			d := s.d[j]
 			var score float64
 			if s.atUpper[j] {
 				score = d
@@ -517,11 +514,12 @@ func (s *Solver) primalSimplex(st *iterState) Status {
 		if s.atUpper[enter] {
 			sigma = -1
 		}
+		col := s.k.column(enter)
 		// Ratio test: the entering variable moves by sigma*t, t >= 0.
 		tMax := s.hi[enter] - s.lo[enter] // own-range bound flip
 		leave, leaveToUpper := -1, false
 		for i := 0; i < s.m; i++ {
-			g := s.a[i][enter] * sigma
+			g := col[i] * sigma
 			bi := s.basis[i]
 			var t float64
 			var toUpper bool
@@ -554,7 +552,7 @@ func (s *Solver) primalSimplex(st *iterState) Status {
 				if bland {
 					better = int(s.basis[i]) < int(s.basis[leave])
 				} else {
-					gi, gl := math.Abs(s.a[i][enter]), math.Abs(s.a[leave][enter])
+					gi, gl := math.Abs(col[i]), math.Abs(col[leave])
 					better = gi > gl+eps || (gi > gl-eps && int(s.basis[i]) < int(s.basis[leave]))
 				}
 				if better {
@@ -573,7 +571,7 @@ func (s *Solver) primalSimplex(st *iterState) Status {
 			// Bound flip: the entering variable crosses its whole range.
 			delta := sigma * tMax
 			for i := 0; i < s.m; i++ {
-				if aij := s.a[i][enter]; aij != 0 {
+				if aij := col[i]; aij != 0 {
 					s.xB[i] -= aij * delta
 				}
 			}
@@ -586,7 +584,7 @@ func (s *Solver) primalSimplex(st *iterState) Status {
 			if i == leave {
 				continue
 			}
-			if aij := s.a[i][enter]; aij != 0 {
+			if aij := col[i]; aij != 0 {
 				s.xB[i] -= aij * delta
 			}
 		}
@@ -596,16 +594,16 @@ func (s *Solver) primalSimplex(st *iterState) Status {
 		s.inBasis[enter] = true
 		s.basis[leave] = int32(enter)
 		s.xB[leave] = enterVal
-		s.pivotTableau(leave, enter)
+		s.k.pivot(leave, enter)
 	}
 }
 
 // dualSimplex runs the bounded dual method from the current (dual feasible)
-// tableau until primal feasibility — i.e. optimality — or proven primal
+// state until primal feasibility — i.e. optimality — or proven primal
 // infeasibility, or a limit. With zeroCosts the ratio test treats every
 // reduced cost as zero, turning the routine into a pure feasibility search
-// (the cold solve's phase 1); the tableau's reduced-cost row is still
-// updated by each pivot so the true objective is ready for phase 2.
+// (the cold solve's phase 1); the reduced-cost row is still updated by each
+// pivot so the true objective is ready for phase 2.
 func (s *Solver) dualSimplex(st *iterState, zeroCosts bool) Status {
 	for {
 		if !st.step() {
@@ -639,7 +637,7 @@ func (s *Solver) dualSimplex(st *iterState, zeroCosts bool) Status {
 			return Optimal
 		}
 		need := s.xB[leave] - target // entering delta must satisfy delta*a = need
-		row := s.a[leave]
+		row := s.k.row(leave)
 		// Entering column via the bound-flipping ratio test. The min-ratio
 		// column pivots in — unless its own range cannot absorb the whole
 		// violation, in which case it flips to its other bound (shrinking the
@@ -674,7 +672,7 @@ func (s *Solver) dualSimplex(st *iterState, zeroCosts bool) Status {
 				}
 				var ratio float64
 				if !zeroCosts {
-					d := s.a[s.m][j]
+					d := s.d[j]
 					if s.usePert {
 						d += s.pert[j]
 					}
@@ -725,8 +723,9 @@ func (s *Solver) dualSimplex(st *iterState, zeroCosts bool) Status {
 			if need/row[enter] < 0 {
 				flip = -span
 			}
+			fcol := s.k.column(enter)
 			for i := 0; i < s.m; i++ {
-				if aij := s.a[i][enter]; aij != 0 {
+				if aij := fcol[i]; aij != 0 {
 					s.xB[i] -= aij * flip
 				}
 			}
@@ -746,11 +745,12 @@ func (s *Solver) dualSimplex(st *iterState, zeroCosts bool) Status {
 		}
 		delta := need / row[enter]
 		enterVal := s.boundVal(enter) + delta
+		col := s.k.column(enter)
 		for i := 0; i < s.m; i++ {
 			if i == leave {
 				continue
 			}
-			if aij := s.a[i][enter]; aij != 0 {
+			if aij := col[i]; aij != 0 {
 				s.xB[i] -= aij * delta
 			}
 		}
@@ -760,11 +760,11 @@ func (s *Solver) dualSimplex(st *iterState, zeroCosts bool) Status {
 		s.inBasis[enter] = true
 		s.basis[leave] = int32(enter)
 		s.xB[leave] = enterVal
-		s.pivotTableau(leave, enter)
+		s.k.pivot(leave, enter)
 	}
 }
 
-// extract builds the Solution for the current optimal tableau.
+// extract builds the Solution for the current optimal state.
 func (s *Solver) extract() *Solution {
 	x := make([]float64, s.nStruct)
 	for j := 0; j < s.nStruct; j++ {
@@ -787,16 +787,15 @@ func (s *Solver) extract() *Solution {
 // dualFeasible reports whether every nonbasic column's reduced cost has the
 // sign its resting bound requires (at-lower: d >= 0, at-upper: d <= 0).
 func (s *Solver) dualFeasible() bool {
-	d := s.a[s.m]
 	for j := 0; j < s.nCols; j++ {
 		if s.inBasis[j] || s.lo[j] == s.hi[j] {
 			continue
 		}
 		if s.atUpper[j] {
-			if d[j] > dualTol {
+			if s.d[j] > dualTol {
 				return false
 			}
-		} else if d[j] < -dualTol {
+		} else if s.d[j] < -dualTol {
 			return false
 		}
 	}
@@ -823,8 +822,9 @@ func (s *Solver) SolveBounded(lo, hi []float64, deadline time.Time) (*Solution, 
 	if err != nil {
 		return nil, err
 	}
+	s.k.beginSolve()
 	if !feasible {
-		return &Solution{Status: Infeasible}, nil
+		return s.finish(&Solution{Status: Infeasible}), nil
 	}
 	s.loadSlackBasis()
 	st := s.newIterState(deadline)
@@ -846,9 +846,9 @@ func (s *Solver) SolveBounded(lo, hi []float64, deadline time.Time) (*Solution, 
 		s.usePert = false
 		switch status {
 		case Infeasible:
-			return &Solution{Status: Infeasible, Phase1Pivots: st.pivots, BlandPivots: st.blandPivots}, nil
+			return s.finish(&Solution{Status: Infeasible, Phase1Pivots: st.pivots, BlandPivots: st.blandPivots}), nil
 		case IterLimit:
-			return &Solution{Status: IterLimit, Phase1Pivots: st.pivots, BlandPivots: st.blandPivots}, nil
+			return s.finish(&Solution{Status: IterLimit, Phase1Pivots: st.pivots, BlandPivots: st.blandPivots}), nil
 		}
 	}
 	p1 := st.pivots
@@ -861,7 +861,7 @@ func (s *Solver) SolveBounded(lo, hi []float64, deadline time.Time) (*Solution, 
 		opt := s.extract()
 		sol.X, sol.Objective = opt.X, opt.Objective
 	}
-	return sol, nil
+	return s.finish(sol), nil
 }
 
 // SolveDual re-solves the problem under new bounds, warm-starting from a
@@ -880,8 +880,9 @@ func (s *Solver) SolveDual(bas *Basis, lo, hi []float64, deadline time.Time) (so
 	if err != nil {
 		return nil, false, err
 	}
+	s.k.beginSolve()
 	if !feasible {
-		return &Solution{Status: Infeasible, WarmStarted: true}, true, nil
+		return s.finish(&Solution{Status: Infeasible, WarmStarted: true}), true, nil
 	}
 	if !s.refactorise(bas) {
 		return nil, false, nil
@@ -922,8 +923,185 @@ func (s *Solver) SolveDual(bas *Basis, lo, hi []float64, deadline time.Time) (so
 		opt := s.extract()
 		sol.X, sol.Objective = opt.X, opt.Objective
 	}
-	return sol, true, nil
+	return s.finish(sol), true, nil
+}
+
+// finish stamps kernel statistics onto the solution.
+func (s *Solver) finish(sol *Solution) *Solution {
+	s.k.solveStats(sol)
+	return sol
 }
 
 // NumVars returns the structural variable count the Solver was built for.
 func (s *Solver) NumVars() int { return s.nStruct }
+
+// denseKernel is the original dense Gauss-Jordan engine: the full
+// m x nCols tableau B^-1 [A|I] is materialised and every pivot rewrites all
+// of it (plus the reduced-cost rows). Simple and predictable, but each
+// pivot costs O(m*nCols) regardless of sparsity.
+type denseKernel struct {
+	s     *Solver
+	rows  [][]float64 // m x nStruct pristine structural coefficients
+	a     [][]float64 // m x nCols tableau
+	cells []float64   // backing storage for a
+	col   []float64   // len m: column scratch handed to the pivot loops
+	perm  []int32     // len m: refactorisation scratch
+}
+
+func newDenseKernel(s *Solver, p *Problem) *denseKernel {
+	m, n := s.m, s.nStruct
+	k := &denseKernel{
+		s:    s,
+		col:  make([]float64, m),
+		perm: make([]int32, m),
+	}
+	k.rows = make([][]float64, m)
+	rowCells := make([]float64, m*n)
+	for i, c := range p.Constraints {
+		k.rows[i] = rowCells[i*n : (i+1)*n]
+		for v, coeff := range c.Coeffs {
+			k.rows[i][v] = coeff
+		}
+	}
+	k.a = make([][]float64, m)
+	k.cells = make([]float64, m*s.nCols)
+	for i := range k.a {
+		k.a[i] = k.cells[i*s.nCols : (i+1)*s.nCols]
+	}
+	return k
+}
+
+func (k *denseKernel) beginSolve() {}
+
+// fillPristine loads A|I into the tableau.
+func (k *denseKernel) fillPristine() {
+	s := k.s
+	for i := 0; i < s.m; i++ {
+		row := k.a[i]
+		copy(row, k.rows[i])
+		for j := s.nStruct; j < s.nCols; j++ {
+			row[j] = 0
+		}
+		row[s.nStruct+i] = 1
+	}
+}
+
+func (k *denseKernel) loadSlack() { k.fillPristine() }
+
+// pivotTableau performs a Gauss-Jordan pivot on (row, col) over the
+// coefficient columns, the reduced-cost row(s) and rhsBar.
+func (k *denseKernel) pivotTableau(row, col int) {
+	s := k.s
+	pr := k.a[row]
+	inv := 1 / pr[col]
+	for j := 0; j < s.nCols; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1
+	s.rhsBar[row] *= inv
+	for i := 0; i < s.m; i++ {
+		if i == row {
+			continue
+		}
+		f := k.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := k.a[i]
+		for j := 0; j < s.nCols; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+		s.rhsBar[i] -= f * s.rhsBar[row]
+	}
+	if f := s.d[col]; f != 0 {
+		for j := 0; j < s.nCols; j++ {
+			s.d[j] -= f * pr[j]
+		}
+		s.d[col] = 0
+	}
+	if s.usePert {
+		if f := s.pert[col]; f != 0 {
+			for j := 0; j < s.nCols; j++ {
+				s.pert[j] -= f * pr[j]
+			}
+			s.pert[col] = 0
+		}
+	}
+}
+
+func (k *denseKernel) refactorize(bas *Basis) bool {
+	s := k.s
+	k.fillPristine()
+	copy(s.d, s.obj)
+	s.initRHSBar()
+
+	// Eliminate basic columns in ascending order; perm[r] < 0 marks rows
+	// still available as pivot rows.
+	for i := range k.perm {
+		k.perm[i] = -1
+	}
+	done := 0
+	for j := 0; j < s.nCols && done < s.m; j++ {
+		if !s.inBasis[j] {
+			continue
+		}
+		best, bestAbs := -1, pivTol
+		for r := 0; r < s.m; r++ {
+			if k.perm[r] >= 0 {
+				continue
+			}
+			if abs := math.Abs(k.a[r][j]); abs > bestAbs {
+				best, bestAbs = r, abs
+			}
+		}
+		if best < 0 {
+			return false // singular within tolerance
+		}
+		k.pivotTableau(best, j)
+		k.perm[best] = int32(j)
+		done++
+	}
+	if done != s.m {
+		return false
+	}
+	for r := 0; r < s.m; r++ {
+		s.basis[r] = k.perm[r]
+	}
+	return true
+}
+
+func (k *denseKernel) column(j int) []float64 {
+	for i := 0; i < k.s.m; i++ {
+		k.col[i] = k.a[i][j]
+	}
+	return k.col
+}
+
+func (k *denseKernel) row(i int) []float64 { return k.a[i] }
+
+func (k *denseKernel) pivot(leave, enter int) { k.pivotTableau(leave, enter) }
+
+// computeXB recomputes the basic values from rhsBar (B^-1 b) and the
+// current nonbasic resting values: xB[i] = rhsBar[i] - sum over nonbasic j
+// of a[i][j] * x_j. The tableau rows must already be in basis form (B^-1 A).
+func (k *denseKernel) computeXB() {
+	s := k.s
+	copy(s.xB, s.rhsBar)
+	for j := 0; j < s.nCols; j++ {
+		if s.inBasis[j] {
+			continue
+		}
+		v := s.boundVal(j)
+		if v == 0 {
+			continue
+		}
+		for i := 0; i < s.m; i++ {
+			if aij := k.a[i][j]; aij != 0 {
+				s.xB[i] -= aij * v
+			}
+		}
+	}
+}
+
+func (k *denseKernel) solveStats(*Solution) {}

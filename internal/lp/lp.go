@@ -151,6 +151,29 @@ type Solution struct {
 	// attempted and failed (singular basis or iteration trouble); set by
 	// callers that implement the fallback, for telemetry attribution.
 	WarmFallback bool
+	// Sparse marks a solution produced by the sparse revised-simplex
+	// kernel; the Sparse* fields below are populated only then. They are
+	// deterministic per solve (refactorisation points are pivot counts and
+	// the factorisation is a pure function of matrix and basis), so
+	// accumulating them at consumption time matches a sequential run
+	// bit-for-bit even when solves ran speculatively.
+	Sparse bool
+	// SparseNNZ is the pristine constraint-matrix nonzero count.
+	SparseNNZ int
+	// SparseRefactorizations counts basis factorisation installs during the
+	// solve (warm-start refactorisations — memoised or freshly built — plus
+	// periodic mid-solve rebuilds of the eta file).
+	SparseRefactorizations int
+	// SparseEtaPeak is the peak update-eta-file length reached between
+	// refactorisations.
+	SparseEtaPeak int
+	// SparseFillIn totals, over the solve's factorisations, the factor
+	// nonzeros beyond the basic columns' own pristine nonzeros.
+	SparseFillIn int
+	// SparseAccuracyFailures counts mid-solve refactorisations whose
+	// recomputed basic values disagreed with the incrementally maintained
+	// ones beyond tolerance — a nonzero count flags numerical drift.
+	SparseAccuracyFailures int
 }
 
 const (
@@ -333,6 +356,18 @@ func AccumulateStats(rec *obs.Recorder, sol *Solution) {
 	}
 	if sol.WarmFallback {
 		rec.Add("lp.warmstart.fallbacks", 1)
+	}
+	if sol.Sparse {
+		rec.Add("lp.sparse.solves", 1)
+		rec.Add("lp.sparse.nnz", int64(sol.SparseNNZ))
+		rec.Add("lp.sparse.refactorizations", int64(sol.SparseRefactorizations))
+		if n := int64(sol.SparseEtaPeak); n > 0 {
+			rec.Add("lp.sparse.eta_peak", n)
+		}
+		rec.Add("lp.sparse.fill_in", int64(sol.SparseFillIn))
+		if sol.SparseAccuracyFailures > 0 {
+			rec.Add("lp.sparse.accuracy_failures", int64(sol.SparseAccuracyFailures))
+		}
 	}
 }
 

@@ -1,0 +1,928 @@
+package lp
+
+// Sparse revised simplex kernel.
+//
+// The dense kernel materialises B^-1 [A|I] and rewrites all of it at every
+// pivot — O(m*nCols) per pivot however sparse the model is, and the
+// wavelength-MILP rows (clique aggregations, McCormick loss rows, degree
+// cuts) are overwhelmingly sparse. The revised simplex stores only the
+// pristine matrix and a factorisation of the current basis, and computes
+// tableau slices on demand:
+//
+//   - The structural matrix A is held twice, in compressed sparse column
+//     form (for FTRAN scatters and pricing) and compressed sparse row form
+//     (for assembling tableau rows from a BTRAN vector). Slack columns are
+//     implicit: column nStruct+i is e_i.
+//   - The basis is LU-factorised (see luFactor): Gaussian elimination over
+//     the basic columns in a fill-reducing order, storing the multipliers
+//     as L-etas and the frozen-row remainders as U columns. FTRAN solves
+//     L then U; BTRAN solves U^T then L^T. On top of the factorisation the
+//     kernel accumulates one product-form update eta per pivot.
+//   - Tableau column j is FTRAN(A_j); tableau row i is rho^T [A|I] with
+//     rho = BTRAN(e_i), gathered through the CSR rows rho touches.
+//   - The reduced-cost row d lives in the Solver and is updated at each
+//     pivot only at the columns where the pivot row is nonzero (partial
+//     pricing over sparse columns); entering selection stays the shared
+//     O(nCols) Dantzig scan in the Solver, so the pivot *sequence* follows
+//     the same rules the dense kernel applies.
+//
+// The update-eta file grows with every pivot, so the kernel periodically
+// refactorises: after refactorEvery update etas (or earlier on fill-in
+// growth), it rebuilds the factorisation from the pristine matrix for the
+// current basis, keeping each basic column in its current row — the
+// leaving-row rules key on row labels, which therefore must not move
+// mid-solve. The rebuild recomputes rhsBar, the reduced-cost rows and xB
+// from pristine data; comparing the recomputed xB against the
+// incrementally maintained one is the numerical-accuracy check, counted
+// when it disagrees beyond refactorAccTol. All of this is deterministic —
+// the refactorisation points are pivot counts, and the factorisation
+// (elimination order included) is a pure function of the matrix and the
+// basis — so parallel and sequential runs stay bit-identical.
+//
+// Everything the kernel needs per solve lives in reusable arenas (the eta
+// file, scratch vectors, a two-slot ring of mid-solve factors), so a
+// branch-and-bound node re-solve allocates almost nothing; the exception
+// is a warm start over a basis nobody factorised yet, whose factor is
+// freshly allocated because it outlives the solver on the Basis snapshot.
+
+import (
+	"math"
+	"sort"
+)
+
+// defaultRefactorEvery is the update-eta count that triggers a periodic
+// refactorisation; Solver.refactorEveryOverride replaces it in tests.
+const defaultRefactorEvery = 8
+
+// refactorAccTol bounds the disagreement between the incrementally
+// maintained basic values and their recomputation from pristine data at a
+// refactorisation before it counts as an accuracy failure.
+const refactorAccTol = 1e-6
+
+// matrixSig identifies the pristine constraint matrix a factorisation was
+// built from, so a memoised factor is never applied to a different problem.
+type matrixSig struct {
+	m, nCols, nnz int
+	sum           uint64
+}
+
+// luFactor is an LU factorisation of a simplex basis, stored pivot step by
+// pivot step. Step t eliminated basic column perm[piv[t]] with pivot row
+// piv[t] and pivot value 1/inv[t]:
+//
+//   - L-eta t holds the elimination multipliers (lIdx, lVal) applied to the
+//     rows still active at step t; applying the etas in order performs the
+//     forward substitution L^-1.
+//   - U column t holds the column's remainders (uRow, uVal) in rows frozen
+//     by earlier steps; the columns together form the upper-triangular
+//     factor (in pivot order), solved backward after L, column-oriented.
+//
+// A factor is immutable once built. Warm-start factors are memoised on the
+// Basis snapshot and shared across solver instances (and speculative
+// workers); mid-solve factors live in a per-kernel arena and are never
+// shared.
+type luFactor struct {
+	sig  matrixSig
+	perm []int32 // row r -> basic column (the factor's row assignment)
+
+	piv    []int32   // len m: pivot row of each elimination step
+	inv    []float64 // len m: reciprocal pivot values
+	lStart []int32   // len m+1 offsets into lIdx/lVal
+	lIdx   []int32
+	lVal   []float64
+	uStart []int32 // len m+1 offsets into uRow/uVal
+	uRow   []int32
+	uVal   []float64
+	fill   int // nonzeros beyond the basic columns' own (fill-in)
+}
+
+// clone copies the factor into freshly allocated, exactly sized arrays.
+// Memoised factors are built in a reusable scratch whose arrays carry
+// append-growth slack; the snapshot keeps only a trimmed copy.
+func (f *luFactor) clone() *luFactor {
+	c := &luFactor{sig: f.sig, fill: f.fill}
+	c.perm = append(make([]int32, 0, len(f.perm)), f.perm...)
+	c.piv = append(make([]int32, 0, len(f.piv)), f.piv...)
+	c.inv = append(make([]float64, 0, len(f.inv)), f.inv...)
+	c.lStart = append(make([]int32, 0, len(f.lStart)), f.lStart...)
+	c.lIdx = append(make([]int32, 0, len(f.lIdx)), f.lIdx...)
+	c.lVal = append(make([]float64, 0, len(f.lVal)), f.lVal...)
+	c.uStart = append(make([]int32, 0, len(f.uStart)), f.uStart...)
+	c.uRow = append(make([]int32, 0, len(f.uRow)), f.uRow...)
+	c.uVal = append(make([]float64, 0, len(f.uVal)), f.uVal...)
+	return c
+}
+
+// ftran overwrites v with B^-1 v: forward L sweep, then the
+// column-oriented backward U sweep.
+func (f *luFactor) ftran(v []float64) {
+	n := len(f.piv)
+	for t := 0; t < n; t++ {
+		c := v[f.piv[t]]
+		if c != 0 {
+			for q := f.lStart[t]; q < f.lStart[t+1]; q++ {
+				v[f.lIdx[q]] -= f.lVal[q] * c
+			}
+		}
+	}
+	for t := n - 1; t >= 0; t-- {
+		r := f.piv[t]
+		x := v[r] * f.inv[t]
+		if x != 0 {
+			for q := f.uStart[t]; q < f.uStart[t+1]; q++ {
+				v[f.uRow[q]] -= f.uVal[q] * x
+			}
+		}
+		v[r] = x
+	}
+}
+
+// btran overwrites v with B^-T v: forward U^T sweep, then the backward L^T
+// sweep.
+func (f *luFactor) btran(v []float64) {
+	n := len(f.piv)
+	for t := 0; t < n; t++ {
+		r := f.piv[t]
+		acc := v[r]
+		for q := f.uStart[t]; q < f.uStart[t+1]; q++ {
+			acc -= f.uVal[q] * v[f.uRow[q]]
+		}
+		v[r] = acc * f.inv[t]
+	}
+	for t := n - 1; t >= 0; t-- {
+		r := f.piv[t]
+		acc := v[r]
+		for q := f.lStart[t]; q < f.lStart[t+1]; q++ {
+			acc -= f.lVal[q] * v[f.lIdx[q]]
+		}
+		v[r] = acc
+	}
+}
+
+// sparseKernel implements kernel with the sparse revised simplex.
+type sparseKernel struct {
+	s *Solver
+
+	// Pristine structural matrix, column- and row-compressed.
+	ccStart []int32 // len nStruct+1
+	ccRow   []int32
+	ccVal   []float64
+	crStart []int32 // len m+1
+	crCol   []int32
+	crVal   []float64
+	nnz     int
+	sig     matrixSig
+
+	factor *luFactor // basis factorisation; nil while B is the slack identity
+
+	// Update eta file (arena: truncated, never freed, across solves). Eta e
+	// is a product-form Gauss-Jordan pivot: scale row etaPiv[e] by
+	// etaInv[e], subtract multiplier*scaled from the rows in
+	// etaIdx[etaStart[e]:etaStart[e+1]].
+	etaPiv   []int32
+	etaInv   []float64
+	etaStart []int32 // len(etaPiv)+1
+	etaIdx   []int32
+	etaVal   []float64
+
+	// Two-slot ring of mid-solve factor arenas: the slot being rebuilt is
+	// never the live factor, so an aborted rebuild leaves the current
+	// representation intact.
+	midFactor [2]*luFactor
+	// buildTmp is the reusable scratch the warm-start elimination writes
+	// into before the exact-size clone is memoised on the Basis snapshot.
+	buildTmp *luFactor
+	midNext   int
+
+	colScratch  []float64 // len m: column handed to the pivot loops
+	rowScratch  []float64 // len nCols: row handed to the dual loop
+	rho         []float64 // len m: BTRAN work
+	work        []float64 // len m: internal FTRAN work
+	xbScratch   []float64 // len m: accuracy-check snapshot
+	rowOf       []int32   // len nCols: column -> current row, refactor scratch
+	pivotedRows []bool    // len m: factor-build row state
+	rowValidFor int       // row index rowScratch currently holds, -1 if none
+
+	// Elimination-ordering scratch (orderBasisColumns).
+	basicCols []int32 // ascending basic columns
+	ordCols   []int32 // emitted elimination order
+	ordPref   []int32 // structurally chosen pivot row per step, -1 if none
+	rcStart   []int32 // len m+1: row -> basic-column incidence offsets
+	rcIdx     []int32
+	colCnt    []int32 // len nCols: active-row counts per basic column
+	rowCnt    []int32 // len m: active-basic-column counts per row
+	colActive []bool  // len nCols
+	rowActive []bool  // len m
+
+	noMoreRefactor bool // a mid-solve refactorisation went singular
+
+	// Per-solve statistics (reset by beginSolve).
+	stRefactor int
+	stEtaPeak  int
+	stFill     int
+	stAccFail  int
+}
+
+func newSparseKernel(s *Solver, p *Problem) *sparseKernel {
+	m, n := s.m, s.nStruct
+	k := &sparseKernel{s: s, rowValidFor: -1}
+
+	// CSR: per-row column indices in ascending order (Coeffs is a map, so
+	// sort for a deterministic layout), zero coefficients dropped.
+	k.crStart = make([]int32, m+1)
+	var cols []int
+	for i, c := range p.Constraints {
+		cols = cols[:0]
+		for v, coeff := range c.Coeffs {
+			if coeff != 0 {
+				cols = append(cols, v)
+			}
+		}
+		sort.Ints(cols)
+		for _, v := range cols {
+			k.crCol = append(k.crCol, int32(v))
+			k.crVal = append(k.crVal, c.Coeffs[v])
+		}
+		k.crStart[i+1] = int32(len(k.crCol))
+	}
+	k.nnz = len(k.crCol)
+
+	// CSC from CSR; row order within each column is ascending because the
+	// CSR rows are visited in ascending order.
+	k.ccStart = make([]int32, n+1)
+	for _, c := range k.crCol {
+		k.ccStart[c+1]++
+	}
+	for j := 0; j < n; j++ {
+		k.ccStart[j+1] += k.ccStart[j]
+	}
+	k.ccRow = make([]int32, k.nnz)
+	k.ccVal = make([]float64, k.nnz)
+	next := make([]int32, n)
+	copy(next, k.ccStart[:n])
+	for i := 0; i < m; i++ {
+		for t := k.crStart[i]; t < k.crStart[i+1]; t++ {
+			j := k.crCol[t]
+			k.ccRow[next[j]] = int32(i)
+			k.ccVal[next[j]] = k.crVal[t]
+			next[j]++
+		}
+	}
+
+	k.sig = matrixSig{m: m, nCols: s.nCols, nnz: k.nnz, sum: k.checksum()}
+	k.etaStart = append(k.etaStart, 0)
+	k.colScratch = make([]float64, m)
+	k.rowScratch = make([]float64, s.nCols)
+	k.rho = make([]float64, m)
+	k.work = make([]float64, m)
+	k.xbScratch = make([]float64, m)
+	k.rowOf = make([]int32, s.nCols)
+	k.pivotedRows = make([]bool, m)
+	k.rcStart = make([]int32, m+1)
+	k.colCnt = make([]int32, s.nCols)
+	k.rowCnt = make([]int32, m)
+	k.colActive = make([]bool, s.nCols)
+	k.rowActive = make([]bool, m)
+	return k
+}
+
+// checksum hashes the pristine matrix layout and values (FNV-1a over the
+// CSR arrays) for the factor-memo signature.
+func (k *sparseKernel) checksum() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	for _, v := range k.crStart {
+		mix(uint64(v))
+	}
+	for i, c := range k.crCol {
+		mix(uint64(c))
+		mix(math.Float64bits(k.crVal[i]))
+	}
+	return h
+}
+
+func (k *sparseKernel) beginSolve() {
+	k.stRefactor, k.stEtaPeak, k.stFill, k.stAccFail = 0, 0, 0, 0
+	k.noMoreRefactor = false
+}
+
+func (k *sparseKernel) solveStats(sol *Solution) {
+	sol.Sparse = true
+	sol.SparseNNZ = k.nnz
+	sol.SparseRefactorizations = k.stRefactor
+	sol.SparseEtaPeak = k.stEtaPeak
+	sol.SparseFillIn = k.stFill
+	sol.SparseAccuracyFailures = k.stAccFail
+}
+
+func (k *sparseKernel) resetEtas() {
+	k.etaPiv = k.etaPiv[:0]
+	k.etaInv = k.etaInv[:0]
+	k.etaStart = k.etaStart[:1]
+	k.etaIdx = k.etaIdx[:0]
+	k.etaVal = k.etaVal[:0]
+}
+
+func (k *sparseKernel) loadSlack() {
+	k.factor = nil
+	k.resetEtas()
+	k.rowValidFor = -1
+}
+
+// scatter writes pristine column j of [A|I] into the dense vector v.
+func (k *sparseKernel) scatter(v []float64, j int) {
+	for i := range v {
+		v[i] = 0
+	}
+	if j >= k.s.nStruct {
+		v[j-k.s.nStruct] = 1
+		return
+	}
+	for t := k.ccStart[j]; t < k.ccStart[j+1]; t++ {
+		v[k.ccRow[t]] = k.ccVal[t]
+	}
+}
+
+// applyEtas runs the forward (FTRAN) sweep of the update-eta file over v.
+// Each eta performs a full Gauss-Jordan pivot on a column: scale the pivot
+// row, then subtract multiplier*scaled from the rows the pivot column
+// touched. Skipping the subtractions when the scaled pivot entry is zero
+// can only change the sign of a zero, which no downstream comparison
+// observes.
+func (k *sparseKernel) applyEtas(v []float64) {
+	for e := 0; e < len(k.etaPiv); e++ {
+		r := k.etaPiv[e]
+		vr := v[r] * k.etaInv[e]
+		if vr != 0 {
+			for t := k.etaStart[e]; t < k.etaStart[e+1]; t++ {
+				v[k.etaIdx[t]] -= k.etaVal[t] * vr
+			}
+		}
+		v[r] = vr
+	}
+}
+
+// applyEtasT runs the backward (BTRAN) sweep of the update-eta file: the
+// transposed etas in reverse order. Only the pivot entry changes per eta:
+// it becomes inv * (v[r] - sum multiplier_i * v[i]).
+func (k *sparseKernel) applyEtasT(v []float64) {
+	for e := len(k.etaPiv) - 1; e >= 0; e-- {
+		r := k.etaPiv[e]
+		acc := v[r]
+		for t := k.etaStart[e]; t < k.etaStart[e+1]; t++ {
+			acc -= k.etaVal[t] * v[k.etaIdx[t]]
+		}
+		v[r] = k.etaInv[e] * acc
+	}
+}
+
+// ftran overwrites v with B^-1 v (base factor, then update etas).
+func (k *sparseKernel) ftran(v []float64) {
+	if f := k.factor; f != nil {
+		f.ftran(v)
+	}
+	k.applyEtas(v)
+}
+
+// btran overwrites v with B^-T v (update etas reversed, then base factor).
+func (k *sparseKernel) btran(v []float64) {
+	k.applyEtasT(v)
+	if f := k.factor; f != nil {
+		f.btran(v)
+	}
+}
+
+func (k *sparseKernel) column(j int) []float64 {
+	k.scatter(k.colScratch, j)
+	k.ftran(k.colScratch)
+	return k.colScratch
+}
+
+func (k *sparseKernel) row(i int) []float64 {
+	s := k.s
+	rho := k.rho
+	for r := range rho {
+		rho[r] = 0
+	}
+	rho[i] = 1
+	k.btran(rho)
+	out := k.rowScratch
+	for j := range out {
+		out[j] = 0
+	}
+	for r := 0; r < s.m; r++ {
+		yr := rho[r]
+		if yr == 0 {
+			continue
+		}
+		for t := k.crStart[r]; t < k.crStart[r+1]; t++ {
+			out[k.crCol[t]] += yr * k.crVal[t]
+		}
+		out[s.nStruct+r] = yr
+	}
+	k.rowValidFor = i
+	return out
+}
+
+func (k *sparseKernel) pivot(leave, enter int) {
+	s := k.s
+	// The reduced-cost update needs row `leave` of the pre-pivot tableau.
+	// The dual simplex has just fetched it (row invalidation tracking makes
+	// that reuse exact); a primal pivot computes it here, against the
+	// representation as it stands before this pivot's eta is appended.
+	if k.rowValidFor != leave {
+		k.row(leave)
+	}
+	alpha := k.rowScratch
+	col := k.colScratch // FTRAN'd entering column, fetched by the pivot loop
+	inv := 1 / col[leave]
+
+	// Capture the update eta and apply the pivot to rhsBar in one sweep —
+	// the same scale-then-subtract arithmetic as the dense kernel.
+	rb := s.rhsBar[leave] * inv
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		if f := col[i]; f != 0 {
+			k.etaIdx = append(k.etaIdx, int32(i))
+			k.etaVal = append(k.etaVal, f)
+			s.rhsBar[i] -= f * rb
+		}
+	}
+	s.rhsBar[leave] = rb
+	k.etaPiv = append(k.etaPiv, int32(leave))
+	k.etaInv = append(k.etaInv, inv)
+	k.etaStart = append(k.etaStart, int32(len(k.etaIdx)))
+
+	// Partial pricing update: d (and the perturbation row) change only at
+	// the columns where the pivot row is nonzero. alpha_j * inv is the
+	// dense kernel's scaled pivot row entry.
+	if f := s.d[enter]; f != 0 {
+		for j := 0; j < s.nCols; j++ {
+			if a := alpha[j]; a != 0 {
+				s.d[j] -= f * (a * inv)
+			}
+		}
+		s.d[enter] = 0
+	}
+	if s.usePert {
+		if f := s.pert[enter]; f != 0 {
+			for j := 0; j < s.nCols; j++ {
+				if a := alpha[j]; a != 0 {
+					s.pert[j] -= f * (a * inv)
+				}
+			}
+			s.pert[enter] = 0
+		}
+	}
+	k.rowValidFor = -1
+	if n := len(k.etaPiv); n > k.stEtaPeak {
+		k.stEtaPeak = n
+	}
+
+	// Periodic refactorisation: on eta-file length or fill-in growth.
+	if !k.noMoreRefactor {
+		every := defaultRefactorEvery
+		if s.refactorEveryOverride > 0 {
+			every = s.refactorEveryOverride
+		}
+		base := s.m
+		if f := k.factor; f != nil {
+			base += len(f.lIdx) + len(f.uRow) + len(f.piv)
+		}
+		if len(k.etaPiv) >= every || len(k.etaIdx) >= 4*base {
+			k.midRefactor()
+		}
+	}
+}
+
+// basisColsNnz counts the pristine nonzeros of the current basic columns,
+// the baseline against which factor fill-in is measured.
+func (k *sparseKernel) basisColsNnz() int {
+	s, n := k.s, 0
+	for _, c := range k.s.basis {
+		if int(c) >= s.nStruct {
+			n++
+		} else {
+			n += int(k.ccStart[c+1] - k.ccStart[c])
+		}
+	}
+	return n
+}
+
+// orderBasisColumns computes a fill-reducing elimination order over the
+// current basic columns by peeling singletons of the pristine pattern —
+// the classic triangularisation pre-pass. A column with one remaining
+// active row (or a row with one remaining active column) pivots without
+// producing elimination work in the triangular part; whatever cannot be
+// peeled (the kernel of the basis) is ordered by fewest active rows and
+// left to numerical pivoting. The result — ordCols and, per step, the
+// structurally forced pivot row in ordPref (-1 when the choice is left to
+// the numerics) — is a pure function of the matrix pattern and the basis
+// set, keeping refactorisation deterministic.
+func (k *sparseKernel) orderBasisColumns() {
+	s := k.s
+	m := s.m
+
+	k.basicCols = k.basicCols[:0]
+	for j := 0; j < s.nCols; j++ {
+		if s.inBasis[j] {
+			k.basicCols = append(k.basicCols, int32(j))
+		}
+	}
+
+	// Row -> basic-column incidence of the pristine pattern.
+	for r := 0; r <= m; r++ {
+		k.rcStart[r] = 0
+	}
+	for _, c := range k.basicCols {
+		if int(c) >= s.nStruct {
+			k.rcStart[int(c)-s.nStruct+1]++
+		} else {
+			for t := k.ccStart[c]; t < k.ccStart[c+1]; t++ {
+				k.rcStart[k.ccRow[t]+1]++
+			}
+		}
+	}
+	for r := 0; r < m; r++ {
+		k.rcStart[r+1] += k.rcStart[r]
+	}
+	need := int(k.rcStart[m])
+	if cap(k.rcIdx) < need {
+		k.rcIdx = make([]int32, need)
+	}
+	k.rcIdx = k.rcIdx[:need]
+	fillPos := k.rowCnt // borrow as fill cursor before counts are computed
+	for r := 0; r < m; r++ {
+		fillPos[r] = k.rcStart[r]
+	}
+	for _, c := range k.basicCols {
+		if int(c) >= s.nStruct {
+			r := int(c) - s.nStruct
+			k.rcIdx[fillPos[r]] = c
+			fillPos[r]++
+		} else {
+			for t := k.ccStart[c]; t < k.ccStart[c+1]; t++ {
+				r := k.ccRow[t]
+				k.rcIdx[fillPos[r]] = c
+				fillPos[r]++
+			}
+		}
+	}
+
+	for r := 0; r < m; r++ {
+		k.rowActive[r] = true
+		k.rowCnt[r] = k.rcStart[r+1] - k.rcStart[r]
+	}
+	for _, c := range k.basicCols {
+		k.colActive[c] = true
+		if int(c) >= s.nStruct {
+			k.colCnt[c] = 1
+		} else {
+			k.colCnt[c] = k.ccStart[c+1] - k.ccStart[c]
+		}
+	}
+
+	deactivateCol := func(c int32) {
+		k.colActive[c] = false
+		if int(c) >= s.nStruct {
+			r := c - int32(s.nStruct)
+			if k.rowActive[r] {
+				k.rowCnt[r]--
+			}
+			return
+		}
+		for t := k.ccStart[c]; t < k.ccStart[c+1]; t++ {
+			if r := k.ccRow[t]; k.rowActive[r] {
+				k.rowCnt[r]--
+			}
+		}
+	}
+	deactivateRow := func(r int32) {
+		k.rowActive[r] = false
+		for t := k.rcStart[r]; t < k.rcStart[r+1]; t++ {
+			if c := k.rcIdx[t]; k.colActive[c] {
+				k.colCnt[c]--
+			}
+		}
+	}
+	activeRowOf := func(c int32) int32 {
+		if int(c) >= k.s.nStruct {
+			return c - int32(k.s.nStruct)
+		}
+		for t := k.ccStart[c]; t < k.ccStart[c+1]; t++ {
+			if r := k.ccRow[t]; k.rowActive[r] {
+				return r
+			}
+		}
+		return -1
+	}
+	activeColOf := func(r int32) int32 {
+		for t := k.rcStart[r]; t < k.rcStart[r+1]; t++ {
+			if c := k.rcIdx[t]; k.colActive[c] {
+				return c
+			}
+		}
+		return -1
+	}
+
+	k.ordCols = k.ordCols[:0]
+	k.ordPref = k.ordPref[:0]
+	emit := func(c, r int32) {
+		k.ordCols = append(k.ordCols, c)
+		k.ordPref = append(k.ordPref, r)
+		deactivateCol(c)
+		if r >= 0 {
+			deactivateRow(r)
+		}
+	}
+	for len(k.ordCols) < len(k.basicCols) {
+		progress := false
+		for _, c := range k.basicCols {
+			if k.colActive[c] && k.colCnt[c] == 1 {
+				if r := activeRowOf(c); r >= 0 {
+					emit(c, r)
+					progress = true
+				}
+			}
+		}
+		if progress {
+			continue
+		}
+		for r := int32(0); int(r) < m; r++ {
+			if k.rowActive[r] && k.rowCnt[r] == 1 {
+				if c := activeColOf(r); c >= 0 {
+					emit(c, r)
+					progress = true
+					break
+				}
+			}
+		}
+		if progress {
+			continue
+		}
+		// Kernel of the basis: fewest active rows first, ties to the lowest
+		// column; the pivot row is left to numerical partial pivoting (the
+		// active-row bookkeeping turns approximate past this point, which
+		// only blunts the heuristic, never correctness).
+		best := int32(-1)
+		for _, c := range k.basicCols {
+			if k.colActive[c] && (best < 0 || k.colCnt[c] < k.colCnt[best]) {
+				best = c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		emit(best, -1)
+	}
+}
+
+// buildFactorInto runs the left-looking LU elimination over the basic
+// columns in the order computed by orderBasisColumns, into dst. With
+// forced set, the pivot row of every column is taken from k.rowOf
+// (mid-solve refactorisation: row labels must not move) and a too-small
+// pivot aborts; otherwise the structural preference is tried first and
+// falls back to the largest remaining |entry| (ties to the lowest row).
+// Returns false on abort, leaving all live state untouched.
+func (k *sparseKernel) buildFactorInto(dst *luFactor, forced bool) bool {
+	s := k.s
+	m := s.m
+	dst.sig = k.sig
+	dst.piv = dst.piv[:0]
+	dst.inv = dst.inv[:0]
+	dst.lStart = append(dst.lStart[:0], 0)
+	dst.lIdx = dst.lIdx[:0]
+	dst.lVal = dst.lVal[:0]
+	dst.uStart = append(dst.uStart[:0], 0)
+	dst.uRow = dst.uRow[:0]
+	dst.uVal = dst.uVal[:0]
+	if cap(dst.perm) < m {
+		dst.perm = make([]int32, m)
+	}
+	dst.perm = dst.perm[:m]
+
+	pivoted := k.pivotedRows
+	for r := range pivoted {
+		pivoted[r] = false
+	}
+	v := k.work
+	for t, c := range k.ordCols {
+		k.scatter(v, int(c))
+		// Forward L sweep through the steps built so far.
+		for e := 0; e < len(dst.piv); e++ {
+			f := v[dst.piv[e]]
+			if f != 0 {
+				for q := dst.lStart[e]; q < dst.lStart[e+1]; q++ {
+					v[dst.lIdx[q]] -= dst.lVal[q] * f
+				}
+			}
+		}
+		// Pivot row selection.
+		r := -1
+		if forced {
+			r = int(k.rowOf[c])
+			if math.Abs(v[r]) <= pivTol {
+				return false
+			}
+		} else {
+			if p := k.ordPref[t]; p >= 0 && !pivoted[p] && math.Abs(v[p]) > pivTol {
+				r = int(p)
+			} else {
+				bestAbs := pivTol
+				for i := 0; i < m; i++ {
+					if pivoted[i] {
+						continue
+					}
+					if abs := math.Abs(v[i]); abs > bestAbs {
+						r, bestAbs = i, abs
+					}
+				}
+				if r < 0 {
+					return false // singular within tolerance
+				}
+			}
+		}
+		inv := 1 / v[r]
+		for i := 0; i < m; i++ {
+			if i == r {
+				continue
+			}
+			f := v[i]
+			if f == 0 {
+				continue
+			}
+			if pivoted[i] {
+				dst.uRow = append(dst.uRow, int32(i))
+				dst.uVal = append(dst.uVal, f)
+			} else {
+				dst.lIdx = append(dst.lIdx, int32(i))
+				dst.lVal = append(dst.lVal, f*inv)
+			}
+		}
+		dst.piv = append(dst.piv, int32(r))
+		dst.inv = append(dst.inv, inv)
+		dst.lStart = append(dst.lStart, int32(len(dst.lIdx)))
+		dst.uStart = append(dst.uStart, int32(len(dst.uRow)))
+		pivoted[r] = true
+		dst.perm[r] = c
+	}
+	dst.fill = len(dst.lIdx) + len(dst.uRow) + len(dst.piv) - k.basisColsNnz()
+	if dst.fill < 0 {
+		dst.fill = 0
+	}
+	return true
+}
+
+// refactorize rebuilds the representation for a warm-start basis. The
+// elimination — fill-reducing order, structural pivot preferences with
+// largest-|entry| fallback — is a pure function of the matrix and the
+// basis set, so every consumer of a snapshot computes an identical factor;
+// the result is memoised on the snapshot so sibling branch-and-bound nodes
+// and speculative workers exchange the factor instead of re-eliminating.
+func (k *sparseKernel) refactorize(bas *Basis) bool {
+	s := k.s
+	k.resetEtas()
+	k.rowValidFor = -1
+
+	if f := bas.factor.Load(); f != nil && f.sig == k.sig {
+		k.factor = f
+		copy(s.basis, f.perm)
+		k.installStats(f)
+		return true
+	}
+
+	k.orderBasisColumns()
+	// Build into the kernel-owned scratch factor (its append-grown arrays
+	// amortise across solves), then clone exact-size arrays for the memo:
+	// the snapshot outlives this solver, and trimming removes the capacity
+	// slack growslice doubling would otherwise retain per node.
+	if k.buildTmp == nil {
+		k.buildTmp = &luFactor{}
+	}
+	if !k.buildFactorInto(k.buildTmp, false) {
+		return false // singular within tolerance: caller solves cold
+	}
+	f := k.buildTmp.clone()
+	bas.factor.Store(f)
+	k.factor = f
+	copy(s.basis, f.perm)
+	k.installStats(f)
+	return true
+}
+
+// installStats records a factor install and recomputes the derived
+// vectors (rhsBar and reduced costs) from pristine data. Memoised and
+// freshly built factors are byte-identical, so the recorded statistics are
+// independent of memo hits — which keeps lp.sparse.* counters bit-equal
+// between sequential and speculative runs.
+func (k *sparseKernel) installStats(f *luFactor) {
+	k.stRefactor++
+	k.stFill += f.fill
+	k.computeRHSBar()
+	k.computeD()
+}
+
+// midRefactor rebuilds the factorisation for the current basis in the
+// middle of a solve, collapsing the eta file. Each basic column keeps its
+// current row, so a pivot that is too small with the prescribed row aborts
+// the rebuild: the eta representation is still valid, and the kernel just
+// stops refactorising for the rest of the solve.
+func (k *sparseKernel) midRefactor() {
+	s := k.s
+	for r := 0; r < s.m; r++ {
+		k.rowOf[s.basis[r]] = int32(r)
+	}
+	k.orderBasisColumns()
+	dst := k.midFactor[k.midNext]
+	if dst == nil {
+		dst = &luFactor{}
+		k.midFactor[k.midNext] = dst
+	}
+	if !k.buildFactorInto(dst, true) {
+		k.noMoreRefactor = true
+		return
+	}
+	k.midNext ^= 1
+	k.factor = dst
+	k.resetEtas()
+	k.rowValidFor = -1
+	k.stRefactor++
+	k.stFill += dst.fill
+	k.computeRHSBar()
+	k.computeD()
+	if s.usePert {
+		k.computePert()
+	}
+	// Accuracy check against the pristine matrix: the incrementally
+	// maintained basic values must agree with their recomputation through
+	// the fresh factorisation.
+	copy(k.xbScratch, s.xB)
+	k.computeXB()
+	for i := 0; i < s.m; i++ {
+		if math.Abs(k.xbScratch[i]-s.xB[i]) > refactorAccTol {
+			k.stAccFail++
+			break
+		}
+	}
+}
+
+// computeRHSBar recomputes rhsBar = B^-1 b through the current factor.
+func (k *sparseKernel) computeRHSBar() {
+	s := k.s
+	copy(s.rhsBar, s.rhs)
+	k.ftran(s.rhsBar)
+}
+
+// priceInto recomputes a transformed cost row from its pristine form:
+// out_j = c_j - y . A_j with B^T y = c_B, exact zeros on basic columns.
+func (k *sparseKernel) priceInto(out, c []float64) {
+	s := k.s
+	y := k.work
+	for r := 0; r < s.m; r++ {
+		y[r] = c[s.basis[r]]
+	}
+	k.btran(y)
+	copy(out, c[:s.nStruct])
+	for r := 0; r < s.m; r++ {
+		yr := y[r]
+		if yr != 0 {
+			for t := k.crStart[r]; t < k.crStart[r+1]; t++ {
+				out[k.crCol[t]] -= yr * k.crVal[t]
+			}
+		}
+		out[s.nStruct+r] = c[s.nStruct+r] - yr
+	}
+	for r := 0; r < s.m; r++ {
+		out[s.basis[r]] = 0
+	}
+}
+
+func (k *sparseKernel) computeD()    { k.priceInto(k.s.d, k.s.obj) }
+func (k *sparseKernel) computePert() { k.priceInto(k.s.pert, k.s.pert0) }
+
+// computeXB mirrors the dense kernel: start from rhsBar and subtract each
+// nonbasic column at a nonzero resting value, columns in ascending order.
+func (k *sparseKernel) computeXB() {
+	s := k.s
+	copy(s.xB, s.rhsBar)
+	for j := 0; j < s.nCols; j++ {
+		if s.inBasis[j] {
+			continue
+		}
+		v := s.boundVal(j)
+		if v == 0 {
+			continue
+		}
+		col := k.column(j)
+		for i := 0; i < s.m; i++ {
+			if aij := col[i]; aij != 0 {
+				s.xB[i] -= aij * v
+			}
+		}
+	}
+}

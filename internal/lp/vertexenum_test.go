@@ -220,3 +220,144 @@ func TestFuzzAgainstVertexEnumeration(t *testing.T) {
 	}
 	t.Logf("verified %d optima and %d infeasibilities against vertex enumeration", checked, infeasibles)
 }
+
+// degenerateProblem builds on randomBoundedProblem and then stresses the
+// basis machinery: duplicated rows (primal-degenerate vertices, leaving-row
+// ties), scaled copies of rows (rank-deficient row sets the LU ordering
+// must pivot around), and sum rows (redundant constraints that put extra
+// hyperplanes through existing vertices).
+func degenerateProblem(rng *rand.Rand) (*Problem, []float64, []float64) {
+	p, lo, hi := randomBoundedProblem(rng)
+	base := len(p.Constraints)
+	for _, c := range p.Constraints[:base] {
+		switch rng.Intn(3) {
+		case 0: // exact duplicate
+			p.AddConstraint(c.Rel, c.RHS, c.Coeffs)
+		case 1: // scaled copy: dependent row, consistent by construction
+			f := float64(1 + rng.Intn(3))
+			terms := map[int]float64{}
+			for v, coeff := range c.Coeffs {
+				terms[v] = f * coeff
+			}
+			p.AddConstraint(c.Rel, f*c.RHS, terms)
+		case 2: // sum with another row (LE+LE stays valid; else duplicate)
+			other := p.Constraints[rng.Intn(base)]
+			if c.Rel == LE && other.Rel == LE {
+				terms := map[int]float64{}
+				for v, coeff := range c.Coeffs {
+					terms[v] = coeff
+				}
+				for v, coeff := range other.Coeffs {
+					terms[v] += coeff
+				}
+				p.AddConstraint(LE, c.RHS+other.RHS, terms)
+			} else {
+				p.AddConstraint(c.Rel, c.RHS, c.Coeffs)
+			}
+		}
+	}
+	return p, lo, hi
+}
+
+// TestFuzzSparseVsDenseKernels cross-checks the two simplex kernels on
+// random degenerate and rank-deficient problems: cold solves must agree on
+// status and optimum, for the sparse kernel at several refactorisation
+// cadences (refactorEveryOverride 1 hits a refactorisation boundary on
+// every pivot), and warm dual re-solves after a bound change must agree
+// too. Pivot sequences are not compared — the kernels choose different
+// pivot rows inside the factorisation, which is allowed; the contract is
+// the solution.
+func TestFuzzSparseVsDenseKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 600
+	if testing.Short() {
+		trials = 120
+	}
+	agreed := 0
+	for trial := 0; trial < trials; trial++ {
+		var p *Problem
+		var lo, hi []float64
+		if trial%2 == 0 {
+			p, lo, hi = degenerateProblem(rng)
+		} else {
+			p, lo, hi = randomBoundedProblem(rng)
+		}
+
+		dense, err := NewDenseSolver(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsol, err := dense.SolveBounded(lo, hi, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dsol.Status == IterLimit {
+			continue
+		}
+
+		// The sparse kernel at the default cadence and at forced
+		// refactorisation boundaries (every pivot, every 2nd, every 3rd).
+		for _, every := range []int{0, 1, 2, 3} {
+			sparse, err := NewSolver(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse.refactorEveryOverride = every
+			ssol, err := sparse.SolveBounded(lo, hi, time.Time{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ssol.Status == IterLimit {
+				continue
+			}
+			if ssol.Status != dsol.Status {
+				t.Fatalf("trial %d every=%d: sparse status %v, dense %v\n%+v lo=%v hi=%v",
+					trial, every, ssol.Status, dsol.Status, p, lo, hi)
+			}
+			if ssol.Status == Optimal && !approx(ssol.Objective, dsol.Objective, 1e-5) {
+				t.Fatalf("trial %d every=%d: sparse optimum %v, dense %v\n%+v lo=%v hi=%v",
+					trial, every, ssol.Objective, dsol.Objective, p, lo, hi)
+			}
+			if !ssol.Sparse {
+				t.Fatalf("trial %d: sparse solution not flagged Sparse", trial)
+			}
+
+			// Warm dual re-solve cross-check: tighten a random upper bound
+			// (the dual-simplex re-entry milp warm starts rely on) from
+			// each kernel's own optimal basis.
+			if ssol.Status != Optimal || every != 1 {
+				continue
+			}
+			j := rng.Intn(p.NumVars)
+			hi2 := append([]float64(nil), hi...)
+			ub := hi2[j]
+			if math.IsInf(ub, 1) {
+				ub = 4
+			}
+			hi2[j] = math.Max(lo[j], ub-1)
+			swarm, sok, err := sparse.SolveDual(sparse.Basis(), lo, hi2, time.Time{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dwarm, dok, err := dense.SolveDual(dense.Basis(), lo, hi2, time.Time{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sok || !dok || swarm.Status == IterLimit || dwarm.Status == IterLimit {
+				continue // warm re-entry declined; cold fallback is the caller's job
+			}
+			if swarm.Status != dwarm.Status {
+				t.Fatalf("trial %d: warm sparse status %v, dense %v", trial, swarm.Status, dwarm.Status)
+			}
+			if swarm.Status == Optimal && !approx(swarm.Objective, dwarm.Objective, 1e-5) {
+				t.Fatalf("trial %d: warm sparse optimum %v, dense %v\n%+v lo=%v hi2=%v",
+					trial, swarm.Objective, dwarm.Objective, p, lo, hi2)
+			}
+		}
+		agreed++
+	}
+	if agreed < trials*3/4 {
+		t.Errorf("only %d/%d trials were cross-checked", agreed, trials)
+	}
+	t.Logf("cross-checked %d/%d trials across 4 refactorisation cadences", agreed, trials)
+}

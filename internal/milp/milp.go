@@ -354,6 +354,26 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	open := &nodeHeap{{lower: map[int]float64{}, upper: map[int]float64{}, bound: math.Inf(-1)}}
 	heap.Init(open)
 
+	// Each basis snapshot is shared by exactly two children; once both have
+	// been warm-started (popped and solved) the memoised LU factor attached
+	// to the snapshot can never be needed again by the sequential order, so
+	// it is dropped to bound the memory held by the open-node frontier.
+	// DropFactor only clears the memo pointer — a speculative solver that
+	// already loaded the factor keeps using its own reference, and one that
+	// misses simply refactorises (counters are invariant to memo hits).
+	basisUses := make(map[*lp.Basis]int8)
+	release := func(nd *node) {
+		if nd.basis == nil {
+			return
+		}
+		if n := basisUses[nd.basis]; n > 1 {
+			basisUses[nd.basis] = n - 1
+		} else {
+			delete(basisUses, nd.basis)
+			nd.basis.DropFactor()
+		}
+	}
+
 	for open.Len() > 0 {
 		if res.Nodes >= nodeLimit || ctx.Err() != nil || time.Now().After(deadline) {
 			// The best open bound is the proven lower bound.
@@ -375,6 +395,7 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		release(nd)
 		switch sol.Status {
 		case lp.Infeasible:
 			continue
@@ -443,6 +464,9 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 		up := child(nd, &seq, sol.Objective)
 		up.lower[branchVar] = math.Ceil(v)
 		up.basis = bas
+		if bas != nil {
+			basisUses[bas] = 2
+		}
 		heap.Push(open, down)
 		heap.Push(open, up)
 	}

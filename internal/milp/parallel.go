@@ -30,15 +30,39 @@ type evaluator interface {
 	close()
 }
 
-// newEvaluator picks the implementation for the resolved worker count.
-// interrupt (a context's Done channel, possibly nil) is installed in every
-// LP solver the evaluator creates, the workers' included.
+// specMinProblemSize gates speculation on LP size (vars × presolved rows).
+// Below it a relaxation solves in microseconds, so handing nodes to another
+// goroutine costs more than the overlap buys — the j=4 slowdown on MWD and
+// VOPD in BENCH_2026-08-06-warmstart.json. MWD (44×90) and VOPD (90×190)
+// fall under the threshold; MPEG (274×471) and the 8PM apps stay above it.
+// A var only so tests can lower the gate to exercise the prefetcher on
+// deliberately small instances.
+var specMinProblemSize = 50000
+
+// specMinOpenNodes suppresses prefetching while the frontier is smaller
+// than this: the next pops are consumed immediately after being pushed, so
+// a speculative solve would only race the main loop for the same node.
+// Trees that never grow past it (small apps, root-proven solves) therefore
+// never start the worker pool at all. A var for the same test reason.
+var specMinOpenNodes = 4
+
+// resolveSpecWorkers caps speculative workers at the core count (see
+// par.ResolveSpeculative); tests substitute par.Resolve to exercise the
+// prefetcher on single-core machines.
+var resolveSpecWorkers = par.ResolveSpeculative
+
+// newEvaluator picks the implementation for the resolved worker count and
+// problem size. interrupt (a context's Done channel, possibly nil) is
+// installed in every LP solver the evaluator creates, the workers'
+// included. The choice never changes results — both evaluators feed the
+// main loop the same canonical solutions — only where they are computed.
 func newEvaluator(pp *prepped, parallelism int, deadline time.Time, interrupt <-chan struct{}, rec *obs.Recorder) (evaluator, error) {
 	rs, err := newRelaxSolver(pp, interrupt)
 	if err != nil {
 		return nil, err
 	}
-	if workers := par.Resolve(parallelism); workers > 1 {
+	size := pp.p.LP.NumVars * (len(pp.p.LP.Constraints) + 1)
+	if workers := resolveSpecWorkers(parallelism); workers > 1 && size >= specMinProblemSize {
 		return newPrefetcher(pp, rs, workers, deadline, interrupt, rec), nil
 	}
 	return &inlineEvaluator{rs: rs, deadline: deadline, rec: rec}, nil
@@ -108,6 +132,10 @@ type prefetcher struct {
 
 	tasks chan *lpFuture
 	wg    sync.WaitGroup
+	// started is set (by the main goroutine) once the worker pool has been
+	// launched; the pool starts lazily on the first scheduled task, so a
+	// solve whose frontier never reaches specMinOpenNodes pays nothing.
+	started bool
 
 	// incumbent is the published incumbent objective as math.Float64bits
 	// (+Inf until the first incumbent). Written by the main loop, read by
@@ -133,11 +161,17 @@ func newPrefetcher(pp *prepped, rs *relaxSolver, workers int, deadline time.Time
 		futures:   make(map[*node]*lpFuture),
 	}
 	f.incumbent.Store(math.Float64bits(math.Inf(1)))
-	f.wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	return f
+}
+
+// start launches the worker pool; called from the main goroutine when the
+// first speculative task is about to be scheduled.
+func (f *prefetcher) start() {
+	f.started = true
+	f.wg.Add(f.workers)
+	for w := 0; w < f.workers; w++ {
 		go f.worker()
 	}
-	return f
 }
 
 func (f *prefetcher) worker() {
@@ -174,6 +208,12 @@ func (f *prefetcher) publish(objective float64) {
 // canonical nodeLess order, and hands out as many as the task queue accepts
 // without blocking.
 func (f *prefetcher) prefetch(open *nodeHeap) {
+	if open.Len() < specMinOpenNodes {
+		return
+	}
+	if !f.started {
+		f.start()
+	}
 	window := 2 * f.workers
 	scan := 4 * window
 	if scan > open.Len() {
@@ -238,7 +278,9 @@ func (f *prefetcher) close() {
 	// shutdown does not wait on stale LP solves.
 	f.incumbent.Store(math.Float64bits(math.Inf(-1)))
 	close(f.tasks)
-	f.wg.Wait()
+	if f.started {
+		f.wg.Wait()
+	}
 	if f.rec != nil {
 		f.rec.Add("milp.spec.scheduled", f.scheduled)
 		f.rec.Add("milp.spec.wasted", f.scheduled-f.consumed)

@@ -8,6 +8,7 @@ import (
 
 	"sring/internal/lp"
 	"sring/internal/obs"
+	"sring/internal/par"
 )
 
 // randomBinaryProgram builds a small random binary program (the same family
@@ -56,10 +57,24 @@ func hardKnapsack(rng *rand.Rand, n int) *Problem {
 	return p
 }
 
+// forceSpeculation lowers the speculation gates for the duration of a test
+// so the deliberately small instances here exercise the prefetcher, which
+// the production thresholds would route to the inline evaluator.
+func forceSpeculation(t *testing.T) {
+	t.Helper()
+	oldSize, oldOpen, oldResolve := specMinProblemSize, specMinOpenNodes, resolveSpecWorkers
+	specMinProblemSize, specMinOpenNodes = 0, 0
+	resolveSpecWorkers = par.Resolve // ignore the core cap on 1-CPU CI boxes
+	t.Cleanup(func() {
+		specMinProblemSize, specMinOpenNodes, resolveSpecWorkers = oldSize, oldOpen, oldResolve
+	})
+}
+
 // TestParallelMatchesSequential is the core determinism contract: the
 // parallel solve must reproduce the sequential Result field for field —
 // same status, same X, same objective, same bound, same node count.
 func TestParallelMatchesSequential(t *testing.T) {
+	forceSpeculation(t)
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 24; trial++ {
 		var p *Problem
@@ -98,6 +113,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 // at consumption time, so lp.* and milp.* counters (bar the spec.*
 // diagnostics) must be identical between sequential and parallel runs.
 func TestParallelTelemetryMatchesSequential(t *testing.T) {
+	forceSpeculation(t)
 	rng := rand.New(rand.NewSource(11))
 	p := hardKnapsack(rng, 14)
 
@@ -127,6 +143,7 @@ func TestParallelTelemetryMatchesSequential(t *testing.T) {
 // TestParallelWithSeededIncumbent checks the publish path: a seeded
 // incumbent lets workers skip, and the result still matches sequential.
 func TestParallelWithSeededIncumbent(t *testing.T) {
+	forceSpeculation(t)
 	rng := rand.New(rand.NewSource(3))
 	p := hardKnapsack(rng, 12)
 	seq, err := Solve(p, Options{Parallelism: 1})
@@ -151,9 +168,59 @@ func TestParallelWithSeededIncumbent(t *testing.T) {
 	}
 }
 
+// TestSpeculationGatedOnSmallProblems: below the size gate a parallel
+// solve must route to the inline evaluator — no speculative solves are
+// scheduled, and the result still matches the sequential one exactly.
+func TestSpeculationGatedOnSmallProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := hardKnapsack(rng, 14) // 14 vars × 2 rows: far below specMinProblemSize
+
+	run := func(workers int) (*Result, *obs.Recorder) {
+		rec := obs.New()
+		sp := rec.StartSpan("test")
+		res, err := Solve(p, Options{Parallelism: workers, Obs: sp})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", workers, err)
+		}
+		sp.End()
+		return res, rec
+	}
+	seq, _ := run(1)
+	par4, rec := run(4)
+	if n := rec.Counter("milp.spec.scheduled").Value(); n != 0 {
+		t.Errorf("small problem scheduled %d speculative solves, want 0", n)
+	}
+	if par4.Status != seq.Status || par4.Objective != seq.Objective ||
+		par4.Nodes != seq.Nodes || !reflect.DeepEqual(par4.X, seq.X) {
+		t.Fatalf("gated parallel diverged: got %+v want %+v", par4, seq)
+	}
+}
+
+// TestPrefetcherLazyStart: even above the size gate, a solve whose
+// frontier never reaches specMinOpenNodes must not start the worker pool.
+func TestPrefetcherLazyStart(t *testing.T) {
+	oldSize, oldResolve := specMinProblemSize, resolveSpecWorkers
+	specMinProblemSize = 0 // size gate open, open-node gate at production value
+	resolveSpecWorkers = par.Resolve
+	t.Cleanup(func() { specMinProblemSize, resolveSpecWorkers = oldSize, oldResolve })
+
+	rng := rand.New(rand.NewSource(7))
+	p := randomBinaryProgram(rng, 4, 2) // tree too small to grow a frontier
+	rec := obs.New()
+	sp := rec.StartSpan("test")
+	if _, err := Solve(p, Options{Parallelism: 4, Obs: sp}); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	if n := rec.Counter("milp.spec.scheduled").Value(); n != 0 {
+		t.Errorf("tiny tree scheduled %d speculative solves, want 0", n)
+	}
+}
+
 // TestParallelBruteForce re-runs the brute-force oracle with workers on, so
 // exactness (not just seq-equivalence) is checked under the pool.
 func TestParallelBruteForce(t *testing.T) {
+	forceSpeculation(t)
 	rng := rand.New(rand.NewSource(19))
 	for trial := 0; trial < 10; trial++ {
 		n := 3 + rng.Intn(4)

@@ -29,6 +29,23 @@ func Resolve(parallelism int) int {
 	return parallelism
 }
 
+// ResolveSpeculative maps the knob to a worker count for *speculative*
+// helpers — optional work (prefetched LP relaxations, look-ahead L_max
+// probes) that only pays off on cores the critical path is not using. The
+// resolved count is additionally capped at GOMAXPROCS: splitting mandatory
+// ForEach work across more goroutines than cores is merely neutral, but
+// speculative solves beyond the core count steal cycles from the very
+// path they are meant to hide, which is how -j 4 made single-core runs
+// slower. Determinism is unaffected — speculation never changes results,
+// only where (and whether ahead of time) they are computed.
+func ResolveSpeculative(parallelism int) int {
+	w := Resolve(parallelism)
+	if cores := runtime.GOMAXPROCS(0); w > cores {
+		w = cores
+	}
+	return w
+}
+
 // ForEach runs fn(i) for every i in [0, n) on up to Resolve(parallelism)
 // goroutines and returns when all calls have finished. With an effective
 // worker count of 1 the calls run inline, in index order, on the calling

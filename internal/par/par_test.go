@@ -21,6 +21,21 @@ func TestResolve(t *testing.T) {
 	}
 }
 
+func TestResolveSpeculative(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	if got := ResolveSpeculative(0); got != cores {
+		t.Errorf("ResolveSpeculative(0) = %d, want GOMAXPROCS %d", got, cores)
+	}
+	if got := ResolveSpeculative(1); got != 1 {
+		t.Errorf("ResolveSpeculative(1) = %d, want 1", got)
+	}
+	// An explicit knob above the core count is capped: speculative work
+	// beyond the cores only steals cycles from the critical path.
+	if got := ResolveSpeculative(cores + 5); got != cores {
+		t.Errorf("ResolveSpeculative(%d) = %d, want core cap %d", cores+5, got, cores)
+	}
+}
+
 func TestForEachCoversAllIndices(t *testing.T) {
 	for _, parallelism := range []int{1, 2, 4, 0} {
 		const n = 137
