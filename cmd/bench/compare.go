@@ -7,6 +7,8 @@ package main
 //
 // A regression is:
 //   - ns/op or allocs/op growing by more than -threshold (default 20%), or
+//   - a pipeline stage's p99 latency growing by more than -threshold, when
+//     the old p99 was at least 1 ms (see p99FloorNs), or
 //   - the MILP optimality gap widening by more than one percentage point
 //     (gaps are small ratios, frequently exactly 0, so a relative test
 //     would divide by zero exactly where the comparison matters most).
@@ -37,6 +39,11 @@ func loadSnapshot(path string) (*snapshot, error) {
 // gapRegressionTol is the absolute milp_gap widening that counts as a
 // regression: one percentage point of relative optimality gap.
 const gapRegressionTol = 0.01
+
+// p99FloorNs is the old stage-p99 below which the per-stage latency gate
+// stays silent: sub-millisecond stages flap too much at benchmark sample
+// counts for a relative threshold to separate signal from scheduler noise.
+const p99FloorNs = int64(1e6)
 
 // deltaPct formats the relative change from o to n as benchstat does;
 // "~" marks changes below one percent (noise at these sample counts).
@@ -85,6 +92,13 @@ func compareSnapshots(oldSnap, newSnap *snapshot, threshold float64) []string {
 		}
 		if regress(float64(o.AllocsPerOp), float64(n.AllocsPerOp)) {
 			why = append(why, "allocs/op")
+		}
+		for _, s := range stageNames {
+			op, okO := o.StageNs[s]
+			np, okN := n.StageNs[s]
+			if okO && okN && op.P99 >= p99FloorNs && regress(float64(op.P99), float64(np.P99)) {
+				why = append(why, "p99("+s+")")
+			}
 		}
 		gapCols := [3]string{"-", "-", ""}
 		if o.MILPGap != nil && n.MILPGap != nil {

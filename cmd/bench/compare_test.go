@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sring"
+)
+
+func snapWith(entries ...entry) *snapshot {
+	return &snapshot{Date: "2026-01-01", Entries: entries}
+}
+
+func baseEntry() entry {
+	return entry{
+		Name:        "Synthesize/MWD/SRing",
+		NsPerOp:     1e6,
+		AllocsPerOp: 1000,
+		StageNs: map[string]stagePct{
+			"construct": {P50: 2e6, P99: 4e6},
+			"layout":    {P50: 1e4, P99: 5e4},
+		},
+	}
+}
+
+// An injected stage-p99 regression beyond the threshold must gate, naming
+// the stage.
+func TestCompareGatesOnP99(t *testing.T) {
+	oldE, newE := baseEntry(), baseEntry()
+	newE.StageNs = map[string]stagePct{
+		"construct": {P50: 2e6, P99: 10e6}, // 2.5x the old p99
+		"layout":    {P50: 1e4, P99: 5e4},
+	}
+	regressed := compareSnapshots(snapWith(oldE), snapWith(newE), 0.20)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "p99(construct)") {
+		t.Fatalf("regressed = %v, want one p99(construct) entry", regressed)
+	}
+}
+
+// Stages whose old p99 sits below the absolute floor never gate: relative
+// thresholds on microsecond stages would flag scheduler noise.
+func TestCompareP99Floor(t *testing.T) {
+	oldE, newE := baseEntry(), baseEntry()
+	newE.StageNs = map[string]stagePct{
+		"construct": {P50: 2e6, P99: 4e6},
+		"layout":    {P50: 1e4, P99: 5e5}, // 10x, but old p99 = 50 µs < 1 ms floor
+	}
+	if regressed := compareSnapshots(snapWith(oldE), snapWith(newE), 0.20); len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none (below the p99 floor)", regressed)
+	}
+}
+
+// Entries lacking stage data (older snapshots) compare on ns/op alone —
+// adding stage_ns must not fail the comparison that introduces it.
+func TestCompareMissingStageNs(t *testing.T) {
+	oldE := baseEntry()
+	oldE.StageNs = nil
+	if regressed := compareSnapshots(snapWith(oldE), snapWith(baseEntry()), 0.20); len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none", regressed)
+	}
+}
+
+// The pre-existing gates still fire alongside the new one.
+func TestCompareGatesOnNsPerOp(t *testing.T) {
+	newE := baseEntry()
+	newE.NsPerOp = 2e6
+	regressed := compareSnapshots(snapWith(baseEntry()), snapWith(newE), 0.20)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "ns/op") {
+		t.Fatalf("regressed = %v, want one ns/op entry", regressed)
+	}
+}
+
+// stagePercentiles maps registry deltas onto the entry schema, skipping
+// stages that never ran.
+func TestStagePercentiles(t *testing.T) {
+	reg := sring.NewRegistry()
+	before := reg.Snapshot()
+	reg.Histogram("pipeline.stage.construct.ns").Record(1000)
+	reg.Histogram("pipeline.stage.construct.ns").Record(3000)
+	got := stagePercentiles(reg.Snapshot().Sub(before))
+	if len(got) != 1 {
+		t.Fatalf("stages = %v, want construct only", got)
+	}
+	p, ok := got["construct"]
+	if !ok || p.P99 < p.P50 || p.P99 < 1000 {
+		t.Fatalf("construct percentiles = %+v", p)
+	}
+	if stagePercentiles(reg.Snapshot().Sub(reg.Snapshot())) != nil {
+		t.Error("empty delta should yield nil stage map")
+	}
+}

@@ -5,14 +5,23 @@
 //	bench               writes BENCH_<yyyy-mm-dd>.json (SRing on all benchmarks)
 //	bench -full         also times the three baseline methods
 //	bench -o file.json  writes to an explicit path
+//	bench -tag pr123    writes BENCH_<yyyy-mm-dd>-pr123.json
+//	bench -force        overwrites an existing snapshot (refused otherwise)
 //	bench -milp         enables the exact MILP assignment during timing
 //	bench -j 1,4        times each pair at several Parallelism settings
 //
 //	bench -compare old.json new.json
 //	                    prints a benchstat-style delta table (ns/op,
-//	                    allocs/op, milp_gap) over the entries the snapshots
-//	                    share and exits non-zero when any entry regressed
-//	                    more than -threshold (default 20%); see compare.go
+//	                    allocs/op, stage p99, milp_gap) over the entries the
+//	                    snapshots share and exits non-zero when any entry
+//	                    regressed more than -threshold (default 20%); see
+//	                    compare.go
+//
+// Observability: -telemetry addr serves live /metrics and /debug/pprof/
+// while the benchmarks run, and -trace-chrome file.json runs one traced
+// SRing pass after the timings and writes it as Perfetto-loadable Chrome
+// trace-event JSON. Each entry additionally records the p50/p99 of the
+// five pipeline stages (stage_ns), which -compare gates on.
 //
 // Each entry carries ns/op plus the allocation counts from the Go
 // benchmark harness (testing.Benchmark), one entry per method/benchmark
@@ -38,6 +47,7 @@ import (
 	"time"
 
 	"sring"
+	"sring/internal/cli"
 )
 
 // benchResult condenses a testing.BenchmarkResult plus any synthesis error.
@@ -90,6 +100,37 @@ type entry struct {
 	// TimeLimitHit reports that the MILP search was cut off by its
 	// wall-clock budget rather than finishing.
 	TimeLimitHit bool `json:"time_limit_hit,omitempty"`
+	// StageNs holds the per-pipeline-stage latency percentiles observed
+	// across this entry's benchmark iterations (pipeline.stage.*.ns registry
+	// histograms, bracketed by snapshots), keyed by stage name.
+	StageNs map[string]stagePct `json:"stage_ns,omitempty"`
+}
+
+// stagePct is one stage's latency distribution, in nanoseconds.
+type stagePct struct {
+	P50 int64 `json:"p50"`
+	P99 int64 `json:"p99"`
+}
+
+// stageNames are the pipeline stages whose registry histograms bench
+// snapshots per entry, in pipeline order.
+var stageNames = []string{"construct", "layout", "loss", "assign", "pdn"}
+
+// stagePercentiles extracts the per-stage p50/p99 from a bracketed registry
+// delta; nil when no stage recorded (a cancelled run).
+func stagePercentiles(d *sring.RegistrySnap) map[string]stagePct {
+	out := make(map[string]stagePct, len(stageNames))
+	for _, s := range stageNames {
+		h := d.Histograms["pipeline.stage."+s+".ns"]
+		if h == nil || h.Count == 0 {
+			continue
+		}
+		out[s] = stagePct{P50: h.P50, P99: h.P99}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 type snapshot struct {
@@ -153,12 +194,17 @@ func measureCache(ctx context.Context) (*cacheBench, error) {
 
 func main() {
 	var (
-		out       = flag.String("o", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
+		out       = flag.String("o", "", "output file (default BENCH_<yyyy-mm-dd>[-<tag>].json)")
+		tag       = flag.String("tag", "", "suffix for the default output name: BENCH_<yyyy-mm-dd>-<tag>.json")
+		force     = flag.Bool("force", false, "overwrite an existing snapshot file")
 		full      = flag.Bool("full", false, "also benchmark the ORNoC/CTORing/XRing baselines")
 		milp      = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
 		jstr      = flag.String("j", "0", "comma-separated Parallelism settings to time (0 = all CPUs, 1 = sequential), e.g. 1,4")
 		compare   = flag.Bool("compare", false, "compare two snapshots: bench -compare old.json new.json")
-		threshold = flag.Float64("threshold", 0.20, "with -compare, the relative ns/op / allocs/op growth that counts as a regression")
+		threshold = flag.Float64("threshold", 0.20, "with -compare, the relative ns/op / allocs/op / stage-p99 growth that counts as a regression")
+		chrome    = flag.String("trace-chrome", "", "after the benchmarks, run one traced SRing pass and write it as Chrome trace-event JSON to this file")
+		telemetry = flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /debug/pprof/) on this address")
+		teleHold  = flag.Duration("telemetry-hold", 0, "with -telemetry, keep the endpoint serving this long after the snapshot is written")
 	)
 	flag.Parse()
 	if *compare {
@@ -178,10 +224,33 @@ func main() {
 		fatal(err)
 	}
 
+	// The traced -trace-chrome pass runs after the timings so tracing cannot
+	// perturb them; its recorder also backs the -telemetry /trace.json.
+	var rec *sring.Recorder
+	if *chrome != "" {
+		rec = sring.NewRecorder()
+	}
+	if *telemetry != "" {
+		shutdown, err := cli.ServeTelemetry(ctx, os.Stderr, "bench", *telemetry, *teleHold, rec.Snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+	}
+
 	date := time.Now().Format("2006-01-02")
 	path := *out
 	if path == "" {
-		path = fmt.Sprintf("BENCH_%s.json", date)
+		if *tag != "" {
+			path = fmt.Sprintf("BENCH_%s-%s.json", date, *tag)
+		} else {
+			path = fmt.Sprintf("BENCH_%s.json", date)
+		}
+	}
+	if !*force {
+		if _, err := os.Stat(path); err == nil {
+			fatal(fmt.Errorf("%s already exists; pass -force to overwrite or -tag to pick another name", path))
+		}
 	}
 
 	methods := []sring.Method{sring.MethodSRing}
@@ -203,11 +272,13 @@ func main() {
 				app, m, j := app, m, j
 				opt := sring.Options{UseMILP: *milp, Parallelism: j}
 				var last *sring.Design
+				before := sring.DefaultRegistry().Snapshot()
 				r := testingBenchmark(func() error {
 					d, err := sring.SynthesizeContext(ctx, app, m, opt)
 					last = d
 					return err
 				})
+				stageDelta := sring.DefaultRegistry().Snapshot().Sub(before)
 				if r.err != nil {
 					fmt.Fprintf(os.Stderr, "bench: %s/%s: %v\n", app.Name, m, r.err)
 					os.Exit(1)
@@ -223,6 +294,7 @@ func main() {
 					AllocsPerOp: r.allocsPerOp,
 					BytesPerOp:  r.bytesPerOp,
 					Runs:        r.n,
+					StageNs:     stagePercentiles(stageDelta),
 				}
 				milpNote := ""
 				if last != nil && last.AssignStats != nil && last.AssignStats.MILPRan {
@@ -237,6 +309,17 @@ func main() {
 				}
 				snap.Entries = append(snap.Entries, e)
 				fmt.Printf("%-32s %12.0f ns/op %10d allocs/op%s\n", name, r.nsPerOp, r.allocsPerOp, milpNote)
+				if len(e.StageNs) > 0 {
+					fmt.Printf("%-32s", "")
+					for _, s := range stageNames {
+						if p, ok := e.StageNs[s]; ok {
+							fmt.Printf("  %s p50/p99 %s/%s", s,
+								time.Duration(p.P50).Round(time.Microsecond),
+								time.Duration(p.P99).Round(time.Microsecond))
+						}
+					}
+					fmt.Println()
+				}
 			}
 		}
 	}
@@ -263,6 +346,29 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("snapshot written to %s\n", path)
+
+	if *chrome != "" {
+		// One traced SRing pass over the benchmarks, outside the timing
+		// loops: worker spans land on their internal/par thread tracks.
+		for _, app := range sring.Benchmarks() {
+			opt := sring.Options{UseMILP: *milp, Recorder: rec}
+			if _, err := sring.SynthesizeContext(ctx, app, sring.MethodSRing, opt); err != nil {
+				fatal(err)
+			}
+		}
+		cf, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(cf); err != nil {
+			cf.Close()
+			fatal(err)
+		}
+		if err := cf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (load at ui.perfetto.dev)\n", *chrome)
+	}
 }
 
 // parseJobs parses the -j comma list ("1,4") into parallelism values.

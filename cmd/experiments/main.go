@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sring"
+	"sring/internal/cli"
 	"sring/internal/obs"
 	"sring/internal/par"
 	"sring/internal/randsol"
@@ -46,18 +47,31 @@ func main() {
 		extended = flag.Bool("extended", false, "also evaluate the extension benchmarks (PIP, H263, MP3, MMS)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		teleAddr = flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /debug/pprof/) on this address")
+		teleHold = flag.Duration("telemetry-hold", 0, "with -telemetry, keep the endpoint serving this long after the tables finish")
 		jobs     = flag.Int("j", 0, "benchmark-grid worker count (0 = all CPUs, 1 = sequential; tables are identical either way, but Table II runtimes reflect the concurrent run)")
 	)
 	flag.Parse()
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	runCtx = ctx
+	if *teleAddr != "" {
+		shutdown, err := cli.ServeTelemetry(ctx, os.Stderr, "experiments", *teleAddr, *teleHold, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+	}
 	if *cpuProf != "" {
 		stop, err := obs.StartCPUProfile(*cpuProf)
 		if err != nil {
 			fatal(err)
 		}
-		defer stop()
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: cpu profile:", err)
+			}
+		}()
 	}
 	if *memProf != "" {
 		defer func() {

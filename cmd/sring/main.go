@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sring"
+	"sring/internal/cli"
 	"sring/internal/crosstalk"
 	"sring/internal/design"
 	"sring/internal/floorplan"
@@ -46,7 +47,10 @@ func main() {
 		runSim     = flag.Bool("sim", false, "run the packet-level transmission simulation")
 		runXtalk   = flag.Bool("crosstalk", false, "run the worst-case crosstalk/SNR analysis")
 		traceFile  = flag.String("trace", "", "write the synthesis telemetry trace as JSON to this file")
+		chromeFile = flag.String("trace-chrome", "", "write the trace as Chrome trace-event JSON (Perfetto-loadable) to this file")
 		timing     = flag.Bool("timing", false, "print the per-stage timing/counter summary tree")
+		telemetry  = flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /debug/pprof/, /trace.json) on this address, e.g. localhost:6060")
+		teleHold   = flag.Duration("telemetry-hold", 0, "with -telemetry, keep the endpoint serving this long after synthesis finishes")
 	)
 	flag.Parse()
 
@@ -61,13 +65,20 @@ func main() {
 		}
 	}
 	var rec *sring.Recorder
-	if *traceFile != "" || *timing {
+	if *traceFile != "" || *chromeFile != "" || *timing || *telemetry != "" {
 		rec = sring.NewRecorder()
 	}
 	// ^C cancels the synthesis gracefully: the engine returns its best
 	// feasible design flagged Cancelled instead of dying mid-solve.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *telemetry != "" {
+		shutdown, err := cli.ServeTelemetry(ctx, os.Stderr, "sring", *telemetry, *teleHold, rec.Snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+	}
 	d, err := sring.SynthesizeContext(ctx, app, sring.Method(*methodName), sring.Options{
 		UseMILP:       *useMILP,
 		MILPTimeLimit: *milpLimit,
@@ -179,6 +190,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s\n", *traceFile)
+	}
+	if *chromeFile != "" {
+		f, err := os.Create(*chromeFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (load at ui.perfetto.dev)\n", *chromeFile)
 	}
 }
 

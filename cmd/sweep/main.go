@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"sring"
+	"sring/internal/cli"
 	"sring/internal/fault"
 	"sring/internal/lambdarouter"
 	"sring/internal/obs"
@@ -49,6 +50,11 @@ var runCtx = context.Background()
 // when -nocache is set.
 var cache *sring.Cache
 
+// traceRec collects the span trace across every synthesis of the run when
+// -trace-chrome or -telemetry is set; nil otherwise (tracing off). The
+// recorder is safe for the concurrent syntheses forEachGridCell fans out.
+var traceRec *sring.Recorder
+
 func main() {
 	var (
 		sensitivity = flag.Bool("sensitivity", false, "loss-parameter sensitivity sweep")
@@ -62,6 +68,9 @@ func main() {
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		nocache     = flag.Bool("nocache", false, "disable the shared stage cache (identical tables either way)")
+		chromeFile  = flag.String("trace-chrome", "", "write the run's span trace as Chrome trace-event JSON (Perfetto-loadable) to this file")
+		telemetry   = flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /debug/pprof/, /trace.json) on this address")
+		teleHold    = flag.Duration("telemetry-hold", 0, "with -telemetry, keep the endpoint serving this long after the sweeps finish")
 	)
 	flag.IntVar(&jobs, "j", 0, "worker count (0 = all CPUs, 1 = sequential; identical results either way)")
 	flag.Parse()
@@ -76,13 +85,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *chromeFile != "" || *telemetry != "" {
+		traceRec = sring.NewRecorder()
+	}
+	if *telemetry != "" {
+		shutdown, err := cli.ServeTelemetry(ctx, os.Stderr, "sweep", *telemetry, *teleHold, traceRec.Snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+	}
+	if *chromeFile != "" {
+		defer writeChromeTrace(*chromeFile)
+	}
 	if *cpuProf != "" {
-		stop, err := obs.StartCPUProfile(*cpuProf)
+		stopProf, err := obs.StartCPUProfile(*cpuProf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
-		defer stop()
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: cpu profile:", err)
+			}
+		}()
 	}
 	if *memProf != "" {
 		defer func() {
@@ -123,7 +149,7 @@ func runMILPGap() {
 		"benchmark", "heuristic", "final", "bound", "exact", "nodes")
 	for _, app := range sring.Benchmarks() {
 		d, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{
-			UseMILP: true, MILPTimeLimit: 20 * time.Second, Parallelism: jobs, Cache: cache,
+			UseMILP: true, MILPTimeLimit: 20 * time.Second, Parallelism: jobs, Cache: cache, Recorder: traceRec,
 		})
 		if err != nil {
 			fatal(err)
@@ -148,7 +174,7 @@ func runResources() {
 	fmt.Printf("%-10s %-9s %8s %8s %8s %10s %12s %12s\n",
 		"benchmark", "method", "sndMRR", "rcvMRR", "split", "wg[mm]", "worst snd", "worst seg")
 	forEachGridCell(func(app *sring.Application, m sring.Method) (string, error) {
-		d, err := sring.SynthesizeContext(runCtx, app, m, sring.Options{Parallelism: 1, Cache: cache})
+		d, err := sring.SynthesizeContext(runCtx, app, m, sring.Options{Parallelism: 1, Cache: cache, Recorder: traceRec})
 		if err != nil {
 			return "", err
 		}
@@ -207,7 +233,7 @@ func runScale() {
 				continue // the uncapped paper algorithm is O(n^2) growths per L_max
 			}
 			start := time.Now()
-			d, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{ClusterTrials: trials, Parallelism: jobs})
+			d, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{ClusterTrials: trials, Parallelism: jobs, Recorder: traceRec})
 			if err != nil {
 				fatal(err)
 			}
@@ -243,7 +269,7 @@ func runCrossbar() {
 		if err != nil {
 			fatal(err)
 		}
-		ct, err := sring.SynthesizeContext(runCtx, app, sring.MethodCTORing, sring.Options{Parallelism: jobs, Cache: cache})
+		ct, err := sring.SynthesizeContext(runCtx, app, sring.MethodCTORing, sring.Options{Parallelism: jobs, Cache: cache, Recorder: traceRec})
 		if err != nil {
 			fatal(err)
 		}
@@ -251,7 +277,7 @@ func runCrossbar() {
 		if err != nil {
 			fatal(err)
 		}
-		sr, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{Parallelism: jobs, Cache: cache})
+		sr, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{Parallelism: jobs, Cache: cache, Recorder: traceRec})
 		if err != nil {
 			fatal(err)
 		}
@@ -274,11 +300,11 @@ func runDensity() {
 		"#M", "density", "SRing P[mW]", "CTORing P[mW]", "SRing #wl", "CTOR #wl")
 	for _, m := range []int{12, 18, 24, 36, 48, 72, 96} {
 		app := sring.RandomApplication(12, m, 3)
-		sr, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{Parallelism: jobs, Cache: cache})
+		sr, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{Parallelism: jobs, Cache: cache, Recorder: traceRec})
 		if err != nil {
 			fatal(err)
 		}
-		ct, err := sring.SynthesizeContext(runCtx, app, sring.MethodCTORing, sring.Options{Parallelism: jobs, Cache: cache})
+		ct, err := sring.SynthesizeContext(runCtx, app, sring.MethodCTORing, sring.Options{Parallelism: jobs, Cache: cache, Recorder: traceRec})
 		if err != nil {
 			fatal(err)
 		}
@@ -323,7 +349,7 @@ func runSensitivity() {
 		wins := 0
 		total := 0
 		for _, app := range sring.Benchmarks() {
-			res, err := sring.EvaluateContext(runCtx, app, sring.Options{Tech: s.tech, Parallelism: jobs, Cache: cache})
+			res, err := sring.EvaluateContext(runCtx, app, sring.Options{Tech: s.tech, Parallelism: jobs, Cache: cache, Recorder: traceRec})
 			if err != nil {
 				fatal(err)
 			}
@@ -350,7 +376,7 @@ func runTraffic(load float64) {
 	fmt.Printf("%-10s %-9s %10s %12s %12s %12s\n",
 		"benchmark", "method", "packets", "avg lat[ns]", "thrpt[Gb/s]", "pJ/bit")
 	forEachGridCell(func(app *sring.Application, m sring.Method) (string, error) {
-		d, err := sring.SynthesizeContext(runCtx, app, m, sring.Options{Parallelism: 1, Cache: cache})
+		d, err := sring.SynthesizeContext(runCtx, app, m, sring.Options{Parallelism: 1, Cache: cache, Recorder: traceRec})
 		if err != nil {
 			return "", err
 		}
@@ -365,6 +391,26 @@ func runTraffic(load float64) {
 			app.Name, m, res.PacketsDelivered, res.AvgLatencyNS,
 			res.ThroughputGbps, res.LaserEnergyPJPerBit), nil
 	})
+}
+
+// writeChromeTrace dumps the accumulated span trace in Chrome trace-event
+// JSON for Perfetto.
+func writeChromeTrace(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return
+	}
+	if err := traceRec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "sweep: chrome trace written to %s (load at ui.perfetto.dev)\n", path)
 }
 
 // reportCache prints the shared cache's hit/miss totals to stderr (tables

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"sring/internal/netlist"
 	"sring/internal/obs"
@@ -47,6 +48,10 @@ type Options struct {
 	// evaluated bound with its feasibility verdict), absorption-step
 	// counters, and the final cluster/ring counts.
 	Obs *obs.Span
+	// Registry receives aggregate telemetry: cluster.probe.ns, the
+	// distribution of per-candidate feasibility-probe times across runs.
+	// Nil means the process-wide obs.Default() registry.
+	Registry *obs.Registry
 }
 
 // Result is a complete sub-ring construction.
@@ -126,8 +131,11 @@ func SynthesizeContext(ctx context.Context, app *netlist.Application, opt Option
 
 	// tryBound evaluates one L_max candidate inline (the sequential path,
 	// also used for the fallback bounds below).
+	probeH := obs.OrDefault(opt.Registry).Histogram("cluster.probe.ns")
 	tryBound := func(lmax float64) *Result {
+		probeStart := time.Now()
 		sol := buildSolution(app, adj, lmax, opt.MaxInitialTrials, absorb)
+		probeH.RecordSince(probeStart)
 		recordBound(lmax, sol)
 		return sol
 	}
@@ -141,7 +149,7 @@ func SynthesizeContext(ctx context.Context, app *netlist.Application, opt Option
 	}
 	var pb *prober
 	if workers := resolveSpecWorkers(opt.Parallelism); workers > 1 {
-		pb = newProber(app, adj, opt.MaxInitialTrials, valueAt, workers)
+		pb = newProber(app, adj, opt.MaxInitialTrials, valueAt, workers, probeH)
 		defer pb.close(sp.Recorder())
 	}
 	var best *Result

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"sync"
+	"time"
 
 	"sring/internal/netlist"
 	"sring/internal/obs"
@@ -40,6 +41,7 @@ type prober struct {
 	maxTrials int
 	valueAt   func(k int) float64
 	workers   int
+	probeH    *obs.Histogram // cluster.probe.ns, shared with the inline path
 
 	wg        sync.WaitGroup
 	probes    map[int]*probe // candidate index -> run; search goroutine only
@@ -48,13 +50,14 @@ type prober struct {
 }
 
 func newProber(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID,
-	maxTrials int, valueAt func(k int) float64, workers int) *prober {
+	maxTrials int, valueAt func(k int) float64, workers int, probeH *obs.Histogram) *prober {
 	return &prober{
 		app:       app,
 		adj:       adj,
 		maxTrials: maxTrials,
 		valueAt:   valueAt,
 		workers:   workers,
+		probeH:    probeH,
 		probes:    map[int]*probe{},
 	}
 }
@@ -71,7 +74,9 @@ func (pb *prober) launch(k int) {
 	go func() {
 		defer pb.wg.Done()
 		defer close(pr.done)
+		probeStart := time.Now()
 		pr.sol = buildSolution(pb.app, pb.adj, pb.valueAt(k), pb.maxTrials, &pr.absorbs)
+		pb.probeH.RecordSince(probeStart)
 	}()
 }
 

@@ -62,6 +62,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"sring/internal/obs"
 )
 
 const (
@@ -204,12 +206,33 @@ type Solver struct {
 	// SetInterrupt; used to propagate context cancellation into
 	// long-running pivot loops.
 	interrupt <-chan struct{}
+
+	// Aggregate telemetry handles, resolved once per registry (the process
+	// default until SetRegistry) so the per-solve recording is a few atomic
+	// adds with no lookups or allocation. solveStart is stamped at each
+	// solve entry and consumed by finish.
+	solveH        *obs.Histogram // lp.solve.ns: wall time per completed solve
+	pivotsH       *obs.Histogram // lp.solve.pivots: total pivots per solve
+	refactorH     *obs.Histogram // lp.sparse.refactor.ns: per LU factorisation
+	sparseSolvesC *obs.Counter   // lp.sparse.solves
+	solveStart    time.Time
 }
 
 // SetInterrupt installs a cancellation channel (typically a
 // context.Context's Done channel) that the pivot loop polls alongside the
 // deadline. A nil channel disables the check.
 func (s *Solver) SetInterrupt(ch <-chan struct{}) { s.interrupt = ch }
+
+// SetRegistry redirects the solver's aggregate telemetry — lp.solve.ns,
+// lp.solve.pivots and lp.sparse.refactor.ns — to reg (nil: the process
+// default, which is also where a fresh Solver records).
+func (s *Solver) SetRegistry(reg *obs.Registry) {
+	r := obs.OrDefault(reg)
+	s.solveH = r.Histogram("lp.solve.ns")
+	s.pivotsH = r.Histogram("lp.solve.pivots")
+	s.refactorH = r.Histogram("lp.sparse.refactor.ns")
+	s.sparseSolvesC = r.Counter("lp.sparse.solves")
+}
 
 // NewSolver validates the problem and builds the reusable solve state with
 // the sparse revised-simplex kernel (see sparse.go), the default engine.
@@ -261,6 +284,7 @@ func newSolverCore(p *Problem) (*Solver, error) {
 		pert:    make([]float64, n+m),
 		pert0:   make([]float64, n+m),
 	}
+	s.SetRegistry(nil)
 	if p.Objective != nil {
 		copy(s.obj, p.Objective)
 	}
@@ -818,6 +842,7 @@ func (s *Solver) primalFeasible() bool {
 // for every variable. The returned error is non-nil only for malformed
 // bounds; infeasibility and unboundedness are reported via Status.
 func (s *Solver) SolveBounded(lo, hi []float64, deadline time.Time) (*Solution, error) {
+	s.solveStart = time.Now()
 	feasible, err := s.setBounds(lo, hi)
 	if err != nil {
 		return nil, err
@@ -876,6 +901,7 @@ func (s *Solver) SolveDual(bas *Basis, lo, hi []float64, deadline time.Time) (so
 	if bas == nil {
 		return nil, false, nil
 	}
+	s.solveStart = time.Now()
 	feasible, err := s.setBounds(lo, hi)
 	if err != nil {
 		return nil, false, err
@@ -926,9 +952,15 @@ func (s *Solver) SolveDual(bas *Basis, lo, hi []float64, deadline time.Time) (so
 	return s.finish(sol), true, nil
 }
 
-// finish stamps kernel statistics onto the solution.
+// finish stamps kernel statistics onto the solution and records the solve
+// into the aggregate registry (duration and total pivot count).
 func (s *Solver) finish(sol *Solution) *Solution {
 	s.k.solveStats(sol)
+	s.solveH.RecordSince(s.solveStart)
+	s.pivotsH.Record(int64(sol.Phase1Pivots + sol.Phase2Pivots + sol.DualPivots))
+	if sol.Sparse {
+		s.sparseSolvesC.Add(1)
+	}
 	return sol
 }
 

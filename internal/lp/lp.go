@@ -325,10 +325,16 @@ func SolveDeadline(p *Problem, deadline time.Time) (*Solution, error) {
 // lp.bland_activations). A nil recorder costs nothing; the counts are also
 // always returned in the Solution itself.
 func SolveInstrumented(p *Problem, deadline time.Time, rec *obs.Recorder) (*Solution, error) {
+	start := time.Now()
 	sol, err := solve(p, deadline)
 	if err != nil {
 		return nil, err
 	}
+	// One-shot solves have no Solver to carry registry handles; they are
+	// rare enough that recording into the process default directly is fine.
+	reg := obs.Default()
+	reg.Histogram("lp.solve.ns").RecordSince(start)
+	reg.Histogram("lp.solve.pivots").Record(int64(sol.Phase1Pivots + sol.Phase2Pivots))
 	AccumulateStats(rec, sol)
 	return sol, nil
 }

@@ -48,6 +48,7 @@ package lp
 import (
 	"math"
 	"sort"
+	"time"
 )
 
 // defaultRefactorEvery is the update-eta count that triggers a periodic
@@ -192,7 +193,7 @@ type sparseKernel struct {
 	// buildTmp is the reusable scratch the warm-start elimination writes
 	// into before the exact-size clone is memoised on the Basis snapshot.
 	buildTmp *luFactor
-	midNext   int
+	midNext  int
 
 	colScratch  []float64 // len m: column handed to the pivot loops
 	rowScratch  []float64 // len nCols: row handed to the dual loop
@@ -690,6 +691,8 @@ func (k *sparseKernel) orderBasisColumns() {
 // falls back to the largest remaining |entry| (ties to the lowest row).
 // Returns false on abort, leaving all live state untouched.
 func (k *sparseKernel) buildFactorInto(dst *luFactor, forced bool) bool {
+	factorStart := time.Now()
+	defer k.s.refactorH.RecordSince(factorStart)
 	s := k.s
 	m := s.m
 	dst.sig = k.sig

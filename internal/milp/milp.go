@@ -83,6 +83,12 @@ type Options struct {
 	// milp.presolve span, gap-trajectory events (one per incumbent), and
 	// the milp.nodes / milp.incumbents / lp.* counters.
 	Obs *obs.Span
+	// Registry receives aggregate telemetry across solves: per-node LP
+	// times (milp.node.ns), incumbent improvements
+	// (milp.incumbent.delta.micro, objective decrease in micro-units), the
+	// milp.nodes / milp.incumbents counters, and the lp.* kernel
+	// histograms. Nil means the process-wide obs.Default() registry.
+	Registry *obs.Registry
 }
 
 // Status reports the outcome of a MILP solve.
@@ -291,6 +297,11 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	rec := sp.Recorder()
 	nodesC := rec.Counter("milp.nodes")
 	incumbentsC := rec.Counter("milp.incumbents")
+	reg := obs.OrDefault(opt.Registry)
+	regNodesC := reg.Counter("milp.nodes")
+	regIncumbentsC := reg.Counter("milp.incumbents")
+	nodeH := reg.Histogram("milp.node.ns")
+	incDeltaH := reg.Histogram("milp.incumbent.delta.micro")
 	sp.SetInt("vars", int64(p.LP.NumVars))
 	sp.SetInt("constraints", int64(len(p.LP.Constraints)))
 
@@ -320,7 +331,7 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	// LP solves share the exact same deadline: the simplex checks it
 	// between pivots and returns IterLimit, which the search records as an
 	// unresolved node, so one long relaxation cannot overshoot TimeLimit.
-	eval, err := newEvaluator(pp, opt.Parallelism, deadline, ctx.Done(), rec)
+	eval, err := newEvaluator(pp, opt.Parallelism, deadline, ctx.Done(), rec, reg)
 	if err != nil {
 		sp.End()
 		return nil, err
@@ -390,8 +401,11 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 		}
 		res.Nodes++
 		nodesC.Add(1)
+		regNodesC.Add(1)
 
+		nodeStart := time.Now()
 		sol, bas, err := eval.solve(nd, open)
+		nodeH.RecordSince(nodeStart)
 		if err != nil {
 			return nil, err
 		}
@@ -419,10 +433,14 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 					x[i] = math.Round(x[i])
 				}
 			}
+			if prev := res.Objective; !math.IsInf(prev, 1) {
+				incDeltaH.Record(int64((prev - sol.Objective) * 1e6))
+			}
 			res.X = x
 			res.Objective = sol.Objective
 			res.Status = Feasible
 			incumbentsC.Add(1)
+			regIncumbentsC.Add(1)
 			eval.publish(res.Objective)
 			if sp.Enabled() {
 				// Gap trajectory point: the new incumbent against the
@@ -444,12 +462,16 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 		if nd.depth == 0 && res.Nodes == 1 {
 			// Root primal heuristic: a deterministic rounding dive seeds the
 			// incumbent so bound pruning bites from the very first branches.
-			if hs, herr := newRelaxSolver(pp, ctx.Done()); herr == nil {
+			if hs, herr := newRelaxSolver(pp, ctx.Done(), reg); herr == nil {
 				if x, obj, ok := diveHeuristic(pp, hs, opt.BranchPriority, sol, bas, deadline, rec); ok && obj < res.Objective-1e-9 {
+					if prev := res.Objective; !math.IsInf(prev, 1) {
+						incDeltaH.Record(int64((prev - obj) * 1e6))
+					}
 					res.X = x
 					res.Objective = obj
 					res.Status = Feasible
 					incumbentsC.Add(1)
+					regIncumbentsC.Add(1)
 					eval.publish(obj)
 					if sp.Enabled() {
 						sp.Event("incumbent", obj, sol.Objective)

@@ -56,14 +56,14 @@ var resolveSpecWorkers = par.ResolveSpeculative
 // installed in every LP solver the evaluator creates, the workers'
 // included. The choice never changes results — both evaluators feed the
 // main loop the same canonical solutions — only where they are computed.
-func newEvaluator(pp *prepped, parallelism int, deadline time.Time, interrupt <-chan struct{}, rec *obs.Recorder) (evaluator, error) {
-	rs, err := newRelaxSolver(pp, interrupt)
+func newEvaluator(pp *prepped, parallelism int, deadline time.Time, interrupt <-chan struct{}, rec *obs.Recorder, reg *obs.Registry) (evaluator, error) {
+	rs, err := newRelaxSolver(pp, interrupt, reg)
 	if err != nil {
 		return nil, err
 	}
 	size := pp.p.LP.NumVars * (len(pp.p.LP.Constraints) + 1)
 	if workers := resolveSpecWorkers(parallelism); workers > 1 && size >= specMinProblemSize {
-		return newPrefetcher(pp, rs, workers, deadline, interrupt, rec), nil
+		return newPrefetcher(pp, rs, workers, deadline, interrupt, rec, reg), nil
 	}
 	return &inlineEvaluator{rs: rs, deadline: deadline, rec: rec}, nil
 }
@@ -128,6 +128,7 @@ type prefetcher struct {
 	deadline  time.Time
 	interrupt <-chan struct{} // installed in each worker's LP solver
 	rec       *obs.Recorder
+	reg       *obs.Registry // aggregate registry for worker LP solvers
 	workers   int
 
 	tasks chan *lpFuture
@@ -149,13 +150,14 @@ type prefetcher struct {
 	consumed  int64
 }
 
-func newPrefetcher(pp *prepped, rs *relaxSolver, workers int, deadline time.Time, interrupt <-chan struct{}, rec *obs.Recorder) *prefetcher {
+func newPrefetcher(pp *prepped, rs *relaxSolver, workers int, deadline time.Time, interrupt <-chan struct{}, rec *obs.Recorder, reg *obs.Registry) *prefetcher {
 	f := &prefetcher{
 		pp:        pp,
 		rs:        rs,
 		deadline:  deadline,
 		interrupt: interrupt,
 		rec:       rec,
+		reg:       reg,
 		workers:   workers,
 		tasks:     make(chan *lpFuture, 2*workers),
 		futures:   make(map[*node]*lpFuture),
@@ -176,7 +178,7 @@ func (f *prefetcher) start() {
 
 func (f *prefetcher) worker() {
 	defer f.wg.Done()
-	rs, err := newRelaxSolver(f.pp, f.interrupt)
+	rs, err := newRelaxSolver(f.pp, f.interrupt, f.reg)
 	for fut := range f.tasks {
 		if err != nil {
 			// The main goroutine's identical construction succeeded, so this

@@ -186,12 +186,14 @@ type relaxSolver struct {
 // newRelaxSolver builds a solver arena for pp. interrupt, when non-nil
 // (typically a context's Done channel), is polled inside the LP pivot
 // loops so a cancellation stops even a single long relaxation promptly.
-func newRelaxSolver(pp *prepped, interrupt <-chan struct{}) (*relaxSolver, error) {
+// reg receives the solver's lp.* kernel histograms (nil: obs.Default()).
+func newRelaxSolver(pp *prepped, interrupt <-chan struct{}, reg *obs.Registry) (*relaxSolver, error) {
 	s, err := lp.NewSolver(&pp.p.LP)
 	if err != nil {
 		return nil, err
 	}
 	s.SetInterrupt(interrupt)
+	s.SetRegistry(reg)
 	return &relaxSolver{
 		pp: pp,
 		s:  s,

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: a Trace rendered as the JSON object format of
+// the Chrome trace-event spec, loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Spans become complete ("X") duration events, span
+// events become instant ("i") events, and counters become one counter
+// ("C") sample each at the end of the trace.
+//
+// Thread tracks: a span that carries an integer "worker" attribute is
+// placed on that worker's thread track directly (the parallel layers stamp
+// the internal/par worker index there). Every other span is lane-packed:
+// siblings that overlap in time — concurrent probes, speculative LP
+// solves — are spread across synthetic lanes so each track remains
+// properly nested, which the viewers require of same-tid events. Lane
+// assignment is a deterministic function of the trace, so the export of a
+// given Trace is byte-stable.
+
+// chromeEvent is one trace-event record. Field order matches the spec's
+// conventional layout; ts and dur are microseconds (float, spec unit).
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	PID  int64                  `json:"pid"`
+	TID  int64                  `json:"tid"`
+	S    string                 `json:"s,omitempty"` // instant-event scope
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the top-level JSON object format.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// workerAttrTID returns the thread id for a span carrying an integer
+// "worker" attribute, and whether it does.
+func workerAttrTID(s *SpanSnap) (int64, bool) {
+	v, ok := s.Attrs["worker"]
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case int64:
+		return n, true
+	case float64: // a trace decoded from JSON carries numbers as float64
+		return int64(n), true
+	}
+	return 0, false
+}
+
+// laneSet allocates synthetic thread ids for spans without an explicit
+// worker track, keeping every lane properly nested.
+type laneSet struct {
+	taken map[int64]bool // tids reserved by "worker" attributes
+	ids   []int64        // allocated lane tids, in allocation order
+	spans [][][2]int64   // per lane: the [start, end) intervals placed on it
+}
+
+// fits reports whether the interval can join lane l: every resident
+// interval must contain it, be contained by it, or be disjoint from it.
+func (ls *laneSet) fits(l int, start, end int64) bool {
+	for _, iv := range ls.spans[l] {
+		s, e := iv[0], iv[1]
+		disjoint := start >= e || s >= end
+		contains := s <= start && end <= e
+		contained := start <= s && e <= end
+		if !disjoint && !contains && !contained {
+			return false
+		}
+	}
+	return true
+}
+
+// place returns the tid for the interval, preferring the parent's lane
+// (pref, or -1 for none), then existing lanes in allocation order, then a
+// fresh lane with the smallest unreserved tid.
+func (ls *laneSet) place(pref int, start, end int64) (tid int64, lane int) {
+	if pref >= 0 && ls.fits(pref, start, end) {
+		ls.spans[pref] = append(ls.spans[pref], [2]int64{start, end})
+		return ls.ids[pref], pref
+	}
+	for l := range ls.ids {
+		if l == pref {
+			continue
+		}
+		if ls.fits(l, start, end) {
+			ls.spans[l] = append(ls.spans[l], [2]int64{start, end})
+			return ls.ids[l], l
+		}
+	}
+	var next int64
+	if n := len(ls.ids); n > 0 {
+		next = ls.ids[n-1] + 1
+	}
+	for ls.taken[next] {
+		next++
+	}
+	ls.ids = append(ls.ids, next)
+	ls.spans = append(ls.spans, [][2]int64{{start, end}})
+	return next, len(ls.ids) - 1
+}
+
+// ChromeTrace converts the trace to the Chrome trace-event object format.
+func (t *Trace) ChromeTrace() *chromeTraceFile {
+	out := &chromeTraceFile{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	ls := &laneSet{taken: map[int64]bool{}}
+	var reserve func(ss []*SpanSnap)
+	reserve = func(ss []*SpanSnap) {
+		for _, s := range ss {
+			if tid, ok := workerAttrTID(s); ok {
+				ls.taken[tid] = true
+			}
+			reserve(s.Children)
+		}
+	}
+	reserve(t.Spans)
+
+	var endNS int64
+	var emit func(s *SpanSnap, parentLane int)
+	emit = func(s *SpanSnap, parentLane int) {
+		start, end := s.StartNS, s.StartNS+s.DurNS
+		if end > endNS {
+			endNS = end
+		}
+		var tid int64
+		lane := -1
+		if wtid, ok := workerAttrTID(s); ok {
+			tid = wtid
+		} else {
+			tid, lane = ls.place(parentLane, start, end)
+		}
+		dur := float64(s.DurNS) / 1e3
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  "span",
+			Ph:   "X",
+			TS:   float64(s.StartNS) / 1e3,
+			Dur:  &dur,
+			PID:  chromePID,
+			TID:  tid,
+		}
+		if len(s.Attrs) > 0 || s.Open {
+			ev.Args = make(map[string]interface{}, len(s.Attrs)+1)
+			for k, v := range s.Attrs {
+				ev.Args[k] = v
+			}
+			if s.Open {
+				ev.Args["open"] = true
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+		for _, e := range s.Events {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Name,
+				Cat:  "event",
+				Ph:   "i",
+				TS:   float64(e.AtNS) / 1e3,
+				PID:  chromePID,
+				TID:  tid,
+				S:    "t",
+				Args: map[string]interface{}{"x": e.X, "y": e.Y},
+			})
+			if e.AtNS > endNS {
+				endNS = e.AtNS
+			}
+		}
+		for _, c := range s.Children {
+			emit(c, lane)
+		}
+	}
+	for _, s := range t.Spans {
+		emit(s, -1)
+	}
+
+	names := make([]string, 0, len(t.Counters))
+	for n := range t.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: n,
+			Ph:   "C",
+			TS:   float64(endNS) / 1e3,
+			PID:  chromePID,
+			TID:  0,
+			Args: map[string]interface{}{"value": t.Counters[n]},
+		})
+	}
+	return out
+}
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON, indented.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.ChromeTrace())
+}
+
+// WriteChromeTrace snapshots the recorder and writes the Chrome trace.
+// Safe on a nil Recorder (writes an empty trace).
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return r.Snapshot().WriteChromeTrace(w)
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// syntheticTrace builds a fixed trace exercising the export's interesting
+// shapes: nesting, overlapping siblings (lane packing), a worker-attributed
+// span (explicit thread track), an instant event, and counters.
+func syntheticTrace() *Trace {
+	return &Trace{
+		Spans: []*SpanSnap{
+			{
+				Name: "root", StartNS: 0, DurNS: 10000,
+				Events: []EventSnap{{Name: "mark", AtNS: 2500, X: 1, Y: 2}},
+				Children: []*SpanSnap{
+					{Name: "childA", StartNS: 1000, DurNS: 4000},
+					{Name: "childB", StartNS: 3000, DurNS: 4000}, // overlaps childA
+					{Name: "worker-span", StartNS: 5000, DurNS: 2000,
+						Attrs: map[string]interface{}{"worker": int64(3)}},
+				},
+			},
+		},
+		Counters: map[string]int64{"b.count": 2, "a.count": 1},
+	}
+}
+
+// The export is a deterministic function of the trace: same trace, same
+// bytes. Spans stay properly nested per tid (overlapping siblings get
+// distinct lanes), worker spans take their worker id as tid, and counters
+// are emitted sorted.
+func TestChromeTraceExport(t *testing.T) {
+	tr := syntheticTrace()
+	ct := tr.ChromeTrace()
+
+	byName := map[string]chromeEvent{}
+	for _, ev := range ct.TraceEvents {
+		byName[ev.Name] = ev
+	}
+
+	root, a, b := byName["root"], byName["childA"], byName["childB"]
+	if root.Ph != "X" || root.TS != 0 || root.Dur == nil || *root.Dur != 10 {
+		t.Errorf("root event wrong: %+v", root)
+	}
+	// childA nests inside root (same lane is fine); childB overlaps childA
+	// and must land on a different tid than childA.
+	if a.TID == b.TID {
+		t.Errorf("overlapping siblings share tid %d", a.TID)
+	}
+	if w := byName["worker-span"]; w.TID != 3 {
+		t.Errorf("worker-span tid = %d, want the worker attr 3", w.TID)
+	}
+	// Lane allocation must not collide with the reserved worker tid.
+	for _, ev := range []chromeEvent{root, a, b} {
+		if ev.TID == 3 {
+			t.Errorf("%s placed on the reserved worker tid", ev.Name)
+		}
+	}
+	if m := byName["mark"]; m.Ph != "i" || m.TS != 2.5 || m.S != "t" {
+		t.Errorf("instant event wrong: %+v", m)
+	}
+
+	// Counters: one C event each, sorted by name, after the last span end.
+	var counterNames []string
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "C" {
+			counterNames = append(counterNames, ev.Name)
+			if ev.TS < 10 {
+				t.Errorf("counter %s emitted at %v µs, before trace end", ev.Name, ev.TS)
+			}
+		}
+	}
+	if len(counterNames) != 2 || counterNames[0] != "a.count" || counterNames[1] != "b.count" {
+		t.Errorf("counters = %v, want [a.count b.count]", counterNames)
+	}
+
+	// Byte-stable export.
+	var buf1, buf2 bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := syntheticTrace().WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("export not byte-stable across identical traces")
+	}
+
+	// The output must be valid JSON in the object format.
+	var decoded struct {
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf1.Bytes(), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) != len(ct.TraceEvents) {
+		t.Errorf("decoded %d events, want %d", len(decoded.TraceEvents), len(ct.TraceEvents))
+	}
+}
+
+// A live Recorder round-trips through the exporter, and a nil Recorder
+// yields an empty-but-valid trace file.
+func TestRecorderChromeTrace(t *testing.T) {
+	rec := New()
+	root := rec.StartSpan("synthesize")
+	child := root.StartSpan("construct")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"synthesize"`, `"construct"`, `"ph": "X"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %s:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	var nilRec *Recorder
+	if err := nilRec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Errorf("nil recorder export invalid: %s", buf.String())
+	}
+}

@@ -15,6 +15,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"sring/internal/obs"
+)
+
+// Aggregate telemetry for the parallel dispatch path: how long each task
+// waited between fan-out start and its dispatch, and how long it ran.
+// Recorded only when ForEach actually goes parallel — the sequential inline
+// path stays instrumentation-free, so parallelism-1 runs keep their exact
+// cost profile. par has no options struct to plumb a registry through, so
+// these record into the process default.
+var (
+	taskWaitH = obs.Default().Histogram("par.task.wait.ns")
+	taskRunH  = obs.Default().Histogram("par.task.run.ns")
 )
 
 // Resolve maps a Parallelism knob to a worker count: 0 means
@@ -83,6 +97,7 @@ func ForEachContext(ctx context.Context, parallelism, n int, fn func(i int)) err
 		panicOnce sync.Once
 		panicked  any
 	)
+	fanoutStart := time.Now()
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -101,7 +116,10 @@ func ForEachContext(ctx context.Context, parallelism, n int, fn func(i int)) err
 				if i >= n {
 					return
 				}
+				dispatched := time.Now()
+				taskWaitH.RecordDuration(dispatched.Sub(fanoutStart))
 				fn(i)
+				taskRunH.RecordSince(dispatched)
 			}
 		}()
 	}

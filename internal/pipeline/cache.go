@@ -39,8 +39,10 @@ func NewCache() *Cache { return &Cache{m: make(map[cacheKey]interface{})} }
 type cacheKey [sha256.Size]byte
 
 // lookup fetches a stage entry and updates the hit/miss telemetry: the
-// cache's own counters plus the run's pipeline.cache.* obs counters.
-func (c *Cache) lookup(rec *obs.Recorder, stage string, key cacheKey) (interface{}, bool) {
+// cache's own counters, the run's pipeline.cache.* obs counters, and the
+// aggregate registry's pipeline.cache.hits/misses counters. A nil cache
+// counts as a miss without touching the registry (nothing was looked up).
+func (c *Cache) lookup(rec *obs.Recorder, reg *obs.Registry, stage string, key cacheKey) (interface{}, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -51,10 +53,12 @@ func (c *Cache) lookup(rec *obs.Recorder, stage string, key cacheKey) (interface
 		c.hits.Add(1)
 		rec.Add("pipeline.cache.hits", 1)
 		rec.Add("pipeline.cache."+stage+".hits", 1)
+		reg.Add("pipeline.cache.hits", 1)
 	} else {
 		c.misses.Add(1)
 		rec.Add("pipeline.cache.misses", 1)
 		rec.Add("pipeline.cache."+stage+".misses", 1)
+		reg.Add("pipeline.cache.misses", 1)
 	}
 	return v, ok
 }

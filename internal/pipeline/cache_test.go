@@ -96,7 +96,7 @@ func TestCacheFirstWriterWins(t *testing.T) {
 	var key cacheKey
 	c.store(key, "first")
 	c.store(key, "second")
-	v, ok := c.lookup(nil, "construct", key)
+	v, ok := c.lookup(nil, nil, "construct", key)
 	if !ok || v != "first" {
 		t.Errorf("lookup = %v %v, want the first stored value", v, ok)
 	}
@@ -113,7 +113,7 @@ func TestCacheFirstWriterWins(t *testing.T) {
 func TestNilCache(t *testing.T) {
 	var c *Cache
 	var key cacheKey
-	if _, ok := c.lookup(nil, "construct", key); ok {
+	if _, ok := c.lookup(nil, nil, "construct", key); ok {
 		t.Error("nil cache reported a hit")
 	}
 	c.store(key, "x")

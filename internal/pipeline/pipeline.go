@@ -81,6 +81,12 @@ type Options struct {
 	// (content-addressed; safe for concurrent use). Cached designs are
 	// bit-identical to uncached ones.
 	Cache *Cache
+	// Registry receives aggregate telemetry — stage latency histograms,
+	// cache hit/miss counters, LP/MILP kernel distributions — accumulated
+	// across runs. Nil means the process-wide obs.Default() registry, so
+	// aggregate telemetry is always on; it is allocation-free at recording
+	// time and, like Recorder, excluded from cache keys.
+	Registry *obs.Registry
 }
 
 // Construction is a constructor's output: the method-specific raw material
@@ -190,15 +196,19 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 	if err != nil {
 		return nil, err
 	}
+	rec := root.Recorder()
+	reg := obs.OrDefault(opt.Registry)
 	var keys stageKeys
 	if opt.Cache != nil {
+		keyStart := time.Now()
 		keys = buildStageKeys(app, method, opt, tech)
+		reg.Histogram("pipeline.cache.keybuild.ns").RecordSince(keyStart)
 	}
-	rec := root.Recorder()
 
 	// Stage 1: construct (method-specific).
+	stageStart := time.Now()
 	var con *Construction
-	if v, ok := opt.Cache.lookup(rec, "construct", keys.construct); ok {
+	if v, ok := opt.Cache.lookup(rec, reg, "construct", keys.construct); ok {
 		con = v.(*Construction)
 		markCached(root, "construct")
 	} else {
@@ -210,13 +220,15 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 			opt.Cache.store(keys.construct, con)
 		}
 	}
+	reg.Histogram("pipeline.stage.construct.ns").RecordSince(stageStart)
 	if err := checkConstruction(app, con); err != nil {
 		return nil, err
 	}
 
 	// Stage 2: layout.
+	stageStart = time.Now()
 	var lay *layoutValue
-	if v, ok := opt.Cache.lookup(rec, "layout", keys.layout); ok {
+	if v, ok := opt.Cache.lookup(rec, reg, "layout", keys.layout); ok {
 		lay = v.(*layoutValue)
 		markCached(root, "layout")
 	} else {
@@ -227,10 +239,12 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 		lay = &layoutValue{res: res}
 		opt.Cache.store(keys.layout, lay)
 	}
+	reg.Histogram("pipeline.stage.layout.ns").RecordSince(stageStart)
 
 	// Stage 3: loss pricing (depends on Tech).
+	stageStart = time.Now()
 	var infos []wavelength.PathInfo
-	if v, ok := opt.Cache.lookup(rec, "loss", keys.loss); ok {
+	if v, ok := opt.Cache.lookup(rec, reg, "loss", keys.loss); ok {
 		infos = v.([]wavelength.PathInfo)
 		markCached(root, "loss")
 	} else {
@@ -240,11 +254,13 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 		}
 		opt.Cache.store(keys.loss, infos)
 	}
+	reg.Histogram("pipeline.stage.loss.ns").RecordSince(stageStart)
 
 	// Stage 4: wavelength assignment.
+	stageStart = time.Now()
 	var assignment *wavelength.Assignment
 	var stats *wavelength.Stats
-	if v, ok := opt.Cache.lookup(rec, "assign", keys.assign); ok {
+	if v, ok := opt.Cache.lookup(rec, reg, "assign", keys.assign); ok {
 		av := v.(*assignValue)
 		// Assignments are mutable (Normalize); hand out a copy.
 		assignment = av.assignment.Clone()
@@ -265,6 +281,7 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 				MILPTimeLimit: opt.MILPTimeLimit,
 				Parallelism:   opt.Parallelism,
 				Obs:           root,
+				Registry:      opt.Registry,
 			})
 		}
 		if err != nil {
@@ -275,15 +292,17 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 			opt.Cache.store(keys.assign, &assignValue{assignment: assignment.Clone(), stats: &statsCopy})
 		}
 	}
+	reg.Histogram("pipeline.stage.assign.ns").RecordSince(stageStart)
 
 	// Stage 5: PDN.
+	stageStart = time.Now()
 	cfg := pdn.Config{
 		Style:             con.PDNStyle,
 		ForceNodeSplitter: con.ForceNodeSplitter,
 		RoutePhysical:     opt.PhysicalPDN,
 	}
 	var network *pdn.Network
-	if v, ok := opt.Cache.lookup(rec, "pdn", keys.pdn); ok {
+	if v, ok := opt.Cache.lookup(rec, reg, "pdn", keys.pdn); ok {
 		network = v.(*pdn.Network)
 		markCached(root, "pdn")
 	} else {
@@ -293,6 +312,7 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 		}
 		opt.Cache.store(keys.pdn, network)
 	}
+	reg.Histogram("pipeline.stage.pdn.ns").RecordSince(stageStart)
 
 	return &design.Design{
 		App:         app,

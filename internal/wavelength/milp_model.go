@@ -58,6 +58,12 @@ type SolveInfo struct {
 //   - Eq. 5's il_s is substituted directly into Eqs. 6-7: il_s = L_s +
 //     L_sp · b_sp^{n(s)}, removing one continuous variable per path.
 func SolveMILP(ctx context.Context, infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration, parallelism int, parent *obs.Span) (*Assignment, SolveInfo, error) {
+	return SolveMILPRegistry(ctx, infos, numLambda, w, incumbent, timeLimit, parallelism, nil, parent)
+}
+
+// SolveMILPRegistry is SolveMILP with an explicit aggregate-telemetry
+// registry for the solver's kernel histograms (nil: obs.Default()).
+func SolveMILPRegistry(ctx context.Context, infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration, parallelism int, reg *obs.Registry, parent *obs.Span) (*Assignment, SolveInfo, error) {
 	if numLambda < 1 {
 		return nil, SolveInfo{}, fmt.Errorf("wavelength: SolveMILP needs numLambda >= 1, got %d", numLambda)
 	}
@@ -562,7 +568,7 @@ func SolveMILP(ctx context.Context, infos []PathInfo, numLambda int, w Weights, 
 		}
 	}
 
-	opts := milp.Options{TimeLimit: timeLimit, Parallelism: parallelism, BranchPriority: prio, Obs: msp}
+	opts := milp.Options{TimeLimit: timeLimit, Parallelism: parallelism, BranchPriority: prio, Obs: msp, Registry: reg}
 	if incumbent != nil {
 		// The symmetry rows above assume first-use wavelength order; take a
 		// normalised copy so an unnormalised caller incumbent stays valid.

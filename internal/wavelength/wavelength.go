@@ -470,6 +470,10 @@ type Options struct {
 	// records its telemetry: heuristic and MILP child spans, the
 	// heuristic-vs-MILP objective delta, and per-wavelength loss events.
 	Obs *obs.Span
+	// Registry receives aggregate telemetry (LP/MILP kernel histograms and
+	// counters), forwarded to milp.Options.Registry. Nil means the
+	// process-wide obs.Default() registry.
+	Registry *obs.Registry
 }
 
 // Stats reports how an assignment was obtained.
@@ -542,7 +546,7 @@ func AssignContext(ctx context.Context, infos []PathInfo, opt Options) (*Assignm
 		}
 		numLambda := best.NumLambda + extra
 		if len(infos)*numLambda <= maxBin {
-			milpA, info, err := SolveMILP(ctx, infos, numLambda, w, best, opt.MILPTimeLimit, opt.Parallelism, sp)
+			milpA, info, err := SolveMILPRegistry(ctx, infos, numLambda, w, best, opt.MILPTimeLimit, opt.Parallelism, opt.Registry, sp)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -20,11 +20,15 @@ import (
 // telemetry timestamps. None of these feed design content.
 var timeNowAllowed = []string{
 	"cmd/",                          // CLI timing and report headers
+	"internal/cluster/cluster.go",   // probe-latency telemetry timestamps
+	"internal/cluster/parallel.go",  // probe-latency telemetry timestamps
 	"internal/lp/bounded.go",        // pivot-loop deadline checks
 	"internal/lp/lp.go",             // pivot-loop deadline checks
+	"internal/lp/sparse.go",         // refactorisation-latency telemetry
 	"internal/milp/milp.go",         // branch-and-bound time limit
 	"internal/milp/relax.go",        // relaxation deadline checks
 	"internal/obs/obs.go",           // span timestamps
+	"internal/par/par.go",           // task wait/run telemetry timestamps
 	"internal/pipeline/pipeline.go", // SynthesisTime measurement
 }
 

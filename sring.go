@@ -95,6 +95,16 @@ type (
 	Trace = obs.Trace
 	// SpanSnap is one node of a Trace's span tree.
 	SpanSnap = obs.SpanSnap
+	// Registry aggregates process-wide telemetry — named counters plus
+	// latency histograms (p50/p90/p99) for the pipeline stages and the
+	// LP/MILP kernels — across synthesis runs, complementing the per-run
+	// Recorder. Pass one in Options.Registry to isolate a run's aggregates;
+	// leave it nil to accumulate into DefaultRegistry().
+	Registry = obs.Registry
+	// RegistrySnap is the immutable snapshot of a Registry.
+	RegistrySnap = obs.RegistrySnap
+	// HistSnap is the immutable snapshot of one registry histogram.
+	HistSnap = obs.HistSnap
 	// Options configures synthesis. It is the staged engine's option
 	// struct, shared by all four methods; see the field docs in
 	// internal/pipeline.
@@ -109,6 +119,14 @@ type (
 
 // NewRecorder returns an empty telemetry recorder.
 func NewRecorder() *Recorder { return obs.New() }
+
+// NewRegistry returns an empty aggregate-telemetry registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// DefaultRegistry returns the process-wide registry — the sink of every
+// synthesis run whose Options.Registry is nil, and what a -telemetry
+// endpoint serves at /metrics.
+func DefaultRegistry() *Registry { return obs.Default() }
 
 // NewCache returns an empty stage-output cache.
 func NewCache() *Cache { return pipeline.NewCache() }
