@@ -17,23 +17,16 @@ package main
 // a benchmark must not fail the comparison that introduces it.
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"os"
+
+	"sring/internal/benchfmt"
 )
 
 // loadSnapshot reads one BENCH_*.json file.
 func loadSnapshot(path string) (*snapshot, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var s snapshot
-	if err := json.Unmarshal(data, &s); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &s, nil
+	return benchfmt.Load(path)
 }
 
 // gapRegressionTol is the absolute milp_gap widening that counts as a

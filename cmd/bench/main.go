@@ -34,7 +34,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +46,7 @@ import (
 	"time"
 
 	"sring"
+	"sring/internal/benchfmt"
 	"sring/internal/cli"
 )
 
@@ -83,38 +83,18 @@ func testingBenchmark(fn func() error) benchResult {
 	}
 }
 
-type entry struct {
-	Name        string  `json:"name"`
-	Parallelism int     `json:"parallelism"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Runs        int     `json:"runs"`
-	// MILPGap is the relative optimality gap of the MILP assignment (0
-	// means proven optimal); present only when the MILP ran.
-	MILPGap *float64 `json:"milp_gap,omitempty"`
-	// MILPNodes is the branch-and-bound node count of the MILP
-	// assignment. On time-limited apps (MPEG) it is the solver's
-	// throughput metric: more nodes in the same budget means faster LPs.
-	MILPNodes int64 `json:"milp_nodes,omitempty"`
-	// TimeLimitHit reports that the MILP search was cut off by its
-	// wall-clock budget rather than finishing.
-	TimeLimitHit bool `json:"time_limit_hit,omitempty"`
-	// StageNs holds the per-pipeline-stage latency percentiles observed
-	// across this entry's benchmark iterations (pipeline.stage.*.ns registry
-	// histograms, bracketed by snapshots), keyed by stage name.
-	StageNs map[string]stagePct `json:"stage_ns,omitempty"`
-}
-
-// stagePct is one stage's latency distribution, in nanoseconds.
-type stagePct struct {
-	P50 int64 `json:"p50"`
-	P99 int64 `json:"p99"`
-}
+// The snapshot schema lives in internal/benchfmt, shared with cmd/loadgen;
+// the local names are kept as aliases so this package reads like before.
+type (
+	entry      = benchfmt.Entry
+	stagePct   = benchfmt.StagePct
+	snapshot   = benchfmt.Snapshot
+	cacheBench = benchfmt.CacheBench
+)
 
 // stageNames are the pipeline stages whose registry histograms bench
 // snapshots per entry, in pipeline order.
-var stageNames = []string{"construct", "layout", "loss", "assign", "pdn"}
+var stageNames = benchfmt.StageNames
 
 // stagePercentiles extracts the per-stage p50/p99 from a bracketed registry
 // delta; nil when no stage recorded (a cancelled run).
@@ -131,34 +111,6 @@ func stagePercentiles(d *sring.RegistrySnap) map[string]stagePct {
 		return nil
 	}
 	return out
-}
-
-type snapshot struct {
-	Date      string  `json:"date"`
-	GoVersion string  `json:"go_version"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	NumCPU    int     `json:"num_cpu"` // parallel entries only beat sequential with >1 core
-	MILP      bool    `json:"milp"`
-	Entries   []entry `json:"entries"`
-	// Cache is the stage-cache cold/warm measurement (see measureCache).
-	Cache *cacheBench `json:"cache,omitempty"`
-}
-
-// cacheBench records one cold-vs-warm stage-cache sweep: the same
-// benchmark × tech-variant grid synthesised twice against one shared
-// cache. The warm pass should be markedly faster, and the hit counters
-// nonzero — that is the memoization working.
-type cacheBench struct {
-	// ColdNs is the wall-clock of the first pass (empty cache; within the
-	// pass the tech variants already reuse each other's upstream stages).
-	ColdNs int64 `json:"cold_ns"`
-	// WarmNs is the wall-clock of the identical second pass (every stage
-	// served from the cache).
-	WarmNs int64 `json:"warm_ns"`
-	// Hits and Misses are the cache's cumulative counters after both passes.
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
 }
 
 // measureCache times the cold-vs-warm sweep: every benchmark under three
@@ -189,7 +141,11 @@ func measureCache(ctx context.Context) (*cacheBench, error) {
 		return nil, err
 	}
 	hits, misses := cache.Stats()
-	return &cacheBench{ColdNs: cold.Nanoseconds(), WarmNs: warm.Nanoseconds(), Hits: hits, Misses: misses}, nil
+	cb := &cacheBench{ColdNs: cold.Nanoseconds(), WarmNs: warm.Nanoseconds(), Hits: hits, Misses: misses}
+	if hits+misses > 0 {
+		cb.HitRate = float64(hits) / float64(hits+misses)
+	}
+	return cb, nil
 }
 
 func main() {
@@ -332,17 +288,7 @@ func main() {
 	fmt.Printf("%-32s %12d ns cold %12d ns warm   %d hits / %d misses\n",
 		"Cache/SRing/sweep", cb.ColdNs, cb.WarmNs, cb.Hits, cb.Misses)
 
-	f, err := os.Create(path)
-	if err != nil {
-		fatal(err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		f.Close()
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := snap.Write(path, true); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("snapshot written to %s\n", path)

@@ -1,0 +1,123 @@
+// Command loadgen replays a mixed synthesis workload against a running
+// serve daemon and snapshots the serving profile in the same dated
+// BENCH_*.json format cmd/bench writes, so `bench -compare` gates serving
+// regressions exactly like synthesis ones.
+//
+//	loadgen -url http://127.0.0.1:8080
+//	loadgen -url ... -j 8 -repeat 5 -tag serve
+//	loadgen -url ... -mix mix.json -o BENCH_serve.json
+//
+// The workload runs twice — a cold pass and an identical warm pass — at
+// the configured concurrency. Per request name ("Serve/<app>/<method>")
+// the warm pass's mean and p50/p99 latency become snapshot entries (the
+// request distribution rides in stage_ns under "request"); the cold/warm
+// wall-clocks and the server-side cache hit-rate delta land in the
+// snapshot's cache section. The cold:warm p50 ratio printed at the end is
+// the serving cache's headline number.
+//
+// -mix replays a custom workload: a JSON array of serve request objects
+// ({"app":...,"method":...,"options":{...}}), instead of the default mix
+// (every builtin application under SRing plus the baseline methods on the
+// two small ones).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sring/internal/benchfmt"
+	"sring/internal/serve"
+)
+
+func main() {
+	var (
+		url    = flag.String("url", "", "base URL of the serve daemon (required), e.g. http://127.0.0.1:8080")
+		jobs   = flag.Int("j", 4, "concurrent in-flight requests")
+		repeat = flag.Int("repeat", 3, "times each mix element is replayed per pass")
+		mixP   = flag.String("mix", "", "JSON file with the request mix (default: builtin benchmark mix)")
+		out    = flag.String("o", "", "output file (default BENCH_<yyyy-mm-dd>[-<tag>].json)")
+		tag    = flag.String("tag", "", "suffix for the default output name")
+		force  = flag.Bool("force", false, "overwrite an existing snapshot file")
+	)
+	flag.Parse()
+	if *url == "" {
+		fatal(fmt.Errorf("-url is required"))
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	mix := serve.DefaultMix()
+	if *mixP != "" {
+		data, err := os.ReadFile(*mixP)
+		if err != nil {
+			fatal(err)
+		}
+		mix = nil
+		if err := json.Unmarshal(data, &mix); err != nil {
+			fatal(fmt.Errorf("%s: %w", *mixP, err))
+		}
+	}
+
+	res, err := serve.Replay(ctx, serve.ReplayConfig{
+		BaseURL:     *url,
+		Concurrency: *jobs,
+		Repeat:      *repeat,
+		Mix:         mix,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, s := range res.Warm {
+		fmt.Printf("%-32s %6d reqs %12.0f ns/op   p50 %-10s p99 %-10s synth p50 %s\n",
+			s.Name, s.Count, s.MeanNs,
+			time.Duration(s.P50Ns).Round(time.Microsecond),
+			time.Duration(s.P99Ns).Round(time.Microsecond),
+			time.Duration(s.SynthP50Ns).Round(time.Microsecond))
+	}
+	coldP50, warmP50 := res.ColdP50(), res.WarmP50()
+	ratio := 0.0
+	if warmP50 > 0 {
+		ratio = float64(coldP50) / float64(warmP50)
+	}
+	fmt.Printf("%-32s cold %-12s warm %-12s synth p50 cold/warm %.0fx   hit rate %.1f%% (%d hits / %d misses)\n",
+		"Replay/overall",
+		time.Duration(res.ColdWallNs).Round(time.Millisecond),
+		time.Duration(res.WarmWallNs).Round(time.Millisecond),
+		ratio, 100*res.HitRate, res.Hits, res.Misses)
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		if *tag != "" {
+			path = fmt.Sprintf("BENCH_%s-%s.json", date, *tag)
+		} else {
+			path = fmt.Sprintf("BENCH_%s.json", date)
+		}
+	}
+	snap := &benchfmt.Snapshot{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Entries:   res.Entries(*jobs),
+		Cache:     res.CacheBench(),
+	}
+	if err := snap.Write(path, *force); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("snapshot written to %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Package benchfmt defines the dated BENCH_*.json snapshot schema shared
+// by cmd/bench (synthesis micro-benchmarks) and cmd/loadgen (serving
+// replay): one Snapshot per file, one Entry per measured name, plus the
+// optional cold/warm cache sweep. Keeping the schema in one place lets
+// `bench -compare` gate any producer's snapshots — a loadgen serving
+// profile regresses the same way a synthesis benchmark does.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Entry is one measured benchmark: a synthesis pair
+// ("Synthesize/MWD/SRing"), or a serving replay ("Serve/MWD/SRing").
+type Entry struct {
+	Name        string  `json:"name"`
+	Parallelism int     `json:"parallelism"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Runs        int     `json:"runs"`
+	// MILPGap is the relative optimality gap of the MILP assignment (0
+	// means proven optimal); present only when the MILP ran.
+	MILPGap *float64 `json:"milp_gap,omitempty"`
+	// MILPNodes is the branch-and-bound node count of the MILP
+	// assignment. On time-limited apps (MPEG) it is the solver's
+	// throughput metric: more nodes in the same budget means faster LPs.
+	MILPNodes int64 `json:"milp_nodes,omitempty"`
+	// TimeLimitHit reports that the MILP search was cut off by its
+	// wall-clock budget rather than finishing.
+	TimeLimitHit bool `json:"time_limit_hit,omitempty"`
+	// StageNs holds the per-pipeline-stage latency percentiles observed
+	// across this entry's iterations (pipeline.stage.*.ns registry
+	// histograms, bracketed by snapshots), keyed by stage name. For
+	// serving entries the same field carries request-latency percentiles
+	// under the "request" key.
+	StageNs map[string]StagePct `json:"stage_ns,omitempty"`
+}
+
+// StagePct is one stage's latency distribution, in nanoseconds.
+type StagePct struct {
+	P50 int64 `json:"p50"`
+	P99 int64 `json:"p99"`
+}
+
+// StageNames are the pipeline stages snapshotted per entry, in pipeline
+// order.
+var StageNames = []string{"construct", "layout", "loss", "assign", "pdn"}
+
+// Snapshot is one BENCH_*.json file.
+type Snapshot struct {
+	Date      string  `json:"date"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"` // parallel entries only beat sequential with >1 core
+	MILP      bool    `json:"milp"`
+	Entries   []Entry `json:"entries"`
+	// Cache is the stage-cache cold/warm measurement.
+	Cache *CacheBench `json:"cache,omitempty"`
+}
+
+// CacheBench records one cold-vs-warm stage-cache sweep: the same workload
+// run twice against one shared cache. The warm pass should be markedly
+// faster, and the hit counters nonzero — that is the memoization working.
+type CacheBench struct {
+	// ColdNs is the wall-clock of the first pass (empty cache; within the
+	// pass, workload variants already reuse each other's upstream stages).
+	ColdNs int64 `json:"cold_ns"`
+	// WarmNs is the wall-clock of the identical second pass (every stage
+	// served from the cache).
+	WarmNs int64 `json:"warm_ns"`
+	// Hits and Misses are the cache's cumulative counters after both passes.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// HitRate is hits/(hits+misses) over both passes; zero when the
+	// producer predates the field or nothing was looked up.
+	HitRate float64 `json:"hit_rate,omitempty"`
+}
+
+// Load reads one BENCH_*.json file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Write serialises the snapshot to path, indented, refusing to overwrite
+// unless force is set.
+func (s *Snapshot) Write(path string, force bool) error {
+	if !force {
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("%s already exists; pass -force to overwrite or -tag to pick another name", path)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,50 @@
+package cli
+
+// Shared stage-cache flag wiring: the serving and load-generation binaries
+// (and any future command that wants a bounded, persistent cache) expose
+// identical -cache-* flags and report the same one-line statistics summary.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"sring/internal/pipeline"
+)
+
+// CacheFlags holds the -cache-* flag values.
+type CacheFlags struct {
+	Bytes  int64
+	Shards int
+	Dir    string
+}
+
+// Register installs the cache flags on fs with the given default byte
+// budget (0 = unbounded).
+func (f *CacheFlags) Register(fs *flag.FlagSet, defaultBytes int64) {
+	fs.Int64Var(&f.Bytes, "cache-bytes", defaultBytes, "stage cache byte budget (0 = unbounded)")
+	fs.IntVar(&f.Shards, "cache-shards", 0, "stage cache shard count (0 = default)")
+	fs.StringVar(&f.Dir, "cache-dir", "", "persist cache entries to this directory and reload them on boot")
+}
+
+// Open builds the cache the flags describe, loading any persisted entries.
+func (f *CacheFlags) Open() (*pipeline.Cache, error) {
+	return pipeline.NewCacheWithConfig(pipeline.CacheConfig{
+		MaxBytes: f.Bytes,
+		Shards:   f.Shards,
+		Dir:      f.Dir,
+	})
+}
+
+// FprintCacheStats writes the one-line cache summary the commands print on
+// exit. The hit rate is hits/(hits+misses); lookups with caching disabled
+// are counted separately (pipeline.cache.disabled) and do not dilute it.
+func FprintCacheStats(w io.Writer, prog string, st pipeline.CacheStats) {
+	total := st.Hits + st.Misses
+	rate := 0.0
+	if total > 0 {
+		rate = float64(st.Hits) / float64(total)
+	}
+	fmt.Fprintf(w, "%s: cache %d entries, %d/%d bytes, %d hits / %d misses (%.1f%% hit rate), %d coalesced, %d evictions, %d invalid\n",
+		prog, st.Entries, st.Bytes, st.MaxBytes, st.Hits, st.Misses, 100*rate, st.Coalesced, st.Evictions, st.Invalid)
+}

@@ -1,0 +1,75 @@
+package layout
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+
+	"sring/internal/geom"
+	"sring/internal/ring"
+)
+
+// The pipeline's disk-persisted stage cache serialises layout results with
+// encoding/gob, which skips unexported fields — and Result keeps its ring
+// index in one. These custom encoders round-trip the full value, rings
+// included, so a Result loaded from a persistence directory answers
+// RingWaveguideMM exactly like the freshly routed one.
+
+// gobResult mirrors Result with every field exported. Rings are sorted by
+// ID so the encoding is deterministic.
+type gobResult struct {
+	Routes           map[SegKey]geom.Polyline
+	SegBends         map[SegKey]int
+	SegCrossings     map[SegKey]int
+	TotalCrossings   int
+	TotalBends       int
+	TotalWaveguideMM float64
+	Rings            []*ring.Ring
+}
+
+// Rings returns the routed rings, sorted by ID.
+func (res *Result) Rings() []*ring.Ring {
+	out := make([]*ring.Ring, 0, len(res.rings))
+	for _, r := range res.rings {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// GobEncode implements gob.GobEncoder.
+func (res *Result) GobEncode() ([]byte, error) {
+	g := gobResult{
+		Routes:           res.Routes,
+		SegBends:         res.SegBends,
+		SegCrossings:     res.SegCrossings,
+		TotalCrossings:   res.TotalCrossings,
+		TotalBends:       res.TotalBends,
+		TotalWaveguideMM: res.TotalWaveguideMM,
+		Rings:            res.Rings(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (res *Result) GobDecode(data []byte) error {
+	var g gobResult
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	res.Routes = g.Routes
+	res.SegBends = g.SegBends
+	res.SegCrossings = g.SegCrossings
+	res.TotalCrossings = g.TotalCrossings
+	res.TotalBends = g.TotalBends
+	res.TotalWaveguideMM = g.TotalWaveguideMM
+	res.rings = make(map[int]*ring.Ring, len(g.Rings))
+	for _, r := range g.Rings {
+		res.rings[r.ID] = r
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package layout
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"sring/internal/netlist"
+	"sring/internal/ring"
+)
+
+// A gob round-trip must restore the full Result, including the unexported
+// ring index behind RingWaveguideMM.
+func TestResultGobRoundTrip(t *testing.T) {
+	app := netlist.MWD()
+	var order []netlist.NodeID
+	for _, n := range app.Nodes {
+		order = append(order, n.ID)
+	}
+	r := &ring.Ring{ID: 3, Kind: ring.Base, Order: order}
+	res, err := Route(app, []*ring.Ring{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+
+	if back.TotalCrossings != res.TotalCrossings || back.TotalBends != res.TotalBends ||
+		back.TotalWaveguideMM != res.TotalWaveguideMM {
+		t.Errorf("totals changed: %+v vs %+v",
+			[3]interface{}{back.TotalCrossings, back.TotalBends, back.TotalWaveguideMM},
+			[3]interface{}{res.TotalCrossings, res.TotalBends, res.TotalWaveguideMM})
+	}
+	if len(back.Routes) != len(res.Routes) {
+		t.Errorf("routes count %d, want %d", len(back.Routes), len(res.Routes))
+	}
+	wantMM, err := res.RingWaveguideMM(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMM, err := back.RingWaveguideMM(3)
+	if err != nil {
+		t.Fatalf("decoded result lost its ring index: %v", err)
+	}
+	if gotMM != wantMM {
+		t.Errorf("RingWaveguideMM = %v, want %v", gotMM, wantMM)
+	}
+}

@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sring/internal/loss"
+	"sring/internal/netlist"
+)
+
+// Warm state must survive a restart: a cache persisted to disk and
+// reloaded serves every stage from memory, and the designs are
+// byte-identical to the cold ones.
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	app := netlist.MWD()
+	tech2 := loss.Default()
+	tech2.SplitRatioDB = 3.5
+
+	c1, err := NewCacheWithConfig(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Synthesize(context.Background(), app, "CoalesceProbe", Options{Cache: c1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(context.Background(), app, "CoalesceProbe", Options{Tech: tech2, Cache: c1, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh cache over the same directory.
+	c2, err := NewCacheWithConfig(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != c1.Len() {
+		t.Fatalf("reloaded Len = %d, want %d", c2.Len(), c1.Len())
+	}
+	d2, err := Synthesize(context.Background(), app, "CoalesceProbe", Options{Cache: c2, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c2.Stats(); hits != 5 || misses != 0 {
+		t.Errorf("warm-restart run: %d hits / %d misses, want 5/0", hits, misses)
+	}
+	if !designsEqual(t, d1, d2) {
+		t.Error("design served from reloaded cache differs from the cold one")
+	}
+}
+
+// Undecodable persistence files — truncated writes, foreign junk, older
+// versions — are skipped on load, never fatal.
+func TestPersistenceSkipsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCacheWithConfig(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(context.Background(), netlist.MWD(), "CoalesceProbe", Options{Cache: c1, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var key cacheKey
+	key[0] = 0xAB
+	junk := c1.persist.path(key)
+	if err := os.WriteFile(junk, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("ignore me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCacheWithConfig(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("corrupt entry file must not fail construction: %v", err)
+	}
+	defer c2.Close()
+	if c2.Len() != c1.Len() {
+		t.Errorf("reloaded Len = %d, want %d (junk skipped)", c2.Len(), c1.Len())
+	}
+}
+
+// The byte budget applies to loaded entries too: booting a small cache
+// over a large persistence directory must not blow past the bound.
+func TestPersistenceRespectsBudget(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCacheWithConfig(CacheConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := netlist.MWD()
+	for i := 0; i < 8; i++ {
+		tech := loss.Default()
+		tech.SplitRatioDB = 3.0 + 0.1*float64(i)
+		if _, err := Synthesize(context.Background(), app, "CoalesceProbe", Options{Tech: tech, Cache: c1, Parallelism: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const budget = int64(8 << 10)
+	c2, err := NewCacheWithConfig(CacheConfig{Dir: dir, MaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() >= c1.Len() {
+		t.Errorf("budgeted reload kept all %d entries; eviction expected", c1.Len())
+	}
+	if c2.StatsSnapshot().Evictions == 0 {
+		t.Error("budgeted reload reported no evictions")
+	}
+	// The bound is soft per shard: each shard may overshoot its slice of the
+	// budget by at most its most recently loaded entry.
+	perShard := budget / int64(len(c2.shards))
+	for i := range c2.shards {
+		sh := &c2.shards[i]
+		sh.mu.Lock()
+		over := sh.bytes - perShard
+		var newest int64
+		if sh.head != nil {
+			newest = sh.head.size
+		}
+		sh.mu.Unlock()
+		if over > 0 && over > newest {
+			t.Errorf("shard %d holds %d bytes over its %d budget (newest entry %d)", i, over+perShard, perShard, newest)
+		}
+	}
+}

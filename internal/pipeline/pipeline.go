@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -205,92 +206,121 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 		reg.Histogram("pipeline.cache.keybuild.ns").RecordSince(keyStart)
 	}
 
-	// Stage 1: construct (method-specific).
+	// Stage 1: construct (method-specific). checkConstruction guards both
+	// sides: fresh results before they enter the cache, and — as compute's
+	// validator — every hit, so a corrupted entry degrades to a recompute.
 	stageStart := time.Now()
-	var con *Construction
-	if v, ok := opt.Cache.lookup(rec, reg, "construct", keys.construct); ok {
-		con = v.(*Construction)
-		markCached(root, "construct")
-	} else {
-		con, err = ctor(ctx, app, opt, root)
-		if err != nil {
-			return nil, err
-		}
-		if !con.Cancelled {
-			opt.Cache.store(keys.construct, con)
-		}
-	}
-	reg.Histogram("pipeline.stage.construct.ns").RecordSince(stageStart)
-	if err := checkConstruction(app, con); err != nil {
+	v, fromCache, err := opt.Cache.compute(ctx, rec, reg, "construct", keys.construct,
+		func(v interface{}) error { return validateConstruction(app, v) },
+		func() (interface{}, bool, error) {
+			con, err := ctor(ctx, app, opt, root)
+			if err != nil {
+				return nil, false, err
+			}
+			if err := checkConstruction(app, con); err != nil {
+				return nil, false, err
+			}
+			return con, !con.Cancelled, nil
+		})
+	if err != nil {
 		return nil, err
 	}
+	con := v.(*Construction)
+	if fromCache {
+		markCached(root, "construct")
+	}
+	reg.Histogram("pipeline.stage.construct.ns").RecordSince(stageStart)
 
 	// Stage 2: layout.
 	stageStart = time.Now()
-	var lay *layoutValue
-	if v, ok := opt.Cache.lookup(rec, reg, "layout", keys.layout); ok {
-		lay = v.(*layoutValue)
+	v, fromCache, err = opt.Cache.compute(ctx, rec, reg, "layout", keys.layout,
+		func(v interface{}) error { return validateLayout(con, v) },
+		func() (interface{}, bool, error) {
+			res, err := design.RouteLayout(app, con.Rings, root)
+			if err != nil {
+				return nil, false, err
+			}
+			return &layoutValue{Res: res}, true, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	lay := v.(*layoutValue)
+	if fromCache {
 		markCached(root, "layout")
-	} else {
-		res, err := design.RouteLayout(app, con.Rings, root)
-		if err != nil {
-			return nil, err
-		}
-		lay = &layoutValue{res: res}
-		opt.Cache.store(keys.layout, lay)
 	}
 	reg.Histogram("pipeline.stage.layout.ns").RecordSince(stageStart)
 
 	// Stage 3: loss pricing (depends on Tech).
 	stageStart = time.Now()
-	var infos []wavelength.PathInfo
-	if v, ok := opt.Cache.lookup(rec, reg, "loss", keys.loss); ok {
-		infos = v.([]wavelength.PathInfo)
+	v, fromCache, err = opt.Cache.compute(ctx, rec, reg, "loss", keys.loss,
+		func(v interface{}) error { return validateInfos(app, v) },
+		func() (interface{}, bool, error) {
+			infos, err := design.PriceLoss(app, con.Rings, con.Paths, lay.Res, tech, con.MRRFullComplement, root)
+			if err != nil {
+				return nil, false, err
+			}
+			return infos, true, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	infos := v.([]wavelength.PathInfo)
+	if fromCache {
 		markCached(root, "loss")
-	} else {
-		infos, err = design.PriceLoss(app, con.Rings, con.Paths, lay.res, tech, con.MRRFullComplement, root)
-		if err != nil {
-			return nil, err
-		}
-		opt.Cache.store(keys.loss, infos)
 	}
 	reg.Histogram("pipeline.stage.loss.ns").RecordSince(stageStart)
 
-	// Stage 4: wavelength assignment.
+	// Stage 4: wavelength assignment. The cache stores a private clone —
+	// assignments are mutable (Normalize) — so hits clone back out, while
+	// the computing caller keeps its own original.
 	stageStart = time.Now()
+	var freshAssign *wavelength.Assignment
+	var freshStats *wavelength.Stats
+	v, fromCache, err = opt.Cache.compute(ctx, rec, reg, "assign", keys.assign,
+		func(v interface{}) error { return validateAssign(infos, v) },
+		func() (interface{}, bool, error) {
+			var assignment *wavelength.Assignment
+			var stats *wavelength.Stats
+			var err error
+			if con.Preset != nil {
+				assignment, stats, err = design.UsePreset(infos, con.Preset, root)
+			} else {
+				w := con.Weights
+				if con.SplitterWeightFromTech {
+					w.SplitterStageDB = tech.SplitterStageDB()
+				}
+				assignment, stats, err = wavelength.AssignContext(ctx, infos, wavelength.Options{
+					Weights:       w,
+					UseMILP:       opt.UseMILP,
+					MILPTimeLimit: opt.MILPTimeLimit,
+					Parallelism:   opt.Parallelism,
+					Obs:           root,
+					Registry:      opt.Registry,
+				})
+			}
+			if err != nil {
+				return nil, false, err
+			}
+			freshAssign, freshStats = assignment, stats
+			statsCopy := *stats
+			return &assignValue{Assignment: assignment.Clone(), Stats: &statsCopy}, !stats.Cancelled, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var assignment *wavelength.Assignment
 	var stats *wavelength.Stats
-	if v, ok := opt.Cache.lookup(rec, reg, "assign", keys.assign); ok {
-		av := v.(*assignValue)
-		// Assignments are mutable (Normalize); hand out a copy.
-		assignment = av.assignment.Clone()
-		statsCopy := *av.stats
-		stats = &statsCopy
-		markCached(root, "assign")
+	if !fromCache && freshAssign != nil {
+		assignment, stats = freshAssign, freshStats
 	} else {
-		if con.Preset != nil {
-			assignment, stats, err = design.UsePreset(infos, con.Preset, root)
-		} else {
-			w := con.Weights
-			if con.SplitterWeightFromTech {
-				w.SplitterStageDB = tech.SplitterStageDB()
-			}
-			assignment, stats, err = wavelength.AssignContext(ctx, infos, wavelength.Options{
-				Weights:       w,
-				UseMILP:       opt.UseMILP,
-				MILPTimeLimit: opt.MILPTimeLimit,
-				Parallelism:   opt.Parallelism,
-				Obs:           root,
-				Registry:      opt.Registry,
-			})
-		}
-		if err != nil {
-			return nil, err
-		}
-		if !stats.Cancelled {
-			statsCopy := *stats
-			opt.Cache.store(keys.assign, &assignValue{assignment: assignment.Clone(), stats: &statsCopy})
-		}
+		av := v.(*assignValue)
+		assignment = av.Assignment.Clone()
+		statsCopy := *av.Stats
+		stats = &statsCopy
+	}
+	if fromCache {
+		markCached(root, "assign")
 	}
 	reg.Histogram("pipeline.stage.assign.ns").RecordSince(stageStart)
 
@@ -301,16 +331,21 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 		ForceNodeSplitter: con.ForceNodeSplitter,
 		RoutePhysical:     opt.PhysicalPDN,
 	}
-	var network *pdn.Network
-	if v, ok := opt.Cache.lookup(rec, reg, "pdn", keys.pdn); ok {
-		network = v.(*pdn.Network)
+	v, fromCache, err = opt.Cache.compute(ctx, rec, reg, "pdn", keys.pdn,
+		func(v interface{}) error { return validatePDN(v) },
+		func() (interface{}, bool, error) {
+			network, err := design.BuildPDN(app, infos, assignment, cfg, con.PDNAllTwoSender, root)
+			if err != nil {
+				return nil, false, err
+			}
+			return network, true, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	network := v.(*pdn.Network)
+	if fromCache {
 		markCached(root, "pdn")
-	} else {
-		network, err = design.BuildPDN(app, infos, assignment, cfg, con.PDNAllTwoSender, root)
-		if err != nil {
-			return nil, err
-		}
-		opt.Cache.store(keys.pdn, network)
 	}
 	reg.Histogram("pipeline.stage.pdn.ns").RecordSince(stageStart)
 
@@ -320,7 +355,7 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 		Rings:       con.Rings,
 		Infos:       infos,
 		Assignment:  assignment,
-		Layout:      lay.res,
+		Layout:      lay.Res,
 		PDN:         network,
 		Tech:        tech,
 		AssignStats: stats,
@@ -329,17 +364,18 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 }
 
 // layoutValue wraps the layout result so the cache holds a single pointer
-// type per stage.
-type layoutValue struct{ res *layoutResult }
+// type per stage. Fields are exported for the cache's gob persistence.
+type layoutValue struct{ Res *layoutResult }
 
 // layoutResult aliases the layout package's result through the design
 // package's stage signature, keeping pipeline's import set minimal.
 type layoutResult = design.LayoutResult
 
-// assignValue is the cached output of the assignment stage.
+// assignValue is the cached output of the assignment stage. Fields are
+// exported for the cache's gob persistence.
 type assignValue struct {
-	assignment *wavelength.Assignment
-	stats      *wavelength.Stats
+	Assignment *wavelength.Assignment
+	Stats      *wavelength.Stats
 }
 
 // markCached records that a stage was served from the cache, so traces
@@ -349,6 +385,93 @@ func markCached(root *obs.Span, stage string) {
 		sp.SetString("stage", stage)
 		sp.End()
 	}
+}
+
+// The stage-hit validators: every cache hit — construct and downstream
+// alike — passes a cheap shape check against this request's inputs before
+// it is trusted, so a corrupted entry (a bad persistence file, a caller
+// that mutated shared state) is dropped and recomputed instead of
+// producing a corrupted design. Each starts with a type assertion because
+// compute hands over a raw interface{}; a wrong dynamic type is just
+// another corruption mode.
+
+func validateConstruction(app *netlist.Application, v interface{}) error {
+	con, ok := v.(*Construction)
+	if !ok {
+		return fmt.Errorf("pipeline: construct entry holds %T", v)
+	}
+	return checkConstruction(app, con)
+}
+
+func validateLayout(con *Construction, v interface{}) error {
+	lay, ok := v.(*layoutValue)
+	if !ok {
+		return fmt.Errorf("pipeline: layout entry holds %T", v)
+	}
+	if lay.Res == nil || lay.Res.Routes == nil {
+		return errors.New("pipeline: layout entry has no routes")
+	}
+	// Every ring of this construction must be routed and indexed —
+	// RingWaveguideMM also exercises the ring index a persistence
+	// round-trip has to restore.
+	for _, r := range con.Rings {
+		if _, err := lay.Res.RingWaveguideMM(r.ID); err != nil {
+			return fmt.Errorf("pipeline: layout entry: %w", err)
+		}
+	}
+	return nil
+}
+
+func validateInfos(app *netlist.Application, v interface{}) error {
+	infos, ok := v.([]wavelength.PathInfo)
+	if !ok {
+		return fmt.Errorf("pipeline: loss entry holds %T", v)
+	}
+	if len(infos) != len(app.Messages) {
+		return fmt.Errorf("pipeline: loss entry prices %d paths for %d messages", len(infos), len(app.Messages))
+	}
+	for i, pi := range infos {
+		if pi.Path.Msg != app.Messages[i] {
+			return fmt.Errorf("pipeline: loss entry path %d carries message %v, want %v", i, pi.Path.Msg, app.Messages[i])
+		}
+		if math.IsNaN(pi.LossDB) || math.IsInf(pi.LossDB, 0) || pi.LossDB < 0 {
+			return fmt.Errorf("pipeline: loss entry path %d has loss %v dB", i, pi.LossDB)
+		}
+	}
+	return nil
+}
+
+func validateAssign(infos []wavelength.PathInfo, v interface{}) error {
+	av, ok := v.(*assignValue)
+	if !ok {
+		return fmt.Errorf("pipeline: assign entry holds %T", v)
+	}
+	if av.Assignment == nil || av.Stats == nil {
+		return errors.New("pipeline: assign entry incomplete")
+	}
+	if len(av.Assignment.Lambda) != len(infos) {
+		return fmt.Errorf("pipeline: assign entry covers %d paths, want %d", len(av.Assignment.Lambda), len(infos))
+	}
+	for i, l := range av.Assignment.Lambda {
+		if l < 0 || l >= av.Assignment.NumLambda {
+			return fmt.Errorf("pipeline: assign entry path %d has wavelength %d of %d", i, l, av.Assignment.NumLambda)
+		}
+	}
+	return nil
+}
+
+func validatePDN(v interface{}) error {
+	network, ok := v.(*pdn.Network)
+	if !ok {
+		return fmt.Errorf("pipeline: pdn entry holds %T", v)
+	}
+	if network == nil || network.FeedLengthMM == nil {
+		return errors.New("pipeline: pdn entry has no feed lengths")
+	}
+	if network.TotalSplitters < 0 || network.TreeStages < 0 {
+		return errors.New("pipeline: pdn entry has negative counts")
+	}
+	return nil
 }
 
 // checkConstruction validates a constructor's output the same way

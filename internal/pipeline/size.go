@@ -1,0 +1,85 @@
+package pipeline
+
+import (
+	"sring/internal/pdn"
+	"sring/internal/ring"
+	"sring/internal/wavelength"
+)
+
+// entrySize estimates the resident bytes of one cached stage value. The
+// estimates are deliberately simple — struct headers rounded up, map
+// entries costed at a flat overhead — because the byte budget only needs
+// to bound growth, not to account bytes exactly. Unknown types (tests,
+// future stages) get a flat conservative charge so they still count
+// against the budget.
+func entrySize(v interface{}) int64 {
+	const (
+		ptrOverhead = 48  // allocation header + pointer slot
+		mapEntry    = 64  // bucket share + key + value
+		unknown     = 256 // conservative default for unrecognised types
+	)
+	switch t := v.(type) {
+	case *Construction:
+		s := int64(ptrOverhead + 128)
+		for _, r := range t.Rings {
+			s += ptrOverhead + 32 + 8*int64(len(r.Order))
+		}
+		s += pathsSize(t.Paths)
+		if t.Preset != nil {
+			s += ptrOverhead + 8*int64(len(t.Preset.Lambda))
+		}
+		return s
+	case *layoutValue:
+		if t.Res == nil {
+			return ptrOverhead
+		}
+		s := int64(ptrOverhead + 96)
+		for _, pl := range t.Res.Routes {
+			s += mapEntry + 16*int64(len(pl.Points))
+		}
+		s += mapEntry * int64(len(t.Res.SegBends)+len(t.Res.SegCrossings))
+		s += mapEntry * int64(len(t.Res.Rings())) // the ring index map
+		return s
+	case []wavelength.PathInfo:
+		s := int64(ptrOverhead)
+		for _, pi := range t {
+			s += 96 + 8*int64(len(pi.Path.Segs))
+		}
+		return s
+	case *assignValue:
+		s := int64(ptrOverhead + 160) // stats copy
+		if t.Assignment != nil {
+			s += ptrOverhead + 8*int64(len(t.Assignment.Lambda))
+		}
+		return s
+	case *pdn.Network:
+		s := int64(ptrOverhead + 64)
+		s += mapEntry * int64(len(t.NodeSplitter)+len(t.FeedLengthMM))
+		if t.Tree != nil {
+			s += ptrOverhead + 64 + mapEntry*int64(len(t.Tree.FeedLengthMM))
+			s += treeSize(t.Tree.Root)
+		}
+		return s
+	default:
+		return unknown
+	}
+}
+
+func pathsSize(paths []ring.Path) int64 {
+	s := int64(24)
+	for _, p := range paths {
+		s += 96 + 8*int64(len(p.Segs))
+	}
+	return s
+}
+
+func treeSize(n *pdn.TreeNode) int64 {
+	if n == nil {
+		return 0
+	}
+	s := int64(64)
+	for _, c := range n.Children {
+		s += treeSize(c)
+	}
+	return s
+}

@@ -1,0 +1,361 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	_ "sring" // register the real methods
+
+	"sring/internal/netlist"
+	"sring/internal/obs"
+	"sring/internal/pipeline"
+	"sring/internal/ring"
+	"sring/internal/serve"
+	"sring/internal/wavelength"
+)
+
+// slowStarted signals that the SlowProbe constructor is running;
+// slowRelease lets it finish normally. With neither touched it waits for
+// cancellation and returns its best-feasible construction, Cancelled set —
+// the pipeline's graceful-degradation contract, which the serve layer must
+// surface rather than turn into an error.
+var (
+	slowStarted = make(chan struct{}, 16)
+	slowRelease = make(chan struct{})
+)
+
+func init() {
+	pipeline.Register("SlowProbe", func(ctx context.Context, app *netlist.Application, opt pipeline.Options, parent *obs.Span) (*pipeline.Construction, error) {
+		slowStarted <- struct{}{}
+		con, err := baseRing(app)
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			con.Cancelled = true
+		case <-slowRelease:
+		}
+		return con, nil
+	})
+}
+
+func baseRing(app *netlist.Application) (*pipeline.Construction, error) {
+	var order []netlist.NodeID
+	for _, n := range app.Nodes {
+		order = append(order, n.ID)
+	}
+	r := &ring.Ring{ID: 0, Kind: ring.Base, Order: order}
+	var paths []ring.Path
+	for _, m := range app.Messages {
+		p, err := ring.Route(app, r, m)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return &pipeline.Construction{Rings: []*ring.Ring{r}, Paths: paths, Weights: wavelength.DefaultWeights()}, nil
+}
+
+func postSynthesize(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/synthesize", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// The request-validation table: every malformed request is a 400 with a
+// JSON error body that names the problem.
+func TestSynthesizeBadRequests(t *testing.T) {
+	h := (&serve.Server{}).Handler()
+	cases := []struct {
+		name     string
+		body     string
+		status   int
+		errorHas string
+	}{
+		{"bad method", `{"app":"MWD","method":"NoSuchMethod"}`, 400, "NoSuchMethod"},
+		{"missing method", `{"app":"MWD"}`, 400, "method"},
+		{"unknown app", `{"app":"NoSuchApp","method":"SRing"}`, 400, "NoSuchApp"},
+		{"no app or netlist", `{"method":"SRing"}`, 400, "app"},
+		{"app and netlist", `{"app":"MWD","netlist":{"name":"x"},"method":"SRing"}`, 400, "mutually exclusive"},
+		{"invalid tech", `{"app":"MWD","method":"SRing","options":{"tech":{"DropDB":-1}}}`, 400, "tech"},
+		{"partial tech", `{"app":"MWD","method":"SRing","options":{"tech":{"DropDB":0.5}}}`, 400, "tech"},
+		{"negative parallelism", `{"app":"MWD","method":"SRing","options":{"parallelism":-1}}`, 400, "non-negative"},
+		{"unknown field", `{"app":"MWD","method":"SRing","bogus":1}`, 400, "bogus"},
+		{"not json", `{{{`, 400, "bad request body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postSynthesize(t, h, tc.body)
+			if w.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", w.Code, tc.status, w.Body)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if !strings.Contains(e["error"], tc.errorHas) {
+				t.Errorf("error %q does not mention %q", e["error"], tc.errorHas)
+			}
+		})
+	}
+
+	t.Run("GET refused", func(t *testing.T) {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/synthesize", nil))
+		if w.Code != http.StatusMethodNotAllowed {
+			t.Errorf("status = %d, want 405", w.Code)
+		}
+	})
+}
+
+// A well-formed request returns the design summary; an inline netlist works
+// like a builtin one.
+func TestSynthesizeOK(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := (&serve.Server{Cache: pipeline.NewCache(), Registry: reg}).Handler()
+
+	w := postSynthesize(t, h, `{"app":"MWD","method":"SRing","options":{"parallelism":1}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp serve.Response
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.App != "MWD" || resp.Method != "SRing" || resp.Metrics == nil {
+		t.Fatalf("summary incomplete: %+v", resp)
+	}
+	if resp.Metrics.NumWavelengths <= 0 || resp.Metrics.TotalLaserPowerMW <= 0 {
+		t.Errorf("implausible metrics: %+v", resp.Metrics)
+	}
+	if reg.Histogram("serve.request.ns").Count() == 0 {
+		t.Error("serve.request.ns recorded nothing")
+	}
+
+	t.Run("inline netlist", func(t *testing.T) {
+		var nl bytes.Buffer
+		if err := netlist.Encode(&nl, netlist.MWD()); err != nil {
+			t.Fatal(err)
+		}
+		w := postSynthesize(t, h, `{"netlist":`+nl.String()+`,"method":"SRing","options":{"parallelism":1}}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", w.Code, w.Body)
+		}
+		var inl serve.Response
+		if err := json.Unmarshal(w.Body.Bytes(), &inl); err != nil {
+			t.Fatal(err)
+		}
+		if inl.Metrics == nil || inl.Metrics.TotalLaserPowerMW != resp.Metrics.TotalLaserPowerMW {
+			t.Errorf("inline netlist diverged from builtin: %+v vs %+v", inl.Metrics, resp.Metrics)
+		}
+	})
+}
+
+// A context that fell before synthesis started is the client's doing: 499,
+// no design.
+func TestSynthesizePreCancelled(t *testing.T) {
+	h := (&serve.Server{}).Handler()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/synthesize",
+		strings.NewReader(`{"app":"MWD","method":"SRing"}`)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != 499 {
+		t.Errorf("status = %d, want 499", w.Code)
+	}
+}
+
+// A client disconnecting mid-flight cancels the request context; the
+// pipeline degrades to its best incumbent and the serve layer reports it
+// with Cancelled set rather than failing.
+func TestSynthesizeMidFlightDisconnect(t *testing.T) {
+	h := (&serve.Server{}).Handler()
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/synthesize",
+		strings.NewReader(`{"app":"MWD","method":"SlowProbe","options":{"parallelism":1}}`)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(w, req)
+		close(done)
+	}()
+	<-slowStarted // the constructor is running; now the client vanishes
+	cancel()
+	<-done
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp serve.Response
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cancelled {
+		t.Error("mid-flight disconnect did not surface Cancelled on the incumbent design")
+	}
+	if resp.Metrics == nil {
+		t.Error("incumbent design has no metrics")
+	}
+}
+
+// Streaming responses carry one stage event per pipeline span before the
+// final result.
+func TestSynthesizeStreaming(t *testing.T) {
+	h := (&serve.Server{Cache: pipeline.NewCache()}).Handler()
+	w := postSynthesize(t, h, `{"app":"MWD","method":"SRing","options":{"parallelism":1},"stream":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want NDJSON", ct)
+	}
+	var events []serve.Event
+	sc := bufio.NewScanner(w.Body)
+	for sc.Scan() {
+		var e serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want stage events plus a result", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Event != "result" || last.Result == nil || last.Result.Metrics == nil {
+		t.Fatalf("final event is not a result: %+v", last)
+	}
+	seen := map[string]bool{}
+	for _, e := range events[:len(events)-1] {
+		if e.Event != "stage" {
+			t.Errorf("unexpected mid-stream event %+v", e)
+		}
+		seen[e.Span] = true
+	}
+	for _, span := range []string{"synthesize", "design.layout", "wavelength.assign", "design.pdn"} {
+		if !seen[span] {
+			t.Errorf("no stage event for span %q (saw %v)", span, seen)
+		}
+	}
+}
+
+// The ancillary endpoints: methods, stats, metrics, health.
+func TestAncillaryEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := &serve.Server{Cache: pipeline.NewCache(), Registry: reg}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var methods map[string][]string
+	getJSON(t, ts.URL+"/methods", &methods)
+	if len(methods["methods"]) < 4 || len(methods["apps"]) != 7 {
+		t.Errorf("methods = %v", methods)
+	}
+
+	var stats pipeline.CacheStats
+	getJSON(t, ts.URL+"/stats.json", &stats)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != 200 {
+		t.Errorf("/healthz: HTTP %d", hresp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, into interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+}
+
+// The loadgen smoke test: replay all seven benchmark applications (the
+// default mix) at concurrency 4 against a live server, cold then warm.
+// Short mode keeps it to the three small apps.
+func TestLoadgenSmoke(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := &serve.Server{Cache: pipeline.NewCache(), Registry: reg, MaxParallelism: 2}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mix := serve.DefaultMix()
+	if testing.Short() || os.Getenv("CI") != "" {
+		mix = mix[:3]
+	}
+	res, err := serve.Replay(context.Background(), serve.ReplayConfig{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Mix:         mix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cold) != len(res.Warm) {
+		t.Fatalf("cold/warm name counts differ: %d vs %d", len(res.Cold), len(res.Warm))
+	}
+	wantNames := map[string]bool{}
+	for _, r := range mix {
+		wantNames["Serve/"+r.App+"/"+r.Method] = true
+	}
+	for _, s := range res.Warm {
+		delete(wantNames, s.Name)
+	}
+	if len(wantNames) > 0 {
+		t.Errorf("warm pass missing entries: %v", wantNames)
+	}
+	if res.Hits == 0 {
+		t.Error("warm pass produced no cache hits")
+	}
+	if res.HitRate < 0.4 {
+		t.Errorf("hit rate = %.2f, want >= 0.4 over cold+warm", res.HitRate)
+	}
+	if res.WarmP50() >= res.ColdP50() {
+		t.Errorf("warm p50 %d >= cold p50 %d: cache bought nothing", res.WarmP50(), res.ColdP50())
+	}
+	entries := res.Entries(4)
+	if len(entries) != len(res.Warm) {
+		t.Fatalf("entries = %d, want %d", len(entries), len(res.Warm))
+	}
+	for _, e := range entries {
+		if e.StageNs["request"].P99 < e.StageNs["request"].P50 {
+			t.Errorf("%s: p99 %d < p50 %d", e.Name, e.StageNs["request"].P99, e.StageNs["request"].P50)
+		}
+	}
+	if cb := res.CacheBench(); cb.WarmNs <= 0 || cb.HitRate != res.HitRate {
+		t.Errorf("cache bench incoherent: %+v", cb)
+	}
+}

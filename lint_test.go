@@ -30,6 +30,7 @@ var timeNowAllowed = []string{
 	"internal/obs/obs.go",           // span timestamps
 	"internal/par/par.go",           // task wait/run telemetry timestamps
 	"internal/pipeline/pipeline.go", // SynthesisTime measurement
+	"internal/serve/",               // request-latency telemetry and progress polling
 }
 
 // mathRandAllowed lists the files where math/rand is legitimate: all are

@@ -115,6 +115,12 @@ type (
 	// skip the upstream stages; cached designs are bit-identical to
 	// uncached ones.
 	Cache = pipeline.Cache
+	// CacheConfig bounds and persists a cache: a total byte budget with
+	// per-shard LRU eviction, a shard count, and an optional persistence
+	// directory reloaded on construction.
+	CacheConfig = pipeline.CacheConfig
+	// CacheStats is a point-in-time statistics snapshot of a Cache.
+	CacheStats = pipeline.CacheStats
 )
 
 // NewRecorder returns an empty telemetry recorder.
@@ -128,8 +134,16 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 // endpoint serves at /metrics.
 func DefaultRegistry() *Registry { return obs.Default() }
 
-// NewCache returns an empty stage-output cache.
+// NewCache returns an empty, unbounded, memory-only stage-output cache.
 func NewCache() *Cache { return pipeline.NewCache() }
+
+// NewCacheWithConfig returns a stage-output cache with a byte budget
+// (LRU-evicted per shard) and, when cfg.Dir is set, disk persistence:
+// entries are written behind stores and reloaded here on construction.
+// Close a persistent cache to flush its write-behind queue.
+func NewCacheWithConfig(cfg CacheConfig) (*Cache, error) {
+	return pipeline.NewCacheWithConfig(cfg)
+}
 
 // DefaultTech returns the calibrated technology parameters (DESIGN.md §2).
 func DefaultTech() Tech { return loss.Default() }
