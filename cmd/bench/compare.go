@@ -11,7 +11,14 @@ package main
 //     the old p99 was at least 1 ms (see p99FloorNs), or
 //   - the MILP optimality gap widening by more than one percentage point
 //     (gaps are small ratios, frequently exactly 0, so a relative test
-//     would divide by zero exactly where the comparison matters most).
+//     would divide by zero exactly where the comparison matters most), or
+//   - MILP node throughput dropping by more than -threshold on entries
+//     where both runs hit the time limit: with a fixed wall-clock budget
+//     on both sides, explored nodes per budget is the solver's progress
+//     rate, and a drop means the kernel got slower even if the gap
+//     happens to round the same. A run that newly finishes within the
+//     limit never gates — fewer nodes then means a smaller tree, not a
+//     slower solver.
 //
 // Entries present in only one snapshot are listed but never gate — adding
 // a benchmark must not fail the comparison that introduces it.
@@ -67,9 +74,10 @@ func compareSnapshots(oldSnap, newSnap *snapshot, threshold float64) []string {
 		return o > 0 && n > o*(1+threshold)
 	}
 
-	fmt.Printf("%-34s %14s %14s %9s %12s %12s %9s %10s %10s %9s\n",
+	fmt.Printf("%-34s %14s %14s %9s %12s %12s %9s %10s %10s %9s %10s %10s %9s\n",
 		"name", "old ns/op", "new ns/op", "delta",
-		"old allocs", "new allocs", "delta", "old gap", "new gap", "delta")
+		"old allocs", "new allocs", "delta",
+		"old nodes", "new nodes", "delta", "old gap", "new gap", "delta")
 	for _, n := range newSnap.Entries {
 		o, ok := oldByName[n.Name]
 		if !ok {
@@ -93,6 +101,19 @@ func compareSnapshots(oldSnap, newSnap *snapshot, threshold float64) []string {
 				why = append(why, "p99("+s+")")
 			}
 		}
+		// Node-throughput gate: only meaningful when both runs were cut
+		// off by the same wall-clock budget, so the node counts measure
+		// rate rather than tree size.
+		if o.TimeLimitHit && n.TimeLimitHit && o.MILPNodes > 0 &&
+			float64(n.MILPNodes) < float64(o.MILPNodes)*(1-threshold) {
+			why = append(why, "milp_nodes")
+		}
+		nodeCols := [3]string{"-", "-", ""}
+		if o.MILPNodes > 0 || n.MILPNodes > 0 {
+			nodeCols[0] = fmt.Sprintf("%d", o.MILPNodes)
+			nodeCols[1] = fmt.Sprintf("%d", n.MILPNodes)
+			nodeCols[2] = deltaPct(float64(o.MILPNodes), float64(n.MILPNodes))
+		}
 		gapCols := [3]string{"-", "-", ""}
 		if o.MILPGap != nil && n.MILPGap != nil {
 			gapCols[0] = fmt.Sprintf("%.4f", *o.MILPGap)
@@ -110,10 +131,11 @@ func compareSnapshots(oldSnap, newSnap *snapshot, threshold float64) []string {
 			gapCols[1] = fmt.Sprintf("%.4f", *n.MILPGap)
 		}
 
-		fmt.Printf("%-34s %14.0f %14.0f %9s %12d %12d %9s %10s %10s %9s\n",
+		fmt.Printf("%-34s %14.0f %14.0f %9s %12d %12d %9s %10s %10s %9s %10s %10s %9s\n",
 			n.Name, o.NsPerOp, n.NsPerOp, deltaPct(o.NsPerOp, n.NsPerOp),
 			o.AllocsPerOp, n.AllocsPerOp,
 			deltaPct(float64(o.AllocsPerOp), float64(n.AllocsPerOp)),
+			nodeCols[0], nodeCols[1], nodeCols[2],
 			gapCols[0], gapCols[1], gapCols[2])
 		if len(why) > 0 {
 			regressed = append(regressed, fmt.Sprintf("%s (%s)", n.Name, joinWhy(why)))

@@ -70,6 +70,36 @@ func TestCompareGatesOnNsPerOp(t *testing.T) {
 	}
 }
 
+// When both runs hit the time limit, a node-throughput drop beyond the
+// threshold gates: same budget, fewer explored nodes means the solver got
+// slower.
+func TestCompareGatesOnMILPNodes(t *testing.T) {
+	oldE, newE := baseEntry(), baseEntry()
+	oldE.MILPNodes, oldE.TimeLimitHit = 400, true
+	newE.MILPNodes, newE.TimeLimitHit = 200, true // half the throughput
+	regressed := compareSnapshots(snapWith(oldE), snapWith(newE), 0.20)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "milp_nodes") {
+		t.Fatalf("regressed = %v, want one milp_nodes entry", regressed)
+	}
+}
+
+// A run that newly finishes within the limit must not gate on nodes:
+// fewer nodes then means a smaller tree, not a slower solver. Neither
+// does a small fluctuation inside the threshold.
+func TestCompareMILPNodesNonRegressions(t *testing.T) {
+	oldE, finished := baseEntry(), baseEntry()
+	oldE.MILPNodes, oldE.TimeLimitHit = 400, true
+	finished.MILPNodes, finished.TimeLimitHit = 50, false // proved optimal early
+	if regressed := compareSnapshots(snapWith(oldE), snapWith(finished), 0.20); len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none (search finished within the limit)", regressed)
+	}
+	jitter := baseEntry()
+	jitter.MILPNodes, jitter.TimeLimitHit = 340, true // -15% < 20% threshold
+	if regressed := compareSnapshots(snapWith(oldE), snapWith(jitter), 0.20); len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none (inside threshold)", regressed)
+	}
+}
+
 // stagePercentiles maps registry deltas onto the entry schema, skipping
 // stages that never ran.
 func TestStagePercentiles(t *testing.T) {

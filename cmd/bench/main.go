@@ -36,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -255,7 +256,12 @@ func main() {
 				milpNote := ""
 				if last != nil && last.AssignStats != nil && last.AssignStats.MILPRan {
 					gap := last.AssignStats.MILPGap
-					e.MILPGap = &gap
+					// An infinite gap (no dual bound before the time limit)
+					// is not representable in JSON; leave the field null so
+					// the snapshot still writes.
+					if !math.IsInf(gap, 0) && !math.IsNaN(gap) {
+						e.MILPGap = &gap
+					}
 					e.MILPNodes = int64(last.AssignStats.MILPNodes)
 					e.TimeLimitHit = last.AssignStats.MILPTimeLimitHit
 					milpNote = fmt.Sprintf("  gap=%.4f", gap)

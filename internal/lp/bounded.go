@@ -214,6 +214,7 @@ type Solver struct {
 	solveH        *obs.Histogram // lp.solve.ns: wall time per completed solve
 	pivotsH       *obs.Histogram // lp.solve.pivots: total pivots per solve
 	refactorH     *obs.Histogram // lp.sparse.refactor.ns: per LU factorisation
+	ftSpikeH      *obs.Histogram // lp.ft.spike.nnz: spike size per FT update
 	sparseSolvesC *obs.Counter   // lp.sparse.solves
 	solveStart    time.Time
 }
@@ -231,12 +232,28 @@ func (s *Solver) SetRegistry(reg *obs.Registry) {
 	s.solveH = r.Histogram("lp.solve.ns")
 	s.pivotsH = r.Histogram("lp.solve.pivots")
 	s.refactorH = r.Histogram("lp.sparse.refactor.ns")
+	s.ftSpikeH = r.Histogram("lp.ft.spike.nnz")
 	s.sparseSolvesC = r.Counter("lp.sparse.solves")
 }
 
 // NewSolver validates the problem and builds the reusable solve state with
-// the sparse revised-simplex kernel (see sparse.go), the default engine.
+// the Forrest-Tomlin sparse revised-simplex kernel (see forrest_tomlin.go),
+// the default engine.
 func NewSolver(p *Problem) (*Solver, error) {
+	s, err := newSolverCore(p)
+	if err != nil {
+		return nil, err
+	}
+	s.k = newFTKernel(s, p)
+	return s, nil
+}
+
+// NewEtaSolver is NewSolver with the product-form-eta sparse kernel (see
+// sparse.go) — the previous default, kept as a cross-checked oracle: at
+// refactorEveryOverride=1 its pivot sequence is bit-identical to the
+// Forrest-Tomlin kernel's, because both reinstall the identical canonical
+// factor after every pivot.
+func NewEtaSolver(p *Problem) (*Solver, error) {
 	s, err := newSolverCore(p)
 	if err != nil {
 		return nil, err

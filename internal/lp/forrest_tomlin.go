@@ -1,0 +1,698 @@
+package lp
+
+// Forrest-Tomlin basis updates.
+//
+// The eta kernel (sparse.go) represents basis changes as a product-form
+// eta file layered over a frozen LU factorisation: every FTRAN/BTRAN pays
+// for the whole file, so pivot cost degrades linearly with the distance to
+// the last refactorisation. The Forrest-Tomlin kernel updates the U factor
+// itself: a basis exchange replaces one U column with the spike
+// w = L^-1 a_q (transformed through the earlier FT etas), cyclically
+// permutes it to the last elimination position, and restores triangularity
+// by eliminating the leaving row's remaining U entries with one composite
+// row eta. FTRAN/BTRAN then cost the (permuted, slightly filled) factor
+// itself — the representation tightens instead of deepening, and the eta
+// file holds one *row* transform per pivot whose length is the leaving
+// row's U fill, typically far below a full product-form column.
+//
+// Representation. U is held column-wise in m slots. Slot t carries its
+// pivot row (slotPiv), reciprocal pivot (slotInv) and off-pivot column
+// entries; order[] is the elimination-position permutation of slots
+// (identity after a refactorisation, cyclically rotated by each update).
+// Triangularity invariant: every stored entry of the column at position p
+// sits in a row whose own slot holds an earlier position. Columns are
+// copy-on-write over the pristine luFactor arrays — installing a
+// refactorised base is O(m), and only columns an update actually edits are
+// materialised into kernel-owned arenas. A row-wise index (rows[r]: the
+// slots holding an entry at row r) is built lazily at the first update and
+// maintained incrementally; it drives both the update elimination and the
+// O(row fill) strip of the leaving row.
+//
+// The update at leaving row r, entering column q:
+//
+//	w  = (FT etas) L^-1 a_q                 (spike, recomputed sparsely)
+//	mu = w[r] - sum_j m_j w[p_j]            (new diagonal)
+//
+// where the pairs (p_j, m_j) eliminate row r's stored U entries left to
+// right by position: m_j = u_rj / u_pj,pj, with fill propagated through
+// rows[p_j] strictly rightward (the invariant above guarantees it). The
+// pairs form ONE row eta E: (Ev)[r] = v[r] - sum m_j v[p_j], applied
+// ascending in FTRAN between L and U, transposed descending in BTRAN.
+// |mu| <= pivTol rejects the update (roll back, refactorise); a rejected
+// refactorisation falls back to the product-form eta file (etaMode) so the
+// solve always finishes on some representation.
+//
+// Refactorisation policy: every defaultFTRefactorEvery updates
+// (refactorEveryOverride replaces it in tests), or earlier when the
+// accumulated fill — spike entries plus eta pairs — crosses half the
+// pristine factored nonzeros (plus a small slack so tiny factors don't
+// thrash). Rebuilds go through the shared Markowitz-ordered elimination in
+// sparse.go with row labels pinned, exactly like the eta kernel, so at
+// refactorEveryOverride=1 both kernels reinstall the identical factor
+// after every pivot and their pivot sequences are bit-identical — the
+// cross-check the fuzz suite leans on.
+
+import "math"
+
+// defaultFTRefactorEvery is the Forrest-Tomlin update count that triggers
+// a periodic refactorisation. FT updates keep the factor tight, so the
+// interval is much longer than the eta kernel's.
+const defaultFTRefactorEvery = 64
+
+// ftFillSlack is the absolute fill allowance added to the relative
+// fill-growth refactorisation trigger, so factors with a handful of
+// nonzeros don't refactorise on every update.
+const ftFillSlack = 16
+
+// singularRetryInterval is how many pivots the periodic refactorisation
+// triggers stay silent after a pinned-row rebuild came out singular,
+// bounding the cost of repeated failed elimination attempts to at most
+// one per interval while still escaping the degenerate basis that caused
+// the failure.
+const singularRetryInterval = 8
+
+// ftEntry is one row-index record: column slot t holds val at this row.
+type ftEntry struct {
+	slot int32
+	val  float64
+}
+
+// ftKernel implements kernel with Forrest-Tomlin updates over the shared
+// sparse machinery. It owns the U representation; the embedded
+// sparseKernel supplies the pristine matrix, scratch arenas, the
+// Markowitz/peel elimination ordering, the factor builder, and the
+// product-form eta file used as the etaMode fallback. Composition, not
+// embedding: sparseKernel's own methods must never resolve to FT state.
+type ftKernel struct {
+	sk *sparseKernel
+
+	base *luFactor // pristine factor under the updates; nil = slack identity
+
+	// U slots. Slot t's column entries live in colRow/colVal[t] once
+	// cowed[t]; before that they alias base's uRow/uVal (or are empty for
+	// the slack identity).
+	slotPiv []int32   // len m: pivot row of slot t (stable across updates)
+	slotInv []float64 // len m: reciprocal diagonal of slot t
+	cowed   []bool    // len m
+	colRow  [][]int32
+	colVal  [][]float64
+
+	order    []int32 // len m: slot at each elimination position
+	orderPos []int32 // len m: position of each slot
+	rowSlot  []int32 // len m: slot whose pivot row is r
+
+	rows      [][]ftEntry // row r -> slots holding an entry at r
+	rowsBuilt bool
+
+	// FT row-eta file: eta e targets row ftRow[e] with the multiplier
+	// pairs ftRowIdx/ftVal[ftStart[e]:ftStart[e+1]].
+	ftRow    []int32
+	ftStart  []int32 // len(ftRow)+1
+	ftRowIdx []int32
+	ftVal    []float64
+
+	// etaMode: a rejected update whose rescue refactorisation also failed
+	// parks the kernel on the product-form eta file (the sparseKernel
+	// arrays) layered over the frozen FT representation; a later
+	// successful refactorisation escapes back to FT updates.
+	etaMode bool
+
+	wScratch   []float64 // len m: spike work
+	posScratch []float64 // len m: position-indexed elimination row
+
+	baseNnz  int // pristine factored nonzeros at the last refactorisation
+	addedNnz int // spike entries + eta pairs accumulated since
+	updates  int // FT updates since the last refactorisation
+
+	// rebuildCooloff suppresses the periodic refactorisation triggers for
+	// this many pivots after a pinned-row rebuild came out singular. The
+	// singularity is a property of the basis the rescue was attempted at,
+	// not of the solve: a later basis usually rebuilds fine, so the
+	// kernel retries on a deterministic cadence instead of freezing
+	// refactorisation — an unboundedly growing eta file turns the
+	// remaining pivots quadratic, which is the one failure mode this
+	// kernel must never introduce.
+	rebuildCooloff int
+
+	// Per-solve statistics (reset by beginSolve).
+	stUpdates   int
+	stSpikeNNZ  int
+	stFallbacks int
+}
+
+func newFTKernel(s *Solver, p *Problem) *ftKernel {
+	m := len(p.Constraints)
+	k := &ftKernel{
+		sk:         newSparseKernel(s, p),
+		slotPiv:    make([]int32, m),
+		slotInv:    make([]float64, m),
+		cowed:      make([]bool, m),
+		colRow:     make([][]int32, m),
+		colVal:     make([][]float64, m),
+		order:      make([]int32, m),
+		orderPos:   make([]int32, m),
+		rowSlot:    make([]int32, m),
+		rows:       make([][]ftEntry, m),
+		wScratch:   make([]float64, m),
+		posScratch: make([]float64, m),
+	}
+	k.ftStart = append(k.ftStart, 0)
+	k.installBase(nil)
+	return k
+}
+
+func (k *ftKernel) beginSolve() {
+	k.sk.beginSolve()
+	k.stUpdates, k.stSpikeNNZ, k.stFallbacks = 0, 0, 0
+}
+
+func (k *ftKernel) solveStats(sol *Solution) {
+	k.sk.solveStats(sol)
+	sol.FTUpdates = k.stUpdates
+	sol.FTSpikeNNZ = k.stSpikeNNZ
+	sol.FTFallbacks = k.stFallbacks
+}
+
+// colEntries returns slot t's off-pivot column entries without copying.
+func (k *ftKernel) colEntries(t int32) ([]int32, []float64) {
+	if k.cowed[t] {
+		return k.colRow[t], k.colVal[t]
+	}
+	if f := k.base; f != nil {
+		return f.uRow[f.uStart[t]:f.uStart[t+1]], f.uVal[f.uStart[t]:f.uStart[t+1]]
+	}
+	return nil, nil
+}
+
+// materialize copies slot t's column into the kernel-owned arena so it can
+// be edited (copy-on-write over the shared, immutable base factor).
+func (k *ftKernel) materialize(t int32) {
+	if k.cowed[t] {
+		return
+	}
+	rs, vs := k.colEntries(t)
+	k.colRow[t] = append(k.colRow[t][:0], rs...)
+	k.colVal[t] = append(k.colVal[t][:0], vs...)
+	k.cowed[t] = true
+}
+
+// installBase points the slot file at a fresh factor (nil: the slack
+// identity) in O(m): identity order, no cowed columns, empty eta files,
+// etaMode off. The factor is immutable and may be shared (memoised on a
+// Basis snapshot), which is exactly why columns are copy-on-write.
+func (k *ftKernel) installBase(f *luFactor) {
+	m := k.sk.s.m
+	k.base = f
+	for t := 0; t < m; t++ {
+		if f != nil {
+			k.slotPiv[t] = f.piv[t]
+			k.slotInv[t] = f.inv[t]
+		} else {
+			k.slotPiv[t] = int32(t)
+			k.slotInv[t] = 1
+		}
+		k.cowed[t] = false
+		k.order[t] = int32(t)
+		k.orderPos[t] = int32(t)
+		k.rowSlot[k.slotPiv[t]] = int32(t)
+	}
+	k.rowsBuilt = false
+	k.ftRow = k.ftRow[:0]
+	k.ftStart = k.ftStart[:1]
+	k.ftRowIdx = k.ftRowIdx[:0]
+	k.ftVal = k.ftVal[:0]
+	k.etaMode = false
+	k.sk.resetEtas()
+	k.updates = 0
+	k.addedNnz = 0
+	k.baseNnz = m
+	if f != nil {
+		k.baseNnz += len(f.lIdx) + len(f.uRow)
+	}
+}
+
+// buildRows constructs the row-wise index of the U file; called lazily at
+// the first update after a refactorisation and maintained incrementally
+// from then on.
+func (k *ftKernel) buildRows() {
+	m := k.sk.s.m
+	for r := 0; r < m; r++ {
+		k.rows[r] = k.rows[r][:0]
+	}
+	for t := 0; t < m; t++ {
+		rs, vs := k.colEntries(int32(t))
+		for q, r := range rs {
+			k.rows[r] = append(k.rows[r], ftEntry{slot: int32(t), val: vs[q]})
+		}
+	}
+	k.rowsBuilt = true
+}
+
+// removeSlotFromRow drops column slot t's record from row r's index
+// (swap-remove: list order is scratch state, not numerics).
+func (k *ftKernel) removeSlotFromRow(r, t int32) {
+	list := k.rows[r]
+	for q := range list {
+		if list[q].slot == t {
+			last := len(list) - 1
+			list[q] = list[last]
+			k.rows[r] = list[:last]
+			return
+		}
+	}
+}
+
+// removeRowFromCol strips the entry at row r from column slot t,
+// materialising the column first.
+func (k *ftKernel) removeRowFromCol(t, r int32) {
+	k.materialize(t)
+	rs, vs := k.colRow[t], k.colVal[t]
+	for q := range rs {
+		if rs[q] == r {
+			last := len(rs) - 1
+			rs[q], vs[q] = rs[last], vs[last]
+			k.colRow[t] = rs[:last]
+			k.colVal[t] = vs[:last]
+			return
+		}
+	}
+}
+
+// applyFTEtas runs the FT row etas forward (FTRAN order):
+// v[r] -= sum m_j v[p_j].
+func (k *ftKernel) applyFTEtas(v []float64) {
+	for e := 0; e < len(k.ftRow); e++ {
+		acc := v[k.ftRow[e]]
+		for q := k.ftStart[e]; q < k.ftStart[e+1]; q++ {
+			acc -= k.ftVal[q] * v[k.ftRowIdx[q]]
+		}
+		v[k.ftRow[e]] = acc
+	}
+}
+
+// applyFTEtasT runs the transposed FT row etas backward (BTRAN order):
+// v[p_j] -= m_j v[r].
+func (k *ftKernel) applyFTEtasT(v []float64) {
+	for e := len(k.ftRow) - 1; e >= 0; e-- {
+		vr := v[k.ftRow[e]]
+		if vr != 0 {
+			for q := k.ftStart[e]; q < k.ftStart[e+1]; q++ {
+				v[k.ftRowIdx[q]] -= k.ftVal[q] * vr
+			}
+		}
+	}
+}
+
+// solveU runs the backward column-oriented U sweep over the slot file in
+// elimination-position order.
+func (k *ftKernel) solveU(v []float64) {
+	for pos := len(k.order) - 1; pos >= 0; pos-- {
+		t := k.order[pos]
+		r := k.slotPiv[t]
+		x := v[r] * k.slotInv[t]
+		if x != 0 {
+			rs, vs := k.colEntries(t)
+			for q := range rs {
+				v[rs[q]] -= vs[q] * x
+			}
+		}
+		v[r] = x
+	}
+}
+
+// solveUT runs the forward U^T sweep (BTRAN counterpart of solveU).
+func (k *ftKernel) solveUT(v []float64) {
+	for pos := 0; pos < len(k.order); pos++ {
+		t := k.order[pos]
+		r := k.slotPiv[t]
+		acc := v[r]
+		rs, vs := k.colEntries(t)
+		for q := range rs {
+			acc -= vs[q] * v[rs[q]]
+		}
+		v[r] = acc * k.slotInv[t]
+	}
+}
+
+// ftran overwrites v with B^-1 v: L, FT row etas, the updated U, then the
+// product-form fallback file (empty unless etaMode engaged).
+func (k *ftKernel) ftran(v []float64) {
+	if k.base != nil {
+		k.base.ftranL(v)
+	}
+	k.applyFTEtas(v)
+	k.solveU(v)
+	k.sk.applyEtas(v)
+}
+
+// btran overwrites v with B^-T v: the exact transpose of ftran, reversed.
+func (k *ftKernel) btran(v []float64) {
+	k.sk.applyEtasT(v)
+	k.solveUT(v)
+	k.applyFTEtasT(v)
+	if k.base != nil {
+		k.base.btranLT(v)
+	}
+}
+
+func (k *ftKernel) loadSlack() {
+	k.sk.loadSlack()
+	k.installBase(nil)
+}
+
+func (k *ftKernel) column(j int) []float64 {
+	k.sk.scatter(k.sk.colScratch, j)
+	k.ftran(k.sk.colScratch)
+	return k.sk.colScratch
+}
+
+func (k *ftKernel) row(i int) []float64 { return k.sk.rowWith(k, i) }
+
+func (k *ftKernel) computeRHSBar() { k.sk.computeRHSBarWith(k) }
+func (k *ftKernel) computeD()     { k.sk.priceIntoWith(k, k.sk.s.d, k.sk.s.obj) }
+func (k *ftKernel) computePert()  { k.sk.priceIntoWith(k, k.sk.s.pert, k.sk.s.pert0) }
+func (k *ftKernel) computeXB()    { k.sk.computeXBWith(k) }
+
+// refactorize mirrors sparseKernel.refactorize — same memoisation, same
+// canonical elimination — but installs the factor as the FT base.
+func (k *ftKernel) refactorize(bas *Basis) bool {
+	sk := k.sk
+	s := sk.s
+	sk.resetEtas()
+	sk.rowValidFor = -1
+
+	if f := bas.factor.Load(); f != nil && f.sig == sk.sig {
+		copy(s.basis, f.perm)
+		k.installBase(f)
+		k.installStats(f)
+		return true
+	}
+
+	sk.orderBasisColumns()
+	if sk.buildTmp == nil {
+		sk.buildTmp = &luFactor{}
+	}
+	if !sk.buildFactorInto(sk.buildTmp, false) {
+		return false // singular within tolerance: caller solves cold
+	}
+	f := sk.buildTmp.clone()
+	bas.factor.Store(f)
+	copy(s.basis, f.perm)
+	k.installBase(f)
+	k.installStats(f)
+	return true
+}
+
+// installStats is sparseKernel.installStats routed through the FT
+// representation's FTRAN/BTRAN.
+func (k *ftKernel) installStats(f *luFactor) {
+	k.sk.stRefactor++
+	k.sk.stFill += f.fill
+	k.computeRHSBar()
+	k.computeD()
+}
+
+// midRefactor rebuilds the factor mid-solve and installs it as a fresh FT
+// base (collapsing the update files and escaping etaMode). The pinned-row
+// elimination is tried first — keeping labels in place costs nothing when
+// it works — but when the current assignment forces a too-small diagonal
+// the rebuild falls back to free pivot selection and relabels: the heading
+// is re-derived from the new pivot assignment, exactly like a warm-start
+// refactorize, and every derived vector below is recomputed in the new
+// order. (The eta oracle keeps the seed's freeze-on-singular semantics:
+// it only rebuilds at cadence bases, where a singular pinned elimination
+// signals real trouble rather than a degenerate moment. The FT kernel, by
+// contrast, asks for rescue rebuilds precisely at numerically sick bases,
+// so a retry path is load-bearing.) Returns false only when even the free
+// elimination goes singular; the representation stays valid, and the
+// periodic triggers back off for singularRetryInterval pivots.
+func (k *ftKernel) midRefactor() bool {
+	sk := k.sk
+	s := sk.s
+	if sk.noMoreRefactor {
+		return false
+	}
+	for r := 0; r < s.m; r++ {
+		sk.rowOf[s.basis[r]] = int32(r)
+	}
+	sk.orderBasisColumns()
+	dst := sk.midFactor[sk.midNext]
+	if dst == nil {
+		dst = &luFactor{}
+		sk.midFactor[sk.midNext] = dst
+	}
+	copy(sk.xbScratch, s.xB)
+	if !sk.buildFactorInto(dst, true) {
+		sk.stSingular++
+		if !sk.buildFactorInto(dst, false) {
+			k.rebuildCooloff = singularRetryInterval
+			return false
+		}
+		// Free elimination moved the row labels. Carry each basic
+		// variable's incrementally maintained value to its new row first
+		// (rowOf still holds the old assignment), so the accuracy check
+		// below keeps comparing like with like, then re-derive the basis
+		// heading from the new pivot assignment.
+		for r := 0; r < s.m; r++ {
+			sk.work[r] = s.xB[sk.rowOf[dst.perm[r]]]
+		}
+		copy(sk.xbScratch, sk.work)
+		copy(s.basis, dst.perm)
+	}
+	k.rebuildCooloff = 0
+	sk.midNext ^= 1
+	k.installBase(dst)
+	sk.rowValidFor = -1
+	sk.stRefactor++
+	sk.stFill += dst.fill
+	k.computeRHSBar()
+	k.computeD()
+	if s.usePert {
+		k.computePert()
+	}
+	// Accuracy check, identical to the eta kernel's: the incrementally
+	// maintained basic values (snapshotted above, permuted if the rebuild
+	// relabelled) against their recomputation through the fresh factor.
+	k.computeXB()
+	for i := 0; i < s.m; i++ {
+		if math.Abs(sk.xbScratch[i]-s.xB[i]) > refactorAccTol {
+			sk.stAccFail++
+			break
+		}
+	}
+	return true
+}
+
+// ftUpdate applies the Forrest-Tomlin exchange at the leaving row for the
+// entering column. Returns false (state rolled back, representation
+// untouched) when the new diagonal is numerically unacceptable.
+func (k *ftKernel) ftUpdate(leave, enter int) bool {
+	sk := k.sk
+	s := sk.s
+	m := s.m
+
+	// Spike w = (FT etas) L^-1 a_enter: the entering column transformed up
+	// to, but not through, the U file. colScratch holds the fully
+	// transformed column the ratio test used and must stay intact for the
+	// rhsBar sweep, hence the dedicated scratch.
+	w := k.wScratch
+	sk.scatter(w, enter)
+	if k.base != nil {
+		k.base.ftranL(w)
+	}
+	k.applyFTEtas(w)
+
+	if !k.rowsBuilt {
+		k.buildRows()
+	}
+
+	t0 := k.rowSlot[leave]
+	pos0 := int(k.orderPos[t0])
+
+	// Row `leave`'s stored U entries, gathered by elimination position
+	// (the triangularity invariant puts them all past pos0), then
+	// eliminated left to right. Each step records one multiplier pair of
+	// the composite row eta, folds the pivot row's spike entry into the
+	// new diagonal mu, and propagates fill strictly rightward through the
+	// pivot row's index entries.
+	ps := k.posScratch
+	rlist := k.rows[int32(leave)]
+	for _, e := range rlist {
+		ps[k.orderPos[e.slot]] = e.val
+	}
+
+	mu := w[leave]
+	etaBase := len(k.ftRowIdx)
+	for pos := pos0 + 1; pos < m; pos++ {
+		val := ps[pos]
+		if val == 0 {
+			continue
+		}
+		ps[pos] = 0
+		t := k.order[pos]
+		coef := val * k.slotInv[t]
+		p := k.slotPiv[t]
+		k.ftRowIdx = append(k.ftRowIdx, p)
+		k.ftVal = append(k.ftVal, coef)
+		mu -= coef * w[p]
+		for _, e := range k.rows[p] {
+			if e.slot == t0 {
+				continue // the column being replaced by the spike
+			}
+			ps[k.orderPos[e.slot]] -= coef * e.val
+		}
+	}
+
+	if math.Abs(mu) <= pivTol {
+		k.ftRowIdx = k.ftRowIdx[:etaBase]
+		k.ftVal = k.ftVal[:etaBase]
+		return false
+	}
+
+	// Commit. Strip row `leave` from the columns that stored it (the
+	// elimination zeroed them; the eta carries the arithmetic), drop the
+	// replaced column from the row index, and rotate it out of the order.
+	for _, e := range rlist {
+		k.removeRowFromCol(e.slot, int32(leave))
+	}
+	k.rows[int32(leave)] = rlist[:0]
+	oldRows, _ := k.colEntries(t0)
+	for _, r := range oldRows {
+		k.removeSlotFromRow(r, t0)
+	}
+	copy(k.order[pos0:], k.order[pos0+1:])
+	k.order[m-1] = t0
+	for pos := pos0; pos < m; pos++ {
+		k.orderPos[k.order[pos]] = int32(pos)
+	}
+
+	// The spike takes the freed slot at the last position: same pivot row
+	// (labels never move), diagonal mu, off-pivot entries w's nonzeros in
+	// ascending row order.
+	k.slotInv[t0] = 1 / mu
+	rs := k.colRow[t0][:0]
+	vs := k.colVal[t0][:0]
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		if f := w[i]; f != 0 {
+			rs = append(rs, int32(i))
+			vs = append(vs, f)
+			k.rows[i] = append(k.rows[i], ftEntry{slot: t0, val: f})
+		}
+	}
+	k.colRow[t0], k.colVal[t0] = rs, vs
+	k.cowed[t0] = true
+
+	etaLen := len(k.ftRowIdx) - etaBase
+	if etaLen > 0 {
+		k.ftRow = append(k.ftRow, int32(leave))
+		k.ftStart = append(k.ftStart, int32(len(k.ftRowIdx)))
+	}
+
+	k.updates++
+	k.stUpdates++
+	k.stSpikeNNZ += len(rs)
+	k.addedNnz += len(rs) + etaLen
+	if h := s.ftSpikeH; h != nil {
+		h.Record(int64(len(rs)))
+	}
+	return true
+}
+
+func (k *ftKernel) pivot(leave, enter int) {
+	sk := k.sk
+	s := sk.s
+	// The reduced-cost update needs row `leave` of the pre-pivot tableau;
+	// see sparseKernel.pivot.
+	if sk.rowValidFor != leave {
+		k.row(leave)
+	}
+	alpha := sk.rowScratch
+	col := sk.colScratch // FTRAN'd entering column, fetched by the pivot loop
+	inv := 1 / col[leave]
+
+	refactored := false
+	if !k.etaMode {
+		if !k.ftUpdate(leave, enter) {
+			// Rejected update: refactorise for the post-pivot basis (the
+			// Solver has already exchanged it) — that recomputes rhsBar,
+			// the cost rows and xB from pristine data, so the incremental
+			// sweeps below are skipped. If the rescue also fails, park on
+			// the product-form eta file.
+			if k.midRefactor() {
+				refactored = true
+			} else {
+				k.etaMode = true
+				k.stFallbacks++
+			}
+		}
+	}
+
+	if !refactored {
+		// Apply the pivot to rhsBar with the dense kernel's arithmetic; in
+		// etaMode, capture the product-form eta in the same sweep, exactly
+		// like the eta kernel.
+		rb := s.rhsBar[leave] * inv
+		if k.etaMode {
+			for i := 0; i < s.m; i++ {
+				if i == leave {
+					continue
+				}
+				if f := col[i]; f != 0 {
+					sk.etaIdx = append(sk.etaIdx, int32(i))
+					sk.etaVal = append(sk.etaVal, f)
+					s.rhsBar[i] -= f * rb
+				}
+			}
+			sk.etaPiv = append(sk.etaPiv, int32(leave))
+			sk.etaInv = append(sk.etaInv, inv)
+			sk.etaStart = append(sk.etaStart, int32(len(sk.etaIdx)))
+			if n := len(sk.etaPiv); n > sk.stEtaPeak {
+				sk.stEtaPeak = n
+			}
+		} else {
+			for i := 0; i < s.m; i++ {
+				if i == leave {
+					continue
+				}
+				if f := col[i]; f != 0 {
+					s.rhsBar[i] -= f * rb
+				}
+			}
+		}
+		s.rhsBar[leave] = rb
+		sk.priceUpdate(alpha, inv, enter)
+	}
+	sk.rowValidFor = -1
+
+	// Periodic refactorisation. In FT mode: update count (long default
+	// interval, the override replaces it) or accumulated fill crossing
+	// half the pristine factored nonzeros. In etaMode: the eta kernel's
+	// triggers, and a success escapes back to FT updates. A recent
+	// singular rebuild backs the triggers off for a few pivots so failed
+	// elimination attempts stay amortised.
+	if k.rebuildCooloff > 0 {
+		k.rebuildCooloff--
+	} else if !sk.noMoreRefactor && !refactored {
+		if k.etaMode {
+			every := defaultRefactorEvery
+			if s.refactorEveryOverride > 0 {
+				every = s.refactorEveryOverride
+			}
+			base := k.baseNnz
+			if len(sk.etaPiv) >= every || len(sk.etaIdx) >= 4*base {
+				k.midRefactor()
+			}
+		} else if k.updates > 0 {
+			every := defaultFTRefactorEvery
+			if s.refactorEveryOverride > 0 {
+				every = s.refactorEveryOverride
+			}
+			if k.updates >= every || 2*k.addedNnz >= k.baseNnz+ftFillSlack {
+				k.midRefactor()
+			}
+		}
+	}
+}

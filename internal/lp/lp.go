@@ -174,6 +174,20 @@ type Solution struct {
 	// recomputed basic values disagreed with the incrementally maintained
 	// ones beyond tolerance — a nonzero count flags numerical drift.
 	SparseAccuracyFailures int
+	// SparseSingularRefactors counts mid-solve refactorisations aborted
+	// because the pinned-row elimination went singular; the solve then
+	// continues on its current representation without further rebuilds.
+	SparseSingularRefactors int
+	// FTUpdates counts successful Forrest-Tomlin basis updates
+	// (forrest_tomlin.go); zero under the eta or dense kernels.
+	FTUpdates int
+	// FTSpikeNNZ totals the off-diagonal spike-column nonzeros the FT
+	// updates inserted into the U file.
+	FTSpikeNNZ int
+	// FTFallbacks counts pivots where a rejected FT update and a failed
+	// rescue refactorisation parked the kernel on the product-form eta
+	// file for the rest of the solve (or until a refactorisation escapes).
+	FTFallbacks int
 }
 
 const (
@@ -373,6 +387,16 @@ func AccumulateStats(rec *obs.Recorder, sol *Solution) {
 		rec.Add("lp.sparse.fill_in", int64(sol.SparseFillIn))
 		if sol.SparseAccuracyFailures > 0 {
 			rec.Add("lp.sparse.accuracy_failures", int64(sol.SparseAccuracyFailures))
+		}
+		if sol.SparseSingularRefactors > 0 {
+			rec.Add("lp.sparse.singular_refactors", int64(sol.SparseSingularRefactors))
+		}
+		if sol.FTUpdates > 0 {
+			rec.Add("lp.ft.updates", int64(sol.FTUpdates))
+			rec.Add("lp.ft.spike_nnz", int64(sol.FTSpikeNNZ))
+		}
+		if sol.FTFallbacks > 0 {
+			rec.Add("lp.ft.fallbacks", int64(sol.FTFallbacks))
 		}
 	}
 }

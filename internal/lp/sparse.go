@@ -114,9 +114,10 @@ func (f *luFactor) clone() *luFactor {
 	return c
 }
 
-// ftran overwrites v with B^-1 v: forward L sweep, then the
-// column-oriented backward U sweep.
-func (f *luFactor) ftran(v []float64) {
+// ftranL overwrites v with L^-1 v: the forward sweep through the
+// elimination multipliers. Split out so the Forrest-Tomlin kernel can run
+// it alone, with its own U representation layered on top.
+func (f *luFactor) ftranL(v []float64) {
 	n := len(f.piv)
 	for t := 0; t < n; t++ {
 		c := v[f.piv[t]]
@@ -126,6 +127,26 @@ func (f *luFactor) ftran(v []float64) {
 			}
 		}
 	}
+}
+
+// btranLT overwrites v with L^-T v: the backward transposed-multiplier
+// sweep, the counterpart of ftranL for BTRAN.
+func (f *luFactor) btranLT(v []float64) {
+	for t := len(f.piv) - 1; t >= 0; t-- {
+		r := f.piv[t]
+		acc := v[r]
+		for q := f.lStart[t]; q < f.lStart[t+1]; q++ {
+			acc -= f.lVal[q] * v[f.lIdx[q]]
+		}
+		v[r] = acc
+	}
+}
+
+// ftran overwrites v with B^-1 v: forward L sweep, then the
+// column-oriented backward U sweep.
+func (f *luFactor) ftran(v []float64) {
+	n := len(f.piv)
+	f.ftranL(v)
 	for t := n - 1; t >= 0; t-- {
 		r := f.piv[t]
 		x := v[r] * f.inv[t]
@@ -150,14 +171,7 @@ func (f *luFactor) btran(v []float64) {
 		}
 		v[r] = acc * f.inv[t]
 	}
-	for t := n - 1; t >= 0; t-- {
-		r := f.piv[t]
-		acc := v[r]
-		for q := f.lStart[t]; q < f.lStart[t+1]; q++ {
-			acc -= f.lVal[q] * v[f.lIdx[q]]
-		}
-		v[r] = acc
-	}
+	f.btranLT(v)
 }
 
 // sparseKernel implements kernel with the sparse revised simplex.
@@ -222,6 +236,7 @@ type sparseKernel struct {
 	stEtaPeak  int
 	stFill     int
 	stAccFail  int
+	stSingular int // mid-solve refactorisations aborted as singular
 }
 
 func newSparseKernel(s *Solver, p *Problem) *sparseKernel {
@@ -306,7 +321,7 @@ func (k *sparseKernel) checksum() uint64 {
 }
 
 func (k *sparseKernel) beginSolve() {
-	k.stRefactor, k.stEtaPeak, k.stFill, k.stAccFail = 0, 0, 0, 0
+	k.stRefactor, k.stEtaPeak, k.stFill, k.stAccFail, k.stSingular = 0, 0, 0, 0, 0
 	k.noMoreRefactor = false
 }
 
@@ -317,6 +332,7 @@ func (k *sparseKernel) solveStats(sol *Solution) {
 	sol.SparseEtaPeak = k.stEtaPeak
 	sol.SparseFillIn = k.stFill
 	sol.SparseAccuracyFailures = k.stAccFail
+	sol.SparseSingularRefactors = k.stSingular
 }
 
 func (k *sparseKernel) resetEtas() {
@@ -396,20 +412,33 @@ func (k *sparseKernel) btran(v []float64) {
 	}
 }
 
+// triSolver is the FTRAN/BTRAN surface the shared tableau helpers are
+// parametrised over, so the eta kernel and the Forrest-Tomlin kernel (which
+// layers a different U representation over the same pristine matrix) reuse
+// one implementation of row assembly, pricing, rhsBar and xB recomputation.
+type triSolver interface {
+	ftran(v []float64)
+	btran(v []float64)
+}
+
 func (k *sparseKernel) column(j int) []float64 {
 	k.scatter(k.colScratch, j)
 	k.ftran(k.colScratch)
 	return k.colScratch
 }
 
-func (k *sparseKernel) row(i int) []float64 {
+func (k *sparseKernel) row(i int) []float64 { return k.rowWith(k, i) }
+
+// rowWith assembles tableau row i through tr's BTRAN: rho = B^-T e_i
+// gathered across the CSR rows rho touches.
+func (k *sparseKernel) rowWith(tr triSolver, i int) []float64 {
 	s := k.s
 	rho := k.rho
 	for r := range rho {
 		rho[r] = 0
 	}
 	rho[i] = 1
-	k.btran(rho)
+	tr.btran(rho)
 	out := k.rowScratch
 	for j := range out {
 		out[j] = 0
@@ -459,27 +488,7 @@ func (k *sparseKernel) pivot(leave, enter int) {
 	k.etaInv = append(k.etaInv, inv)
 	k.etaStart = append(k.etaStart, int32(len(k.etaIdx)))
 
-	// Partial pricing update: d (and the perturbation row) change only at
-	// the columns where the pivot row is nonzero. alpha_j * inv is the
-	// dense kernel's scaled pivot row entry.
-	if f := s.d[enter]; f != 0 {
-		for j := 0; j < s.nCols; j++ {
-			if a := alpha[j]; a != 0 {
-				s.d[j] -= f * (a * inv)
-			}
-		}
-		s.d[enter] = 0
-	}
-	if s.usePert {
-		if f := s.pert[enter]; f != 0 {
-			for j := 0; j < s.nCols; j++ {
-				if a := alpha[j]; a != 0 {
-					s.pert[j] -= f * (a * inv)
-				}
-			}
-			s.pert[enter] = 0
-		}
-	}
+	k.priceUpdate(alpha, inv, enter)
 	k.rowValidFor = -1
 	if n := len(k.etaPiv); n > k.stEtaPeak {
 		k.stEtaPeak = n
@@ -497,6 +506,32 @@ func (k *sparseKernel) pivot(leave, enter int) {
 		}
 		if len(k.etaPiv) >= every || len(k.etaIdx) >= 4*base {
 			k.midRefactor()
+		}
+	}
+}
+
+// priceUpdate is the partial pricing update shared by the eta and FT
+// kernels: d (and the perturbation row) change only at the columns where
+// the pivot row is nonzero. alpha_j * inv is the dense kernel's scaled
+// pivot row entry.
+func (k *sparseKernel) priceUpdate(alpha []float64, inv float64, enter int) {
+	s := k.s
+	if f := s.d[enter]; f != 0 {
+		for j := 0; j < s.nCols; j++ {
+			if a := alpha[j]; a != 0 {
+				s.d[j] -= f * (a * inv)
+			}
+		}
+		s.d[enter] = 0
+	}
+	if s.usePert {
+		if f := s.pert[enter]; f != 0 {
+			for j := 0; j < s.nCols; j++ {
+				if a := alpha[j]; a != 0 {
+					s.pert[j] -= f * (a * inv)
+				}
+			}
+			s.pert[enter] = 0
 		}
 	}
 }
@@ -666,14 +701,55 @@ func (k *sparseKernel) orderBasisColumns() {
 		if progress {
 			continue
 		}
-		// Kernel of the basis: fewest active rows first, ties to the lowest
-		// column; the pivot row is left to numerical partial pivoting (the
-		// active-row bookkeeping turns approximate past this point, which
-		// only blunts the heuristic, never correctness).
+		// Kernel of the basis: Markowitz pivoting. Over every active
+		// (column, active row of its pristine pattern) pair, minimise the
+		// fill bound (colCnt-1)*(rowCnt-1); ties break to the lowest column,
+		// then the lowest row, keeping the order a pure function of the
+		// pattern. The winning row is emitted as a structural *preference* —
+		// buildFactorInto still falls back to largest-|entry| when the
+		// preferred pivot is numerically tiny, so the heuristic can never
+		// cost correctness. Emitting a concrete row (unlike the old
+		// fewest-active-rows rule, which left it to the numerics) also keeps
+		// the active-count bookkeeping exact through the kernel block.
+		bestC, bestR := int32(-1), int32(-1)
+		bestCost := int64(math.MaxInt64)
+		for _, c := range k.basicCols {
+			if !k.colActive[c] {
+				continue
+			}
+			cc := int64(k.colCnt[c] - 1)
+			if cc < 0 || cc >= bestCost { // a whole column can't beat the best pair
+				continue
+			}
+			if int(c) >= s.nStruct {
+				if r := c - int32(s.nStruct); k.rowActive[r] {
+					if cost := cc * int64(k.rowCnt[r]-1); cost < bestCost {
+						bestC, bestR, bestCost = c, r, cost
+					}
+				}
+				continue
+			}
+			for t := k.ccStart[c]; t < k.ccStart[c+1]; t++ {
+				r := k.ccRow[t]
+				if !k.rowActive[r] {
+					continue
+				}
+				if cost := cc * int64(k.rowCnt[r]-1); cost < bestCost {
+					bestC, bestR, bestCost = c, r, cost
+				}
+			}
+		}
+		if bestC >= 0 {
+			emit(bestC, bestR)
+			continue
+		}
+		// No active (column, row) pair left — structurally deficient tail;
+		// emit the lowest active column and leave the row to the numerics.
 		best := int32(-1)
 		for _, c := range k.basicCols {
-			if k.colActive[c] && (best < 0 || k.colCnt[c] < k.colCnt[best]) {
+			if k.colActive[c] {
 				best = c
+				break
 			}
 		}
 		if best < 0 {
@@ -848,6 +924,7 @@ func (k *sparseKernel) midRefactor() {
 	}
 	if !k.buildFactorInto(dst, true) {
 		k.noMoreRefactor = true
+		k.stSingular++
 		return
 	}
 	k.midNext ^= 1
@@ -875,21 +952,25 @@ func (k *sparseKernel) midRefactor() {
 }
 
 // computeRHSBar recomputes rhsBar = B^-1 b through the current factor.
-func (k *sparseKernel) computeRHSBar() {
+func (k *sparseKernel) computeRHSBar() { k.computeRHSBarWith(k) }
+
+func (k *sparseKernel) computeRHSBarWith(tr triSolver) {
 	s := k.s
 	copy(s.rhsBar, s.rhs)
-	k.ftran(s.rhsBar)
+	tr.ftran(s.rhsBar)
 }
 
 // priceInto recomputes a transformed cost row from its pristine form:
 // out_j = c_j - y . A_j with B^T y = c_B, exact zeros on basic columns.
-func (k *sparseKernel) priceInto(out, c []float64) {
+func (k *sparseKernel) priceInto(out, c []float64) { k.priceIntoWith(k, out, c) }
+
+func (k *sparseKernel) priceIntoWith(tr triSolver, out, c []float64) {
 	s := k.s
 	y := k.work
 	for r := 0; r < s.m; r++ {
 		y[r] = c[s.basis[r]]
 	}
-	k.btran(y)
+	tr.btran(y)
 	copy(out, c[:s.nStruct])
 	for r := 0; r < s.m; r++ {
 		yr := y[r]
@@ -910,7 +991,9 @@ func (k *sparseKernel) computePert() { k.priceInto(k.s.pert, k.s.pert0) }
 
 // computeXB mirrors the dense kernel: start from rhsBar and subtract each
 // nonbasic column at a nonzero resting value, columns in ascending order.
-func (k *sparseKernel) computeXB() {
+func (k *sparseKernel) computeXB() { k.computeXBWith(k) }
+
+func (k *sparseKernel) computeXBWith(tr triSolver) {
 	s := k.s
 	copy(s.xB, s.rhsBar)
 	for j := 0; j < s.nCols; j++ {
@@ -921,7 +1004,9 @@ func (k *sparseKernel) computeXB() {
 		if v == 0 {
 			continue
 		}
-		col := k.column(j)
+		k.scatter(k.colScratch, j)
+		tr.ftran(k.colScratch)
+		col := k.colScratch
 		for i := 0; i < s.m; i++ {
 			if aij := col[i]; aij != 0 {
 				s.xB[i] -= aij * v

@@ -259,21 +259,26 @@ func degenerateProblem(rng *rand.Rand) (*Problem, []float64, []float64) {
 	return p, lo, hi
 }
 
-// TestFuzzSparseVsDenseKernels cross-checks the two simplex kernels on
-// random degenerate and rank-deficient problems: cold solves must agree on
-// status and optimum, for the sparse kernel at several refactorisation
-// cadences (refactorEveryOverride 1 hits a refactorisation boundary on
-// every pivot), and warm dual re-solves after a bound change must agree
-// too. Pivot sequences are not compared — the kernels choose different
-// pivot rows inside the factorisation, which is allowed; the contract is
-// the solution.
+// TestFuzzSparseVsDenseKernels cross-checks the three simplex kernels —
+// Forrest-Tomlin (the default), product-form eta, and the dense tableau
+// oracle — on random degenerate and rank-deficient problems: cold solves
+// must agree on status and optimum, for both sparse kernels at several
+// refactorisation cadences (refactorEveryOverride 1 hits a refactorisation
+// boundary on every pivot), and warm dual re-solves after a bound change
+// must agree too. Against the dense kernel only the solution is compared —
+// it assigns pivot rows differently inside the factorisation, which is
+// allowed. Between the FT and eta kernels the contract is stronger: at
+// refactorEveryOverride=1 both reinstall the identical canonical factor
+// after every pivot, so (unless a pinned-row refactorisation went singular
+// and the representations were allowed to diverge) their pivot sequences
+// and final bases must be bit-identical.
 func TestFuzzSparseVsDenseKernels(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	trials := 600
 	if testing.Short() {
 		trials = 120
 	}
-	agreed := 0
+	agreed, basesChecked, ftUpdates := 0, 0, 0
 	for trial := 0; trial < trials; trial++ {
 		var p *Problem
 		var lo, hi []float64
@@ -295,39 +300,80 @@ func TestFuzzSparseVsDenseKernels(t *testing.T) {
 			continue
 		}
 
-		// The sparse kernel at the default cadence and at forced
+		// Both sparse kernels at the default cadence and at forced
 		// refactorisation boundaries (every pivot, every 2nd, every 3rd).
 		for _, every := range []int{0, 1, 2, 3} {
-			sparse, err := NewSolver(p)
+			ft, err := NewSolver(p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			sparse.refactorEveryOverride = every
-			ssol, err := sparse.SolveBounded(lo, hi, time.Time{})
+			ft.refactorEveryOverride = every
+			fsol, err := ft.SolveBounded(lo, hi, time.Time{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if ssol.Status == IterLimit {
-				continue
+			eta, err := NewEtaSolver(p)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if ssol.Status != dsol.Status {
-				t.Fatalf("trial %d every=%d: sparse status %v, dense %v\n%+v lo=%v hi=%v",
-					trial, every, ssol.Status, dsol.Status, p, lo, hi)
+			eta.refactorEveryOverride = every
+			esol, err := eta.SolveBounded(lo, hi, time.Time{})
+			if err != nil {
+				t.Fatal(err)
 			}
-			if ssol.Status == Optimal && !approx(ssol.Objective, dsol.Objective, 1e-5) {
-				t.Fatalf("trial %d every=%d: sparse optimum %v, dense %v\n%+v lo=%v hi=%v",
-					trial, every, ssol.Objective, dsol.Objective, p, lo, hi)
+			ftUpdates += fsol.FTUpdates
+			if esol.FTUpdates != 0 {
+				t.Fatalf("trial %d: eta-kernel solution reports FT updates", trial)
 			}
-			if !ssol.Sparse {
-				t.Fatalf("trial %d: sparse solution not flagged Sparse", trial)
+			for _, ssol := range []*Solution{fsol, esol} {
+				if ssol.Status == IterLimit {
+					continue
+				}
+				if ssol.Status != dsol.Status {
+					t.Fatalf("trial %d every=%d: sparse status %v, dense %v\n%+v lo=%v hi=%v",
+						trial, every, ssol.Status, dsol.Status, p, lo, hi)
+				}
+				if ssol.Status == Optimal && !approx(ssol.Objective, dsol.Objective, 1e-5) {
+					t.Fatalf("trial %d every=%d: sparse optimum %v, dense %v\n%+v lo=%v hi=%v",
+						trial, every, ssol.Objective, dsol.Objective, p, lo, hi)
+				}
+				if !ssol.Sparse {
+					t.Fatalf("trial %d: sparse solution not flagged Sparse", trial)
+				}
 			}
 
+			// FT vs eta bit-identity at a refactorisation on every pivot.
+			if every == 1 && fsol.Status != IterLimit && esol.Status != IterLimit &&
+				fsol.SparseSingularRefactors == 0 && esol.SparseSingularRefactors == 0 {
+				if fsol.Status != esol.Status ||
+					math.Float64bits(fsol.Objective) != math.Float64bits(esol.Objective) ||
+					fsol.Phase1Pivots != esol.Phase1Pivots ||
+					fsol.Phase2Pivots != esol.Phase2Pivots ||
+					fsol.BlandPivots != esol.BlandPivots {
+					t.Fatalf("trial %d: FT/eta pivot paths diverged at every=1:\nft  %+v\neta %+v\n%+v lo=%v hi=%v",
+						trial, fsol, esol, p, lo, hi)
+				}
+				fb, eb := ft.Basis(), eta.Basis()
+				for i := range fb.Basic {
+					if fb.Basic[i] != eb.Basic[i] {
+						t.Fatalf("trial %d: FT/eta final bases differ at row %d: %d vs %d",
+							trial, i, fb.Basic[i], eb.Basic[i])
+					}
+				}
+				for j := range fb.AtUpper {
+					if fb.AtUpper[j] != eb.AtUpper[j] {
+						t.Fatalf("trial %d: FT/eta AtUpper differ at col %d", trial, j)
+					}
+				}
+				basesChecked++
+			}
+
+			if fsol.Status != Optimal || every != 1 {
+				continue
+			}
 			// Warm dual re-solve cross-check: tighten a random upper bound
 			// (the dual-simplex re-entry milp warm starts rely on) from
 			// each kernel's own optimal basis.
-			if ssol.Status != Optimal || every != 1 {
-				continue
-			}
 			j := rng.Intn(p.NumVars)
 			hi2 := append([]float64(nil), hi...)
 			ub := hi2[j]
@@ -335,7 +381,11 @@ func TestFuzzSparseVsDenseKernels(t *testing.T) {
 				ub = 4
 			}
 			hi2[j] = math.Max(lo[j], ub-1)
-			swarm, sok, err := sparse.SolveDual(sparse.Basis(), lo, hi2, time.Time{})
+			swarm, sok, err := ft.SolveDual(ft.Basis(), lo, hi2, time.Time{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ewarm, eok, err := eta.SolveDual(eta.Basis(), lo, hi2, time.Time{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -343,15 +393,15 @@ func TestFuzzSparseVsDenseKernels(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !sok || !dok || swarm.Status == IterLimit || dwarm.Status == IterLimit {
+			if !sok || !dok || !eok || swarm.Status == IterLimit || dwarm.Status == IterLimit || ewarm.Status == IterLimit {
 				continue // warm re-entry declined; cold fallback is the caller's job
 			}
-			if swarm.Status != dwarm.Status {
-				t.Fatalf("trial %d: warm sparse status %v, dense %v", trial, swarm.Status, dwarm.Status)
+			if swarm.Status != dwarm.Status || ewarm.Status != dwarm.Status {
+				t.Fatalf("trial %d: warm status ft=%v eta=%v dense=%v", trial, swarm.Status, ewarm.Status, dwarm.Status)
 			}
-			if swarm.Status == Optimal && !approx(swarm.Objective, dwarm.Objective, 1e-5) {
-				t.Fatalf("trial %d: warm sparse optimum %v, dense %v\n%+v lo=%v hi2=%v",
-					trial, swarm.Objective, dwarm.Objective, p, lo, hi2)
+			if swarm.Status == Optimal && (!approx(swarm.Objective, dwarm.Objective, 1e-5) || !approx(ewarm.Objective, dwarm.Objective, 1e-5)) {
+				t.Fatalf("trial %d: warm optima ft=%v eta=%v dense=%v\n%+v lo=%v hi2=%v",
+					trial, swarm.Objective, ewarm.Objective, dwarm.Objective, p, lo, hi2)
 			}
 		}
 		agreed++
@@ -359,5 +409,12 @@ func TestFuzzSparseVsDenseKernels(t *testing.T) {
 	if agreed < trials*3/4 {
 		t.Errorf("only %d/%d trials were cross-checked", agreed, trials)
 	}
-	t.Logf("cross-checked %d/%d trials across 4 refactorisation cadences", agreed, trials)
+	if basesChecked == 0 {
+		t.Error("no trial reached the FT-vs-eta basis identity check")
+	}
+	if ftUpdates == 0 {
+		t.Error("no trial exercised a Forrest-Tomlin update")
+	}
+	t.Logf("cross-checked %d/%d trials across 4 refactorisation cadences; %d bit-identical FT/eta bases, %d FT updates",
+		agreed, trials, basesChecked, ftUpdates)
 }

@@ -132,6 +132,13 @@ type Result struct {
 	// TimeLimitHit reports that the wall-clock budget expired before the
 	// search finished (the node limit alone does not set it).
 	TimeLimitHit bool
+	// NodeFingerprint is an FNV-1a hash folding in the (seq, bound) pair
+	// of every node at the moment it is explored, in order. It makes the
+	// determinism contract checkable: any Parallelism setting must
+	// reproduce the sequential fingerprint bit for bit, because the main
+	// loop alone pops and commits nodes in canonical heap order. Zero when
+	// branch and bound never ran (presolve decided the instance).
+	NodeFingerprint uint64
 	// Cancelled reports that the context passed to SolveContext was
 	// cancelled before the search finished. The result is still valid:
 	// X is the best incumbent found (the seeded incumbent at worst) and
@@ -155,6 +162,23 @@ func (r *Result) Gap() float64 {
 
 const intTol = 1e-6
 
+// fnv64Offset/fnv64Prime are the FNV-1a parameters used for the explored
+// node fingerprint (hash/fnv is not used directly: the fingerprint mixes
+// raw uint64 words, not bytes).
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+// mixNode folds one explored node into the running fingerprint.
+func mixNode(h uint64, seq int, bound float64) uint64 {
+	h ^= uint64(seq)
+	h *= fnv64Prime
+	h ^= math.Float64bits(bound)
+	h *= fnv64Prime
+	return h
+}
+
 // node is an unexplored subproblem: variable bound tightenings relative to
 // the root, plus the parent's LP bound used as its search priority.
 type node struct {
@@ -167,6 +191,21 @@ type node struct {
 	// warm-started from it by dual simplex (both children share the one
 	// snapshot, which is immutable once taken). nil means solve cold.
 	basis *lp.Basis
+	// pcVar/pcUp/pcFrac record the branch that created this node: the
+	// variable branched on, whether this is the up (ceil) child, and the
+	// variable's fractional part in the parent relaxation. When the
+	// node's own relaxation is consumed, the bound degradation per unit
+	// of fractionality becomes a pseudocost observation for pcVar.
+	// pcVar is -1 at the root (no observation).
+	pcVar  int
+	pcUp   bool
+	pcFrac float64
+	// est is the pseudocost best-case objective estimate for the subtree
+	// (parent objective plus the summed cheaper-direction degradations of
+	// its fractional variables). The work-stealing pool ranks prefetch
+	// candidates by it; the heap and the commit order never look at it,
+	// so est cannot affect results.
+	est float64
 }
 
 // nodeLess is the canonical search order: best bound first, then deeper
@@ -196,6 +235,132 @@ func (h *nodeHeap) Pop() interface{} {
 	old[n-1] = nil
 	*h = old[:n-1]
 	return it
+}
+
+// reliabilityMinObs is the reliability-branching threshold: a variable's
+// own pseudocost average is trusted only after this many observations in
+// the relevant direction; below it the global average stands in, and with
+// no observations at all the unit estimate makes the product score reduce
+// to most-fractional branching (f·(1−f) is strictly increasing in
+// min(f, 1−f)).
+const reliabilityMinObs = 4
+
+// pseudocosts tracks, per integer variable and branch direction, the
+// average objective degradation per unit of fractionality observed when a
+// child node's relaxation was solved. Only the main branch-and-bound loop
+// updates it — at the moment it consumes a child's solution, in canonical
+// node order — so parallel runs accumulate the identical statistics and
+// make the identical branching decisions.
+type pseudocosts struct {
+	downSum, upSum []float64
+	downCnt, upCnt []int
+	// Global running averages across all variables: the fallback for
+	// variables with fewer than reliabilityMinObs observations.
+	gDownSum, gUpSum float64
+	gDownCnt, gUpCnt int
+}
+
+func newPseudocosts(n int) *pseudocosts {
+	return &pseudocosts{
+		downSum: make([]float64, n), upSum: make([]float64, n),
+		downCnt: make([]int, n), upCnt: make([]int, n),
+	}
+}
+
+// estimate returns the per-unit degradation estimate for branching
+// variable i in the given direction.
+func (pc *pseudocosts) estimate(i int, up bool) float64 {
+	if up {
+		if pc.upCnt[i] >= reliabilityMinObs {
+			return pc.upSum[i] / float64(pc.upCnt[i])
+		}
+		if pc.gUpCnt > 0 {
+			return pc.gUpSum / float64(pc.gUpCnt)
+		}
+		return 1
+	}
+	if pc.downCnt[i] >= reliabilityMinObs {
+		return pc.downSum[i] / float64(pc.downCnt[i])
+	}
+	if pc.gDownCnt > 0 {
+		return pc.gDownSum / float64(pc.gDownCnt)
+	}
+	return 1
+}
+
+// observe records the bound degradation of a consumed child relaxation
+// against the branch that created the node. delta is divided by the
+// branching distance (f down, 1−f up), the classic pseudocost statistic.
+func (pc *pseudocosts) observe(nd *node, objective float64) {
+	if nd.pcVar < 0 {
+		return
+	}
+	delta := math.Max(0, objective-nd.bound)
+	if nd.pcUp {
+		per := delta / (1 - nd.pcFrac)
+		pc.upSum[nd.pcVar] += per
+		pc.upCnt[nd.pcVar]++
+		pc.gUpSum += per
+		pc.gUpCnt++
+	} else {
+		per := delta / nd.pcFrac
+		pc.downSum[nd.pcVar] += per
+		pc.downCnt[nd.pcVar]++
+		pc.gDownSum += per
+		pc.gDownCnt++
+	}
+}
+
+// selectBranchVar picks the branching variable: within the highest
+// BranchPriority class holding a fractional variable, the one maximising
+// the pseudocost product score max(downEst·f, ε)·max(upEst·(1−f), ε).
+// Ties (and the cold start, where every estimate is 1 or the shared
+// global average) resolve to the most fractional variable, lowest index
+// first — the same choice mostFractional makes.
+func (pc *pseudocosts) selectBranchVar(p *Problem, prio []int, x []float64) int {
+	const eps = 1e-12
+	best, bestScore, bestDist, bestPrio := -1, 0.0, 0.0, math.MinInt
+	for i, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		f := x[i] - math.Floor(x[i])
+		dist := math.Min(f, 1-f)
+		if dist <= intTol {
+			continue
+		}
+		pr := 0
+		if prio != nil {
+			pr = prio[i]
+		}
+		if pr < bestPrio {
+			continue
+		}
+		score := math.Max(pc.estimate(i, false)*f, eps) * math.Max(pc.estimate(i, true)*(1-f), eps)
+		if pr > bestPrio || score > bestScore || (score == bestScore && dist > bestDist) {
+			best, bestScore, bestDist, bestPrio = i, score, dist, pr
+		}
+	}
+	return best
+}
+
+// subtreeEstimate is the pseudocost best-case objective for a node about
+// to be branched: its relaxation objective plus, for every fractional
+// integer variable, the cheaper of the two per-direction degradations.
+// Used only to rank speculative work (node.est).
+func (pc *pseudocosts) subtreeEstimate(p *Problem, objective float64, x []float64) float64 {
+	est := objective
+	for i, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		f := x[i] - math.Floor(x[i])
+		if math.Min(f, 1-f) <= intTol {
+			continue
+		}
+		est += math.Min(pc.estimate(i, false)*f, pc.estimate(i, true)*(1-f))
+	}
+	return est
 }
 
 // Solve runs presolve followed by branch and bound with no cancellation
@@ -362,7 +527,9 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 
 	seq := 0
 	unresolved := false // an LP hit its limit: the optimality proof is lost
-	open := &nodeHeap{{lower: map[int]float64{}, upper: map[int]float64{}, bound: math.Inf(-1)}}
+	pc := newPseudocosts(p.LP.NumVars)
+	res.NodeFingerprint = fnv64Offset
+	open := &nodeHeap{{lower: map[int]float64{}, upper: map[int]float64{}, bound: math.Inf(-1), pcVar: -1, est: math.Inf(-1)}}
 	heap.Init(open)
 
 	// Each basis snapshot is shared by exactly two children; once both have
@@ -400,6 +567,7 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 			break
 		}
 		res.Nodes++
+		res.NodeFingerprint = mixNode(res.NodeFingerprint, nd.seq, nd.bound)
 		nodesC.Add(1)
 		regNodesC.Add(1)
 
@@ -421,10 +589,14 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 			unresolved = true
 			continue
 		}
+		// Pseudocost observation for the branch that created this node,
+		// recorded before any pruning so the statistics are a pure
+		// function of the canonical exploration order.
+		pc.observe(nd, sol.Objective)
 		if sol.Objective >= res.Objective-1e-9 {
 			continue // bound: cannot improve
 		}
-		branchVar := mostFractional(p, opt.BranchPriority, sol.X)
+		branchVar := pc.selectBranchVar(p, opt.BranchPriority, sol.X)
 		if branchVar < 0 {
 			// Integral: new incumbent.
 			x := append([]float64(nil), sol.X...)
@@ -480,12 +652,16 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 			}
 		}
 		v := sol.X[branchVar]
+		frac := v - math.Floor(v)
+		est := pc.subtreeEstimate(p, sol.Objective, sol.X)
 		down := child(nd, &seq, sol.Objective)
 		down.upper[branchVar] = math.Floor(v)
 		down.basis = bas
+		down.pcVar, down.pcUp, down.pcFrac, down.est = branchVar, false, frac, est
 		up := child(nd, &seq, sol.Objective)
 		up.lower[branchVar] = math.Ceil(v)
 		up.basis = bas
+		up.pcVar, up.pcUp, up.pcFrac, up.est = branchVar, true, frac, est
 		if bas != nil {
 			basisUses[bas] = 2
 		}
@@ -521,6 +697,8 @@ func child(parent *node, seq *int, bound float64) *node {
 		upper: make(map[int]float64, len(parent.upper)+1),
 		bound: bound,
 		depth: parent.depth + 1,
+		pcVar: -1, // callers that branch overwrite; heuristic probes never observe
+		est:   bound,
 	}
 	for k, v := range parent.lower {
 		c.lower[k] = v

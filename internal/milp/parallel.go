@@ -14,9 +14,9 @@ import (
 
 // evaluator abstracts how solveBB obtains LP relaxation solutions for the
 // nodes it explores. The sequential implementation solves inline; the
-// parallel one pre-solves frontier nodes speculatively on a worker pool.
-// Either way the main loop consumes solutions in its own (canonical) order,
-// so the search trajectory is identical.
+// parallel one pre-solves frontier nodes speculatively on a work-stealing
+// pool. Either way the main loop consumes solutions in its own (canonical)
+// order, so the search trajectory is identical.
 type evaluator interface {
 	// solve returns the LP relaxation solution for nd, plus the optimal
 	// basis for warm-starting its children (nil unless Optimal). open is
@@ -35,20 +35,21 @@ type evaluator interface {
 // goroutine costs more than the overlap buys — the j=4 slowdown on MWD and
 // VOPD in BENCH_2026-08-06-warmstart.json. MWD (44×90) and VOPD (90×190)
 // fall under the threshold; MPEG (274×471) and the 8PM apps stay above it.
-// A var only so tests can lower the gate to exercise the prefetcher on
+// A var only so tests can lower the gate to exercise the pool on
 // deliberately small instances.
 var specMinProblemSize = 50000
 
-// specMinOpenNodes suppresses prefetching while the frontier is smaller
-// than this: the next pops are consumed immediately after being pushed, so
-// a speculative solve would only race the main loop for the same node.
-// Trees that never grow past it (small apps, root-proven solves) therefore
-// never start the worker pool at all. A var for the same test reason.
+// specMinOpenNodes suppresses speculative scheduling while the frontier is
+// smaller than this: the next pops are consumed immediately after being
+// pushed, so a speculative solve would only race the main loop for the same
+// node. Trees that never grow past it (small apps, root-proven solves)
+// therefore never start the worker pool at all. A var for the same test
+// reason.
 var specMinOpenNodes = 4
 
 // resolveSpecWorkers caps speculative workers at the core count (see
 // par.ResolveSpeculative); tests substitute par.Resolve to exercise the
-// prefetcher on single-core machines.
+// pool on single-core machines.
 var resolveSpecWorkers = par.ResolveSpeculative
 
 // newEvaluator picks the implementation for the resolved worker count and
@@ -63,7 +64,7 @@ func newEvaluator(pp *prepped, parallelism int, deadline time.Time, interrupt <-
 	}
 	size := pp.p.LP.NumVars * (len(pp.p.LP.Constraints) + 1)
 	if workers := resolveSpecWorkers(parallelism); workers > 1 && size >= specMinProblemSize {
-		return newPrefetcher(pp, rs, workers, deadline, interrupt, rec, reg), nil
+		return newStealPool(pp, rs, workers, deadline, interrupt, rec, reg), nil
 	}
 	return &inlineEvaluator{rs: rs, deadline: deadline, rec: rec}, nil
 }
@@ -88,32 +89,51 @@ func (e *inlineEvaluator) solve(nd *node, _ *nodeHeap) (*lp.Solution, *lp.Basis,
 func (e *inlineEvaluator) publish(float64) {}
 func (e *inlineEvaluator) close()          {}
 
-// lpFuture is one speculative relaxation solve. The worker writes sol/err
-// (or skipped) and then closes done; the channel close orders those writes
-// before the main loop's reads.
+// lpFuture is one speculative relaxation solve. Its lifecycle is governed
+// by the claim word: 0 while queued on a deque, 1 once claimed — by the
+// worker that dequeued it (which then writes sol/err and closes done) or
+// by the main loop (which reclaims the node and solves it inline, leaving
+// the stale deque entry for some worker to dequeue and drop). The
+// compare-and-swap makes the two claims mutually exclusive, and the
+// channel close orders the worker's writes before the main loop's reads.
 type lpFuture struct {
 	nd      *node
+	claim   atomic.Uint32
 	done    chan struct{}
 	sol     *lp.Solution
 	bas     *lp.Basis
 	err     error
 	skipped bool // worker declined: the node is certain to be pruned
+	stolen  bool // solved by a worker other than the one it was placed on
 }
 
-// prefetcher solves LP relaxations of likely-next frontier nodes on a pool
-// of workers while the main loop runs the exact sequential control flow.
+// stealPool solves LP relaxations of likely-next frontier nodes on a pool
+// of workers with per-worker deques and work stealing, while the main loop
+// runs the exact sequential control flow.
 //
-// Determinism: the main loop alone pops nodes, prunes, branches and accepts
-// incumbents — workers only ever run relaxSolver.solve, a pure function of
-// (prepped problem, node): a warm start refactorises the node's parent
-// basis canonically, so the result does not depend on which worker's arena
-// ran it, nor on any tableau state left by earlier solves. A speculative
-// result is consumed only when the main loop
-// reaches that node in canonical heap order, so explored-node counts,
-// incumbents, bounds and the final X match the sequential solve bit for bit.
-// LP pivot counters are attributed at consumption time (lp.AccumulateStats),
-// so lp.* telemetry matches the sequential run too; only the
-// milp.spec.scheduled / milp.spec.wasted diagnostics are timing-dependent.
+// Scheduling: the main loop ranks a prefix of the frontier by the
+// pseudocost subtree estimate (node.est), canonical nodeLess order
+// breaking ties, and places each node on the deque of worker
+// ((seq+1)/2) mod workers — siblings land on the same worker, so the
+// shared parent-basis LU memo is loaded from one arena instead of being
+// refactorised twice. An owner pops its own deque from the front (its
+// best-ranked work); an idle worker steals from the back of the first
+// non-empty deque after its own (the work its owner would reach last),
+// the classic deque discipline that keeps the two ends from contending
+// over the same entries.
+//
+// Determinism: the main loop alone pops nodes, prunes, branches, updates
+// pseudocosts and accepts incumbents — workers only ever run
+// relaxSolver.solve, a pure function of (prepped problem, node): a warm
+// start refactorises the node's parent basis canonically, so the result
+// does not depend on which worker's arena ran it, nor on any tableau
+// state left by earlier solves. A speculative result is consumed only when
+// the main loop reaches that node in canonical heap order, so
+// explored-node counts, fingerprints, incumbents, bounds and the final X
+// match the sequential solve bit for bit. LP pivot counters are attributed
+// at consumption time (lp.AccumulateStats), so lp.* telemetry matches the
+// sequential run too; only the milp.steal.* diagnostics are
+// timing-dependent.
 //
 // Workers skip a node when its parent bound already exceeds the published
 // incumbent: the incumbent is monotone non-increasing and published only by
@@ -122,7 +142,7 @@ type lpFuture struct {
 // node before asking for its solution. The consume path still re-solves
 // inline if a skipped future is ever reached, keeping exactness independent
 // of that argument.
-type prefetcher struct {
+type stealPool struct {
 	pp        *prepped
 	rs        *relaxSolver // main-goroutine solver for non-speculated nodes
 	deadline  time.Time
@@ -131,8 +151,13 @@ type prefetcher struct {
 	reg       *obs.Registry // aggregate registry for worker LP solvers
 	workers   int
 
-	tasks chan *lpFuture
-	wg    sync.WaitGroup
+	// mu guards the deques; cond wakes idle workers when work is pushed
+	// or the pool closes.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]*lpFuture
+	closed bool
+	wg     sync.WaitGroup
 	// started is set (by the main goroutine) once the worker pool has been
 	// launched; the pool starts lazily on the first scheduled task, so a
 	// solve whose frontier never reaches specMinOpenNodes pays nothing.
@@ -144,14 +169,16 @@ type prefetcher struct {
 	incumbent atomic.Uint64
 
 	// futures is touched only by the main goroutine (solve/close); workers
-	// see futures solely through the tasks channel.
+	// see futures solely through the deques.
 	futures   map[*node]*lpFuture
 	scheduled int64
 	consumed  int64
+	stolen    int64
+	reclaimed int64
 }
 
-func newPrefetcher(pp *prepped, rs *relaxSolver, workers int, deadline time.Time, interrupt <-chan struct{}, rec *obs.Recorder, reg *obs.Registry) *prefetcher {
-	f := &prefetcher{
+func newStealPool(pp *prepped, rs *relaxSolver, workers int, deadline time.Time, interrupt <-chan struct{}, rec *obs.Recorder, reg *obs.Registry) *stealPool {
+	f := &stealPool{
 		pp:        pp,
 		rs:        rs,
 		deadline:  deadline,
@@ -159,27 +186,65 @@ func newPrefetcher(pp *prepped, rs *relaxSolver, workers int, deadline time.Time
 		rec:       rec,
 		reg:       reg,
 		workers:   workers,
-		tasks:     make(chan *lpFuture, 2*workers),
+		deques:    make([][]*lpFuture, workers),
 		futures:   make(map[*node]*lpFuture),
 	}
+	f.cond = sync.NewCond(&f.mu)
 	f.incumbent.Store(math.Float64bits(math.Inf(1)))
 	return f
 }
 
 // start launches the worker pool; called from the main goroutine when the
 // first speculative task is about to be scheduled.
-func (f *prefetcher) start() {
+func (f *stealPool) start() {
 	f.started = true
 	f.wg.Add(f.workers)
 	for w := 0; w < f.workers; w++ {
-		go f.worker()
+		go f.worker(w)
 	}
 }
 
-func (f *prefetcher) worker() {
+// next blocks until the pool closes or a future is available: the front of
+// worker w's own deque first, else a steal from the back of the first
+// non-empty deque after w (cyclic scan). The second return reports a
+// steal.
+func (f *stealPool) next(w int) (*lpFuture, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if q := f.deques[w]; len(q) > 0 {
+			fut := q[0]
+			q[0] = nil
+			f.deques[w] = q[1:]
+			return fut, false
+		}
+		for i := 1; i < f.workers; i++ {
+			v := (w + i) % f.workers
+			if q := f.deques[v]; len(q) > 0 {
+				fut := q[len(q)-1]
+				q[len(q)-1] = nil
+				f.deques[v] = q[:len(q)-1]
+				return fut, true
+			}
+		}
+		if f.closed {
+			return nil, false
+		}
+		f.cond.Wait()
+	}
+}
+
+func (f *stealPool) worker(w int) {
 	defer f.wg.Done()
 	rs, err := newRelaxSolver(f.pp, f.interrupt, f.reg)
-	for fut := range f.tasks {
+	for {
+		fut, wasSteal := f.next(w)
+		if fut == nil {
+			return
+		}
+		if !fut.claim.CompareAndSwap(0, 1) {
+			continue // the main loop reclaimed it; stale deque entry
+		}
 		if err != nil {
 			// The main goroutine's identical construction succeeded, so this
 			// cannot normally happen; degrade to skipped futures (the consume
@@ -193,12 +258,13 @@ func (f *prefetcher) worker() {
 			close(fut.done)
 			continue
 		}
+		fut.stolen = wasSteal
 		fut.sol, fut.bas, fut.err = rs.solve(fut.nd, f.deadline)
 		close(fut.done)
 	}
 }
 
-func (f *prefetcher) publish(objective float64) {
+func (f *stealPool) publish(objective float64) {
 	// Only the main loop publishes, and incumbents only improve, so a plain
 	// store keeps the value monotone non-increasing.
 	f.incumbent.Store(math.Float64bits(objective))
@@ -206,17 +272,21 @@ func (f *prefetcher) publish(objective float64) {
 
 // prefetch schedules speculative solves for the nodes most likely to be
 // popped next: it scans a prefix of the heap's backing array (the heap
-// property keeps the best candidates near the front), ranks them with the
-// canonical nodeLess order, and hands out as many as the task queue accepts
-// without blocking.
-func (f *prefetcher) prefetch(open *nodeHeap) {
+// property keeps the best candidates near the front), ranks them by the
+// pseudocost subtree estimate with canonical nodeLess order breaking ties,
+// and places as many as fit the speculation window on their affine
+// workers' deques.
+func (f *stealPool) prefetch(open *nodeHeap) {
 	if open.Len() < specMinOpenNodes {
 		return
+	}
+	window := 2 * f.workers
+	if len(f.futures) >= window {
+		return // speculation window full
 	}
 	if !f.started {
 		f.start()
 	}
-	window := 2 * f.workers
 	scan := 4 * window
 	if scan > open.Len() {
 		scan = open.Len()
@@ -227,23 +297,41 @@ func (f *prefetcher) prefetch(open *nodeHeap) {
 			cand = append(cand, nd)
 		}
 	}
-	sort.Slice(cand, func(i, j int) bool { return nodeLess(cand[i], cand[j]) })
-	if len(cand) > window {
-		cand = cand[:window]
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].est != cand[j].est {
+			return cand[i].est < cand[j].est
+		}
+		return nodeLess(cand[i], cand[j])
+	})
+	if room := window - len(f.futures); len(cand) > room {
+		cand = cand[:room]
 	}
+	f.mu.Lock()
 	for _, nd := range cand {
 		fut := &lpFuture{nd: nd, done: make(chan struct{})}
-		select {
-		case f.tasks <- fut:
-			f.futures[nd] = fut
-			f.scheduled++
-		default:
-			return // queue full; workers are saturated
-		}
+		f.futures[nd] = fut
+		f.scheduled++
+		// Sibling affinity: the down child (odd seq) and up child (even
+		// seq) of one branch share (seq+1)/2 and hence a deque, so the
+		// parent-basis factor memo is loaded once.
+		wid := ((nd.seq + 1) / 2) % f.workers
+		f.deques[wid] = append(f.deques[wid], fut)
 	}
+	f.mu.Unlock()
+	f.cond.Broadcast()
 }
 
-func (f *prefetcher) solve(nd *node, open *nodeHeap) (*lp.Solution, *lp.Basis, error) {
+// solveInline runs nd on the main goroutine's own solver, attributing LP
+// telemetry immediately.
+func (f *stealPool) solveInline(nd *node) (*lp.Solution, *lp.Basis, error) {
+	sol, bas, err := f.rs.solve(nd, f.deadline)
+	if err == nil {
+		lp.AccumulateStats(f.rec, sol)
+	}
+	return sol, bas, err
+}
+
+func (f *stealPool) solve(nd *node, open *nodeHeap) (*lp.Solution, *lp.Basis, error) {
 	fut, ok := f.futures[nd]
 	if ok {
 		delete(f.futures, nd)
@@ -252,39 +340,47 @@ func (f *prefetcher) solve(nd *node, open *nodeHeap) (*lp.Solution, *lp.Basis, e
 	// stay busy while the main loop waits.
 	f.prefetch(open)
 	if !ok {
-		sol, bas, err := f.rs.solve(nd, f.deadline)
-		if err == nil {
-			lp.AccumulateStats(f.rec, sol)
-		}
-		return sol, bas, err
+		return f.solveInline(nd)
+	}
+	if fut.claim.CompareAndSwap(0, 1) {
+		// Still sitting unclaimed on a deque: reclaim it and solve inline
+		// rather than wait for a worker to get around to it. The stale
+		// deque entry is dropped when a worker's own claim fails.
+		f.reclaimed++
+		return f.solveInline(nd)
 	}
 	<-fut.done
 	if fut.skipped {
-		// Unreachable per the skip argument in the type comment; re-solve
-		// inline so correctness never rests on it.
-		sol, bas, err := f.rs.solve(nd, f.deadline)
-		if err == nil {
-			lp.AccumulateStats(f.rec, sol)
-		}
-		return sol, bas, err
+		// The skip argument in the type comment says the main loop prunes
+		// such nodes before asking; re-solve inline so correctness never
+		// rests on it.
+		return f.solveInline(nd)
 	}
 	f.consumed++
+	if fut.stolen {
+		f.stolen++
+	}
 	if fut.err == nil {
 		lp.AccumulateStats(f.rec, fut.sol)
 	}
 	return fut.sol, fut.bas, fut.err
 }
 
-func (f *prefetcher) close() {
+func (f *stealPool) close() {
 	// Publishing −Inf makes workers skip everything still queued, so
 	// shutdown does not wait on stale LP solves.
 	f.incumbent.Store(math.Float64bits(math.Inf(-1)))
-	close(f.tasks)
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
 	if f.started {
 		f.wg.Wait()
 	}
 	if f.rec != nil {
-		f.rec.Add("milp.spec.scheduled", f.scheduled)
-		f.rec.Add("milp.spec.wasted", f.scheduled-f.consumed)
+		f.rec.Add("milp.steal.scheduled", f.scheduled)
+		f.rec.Add("milp.steal.wasted", f.scheduled-f.consumed)
+		f.rec.Add("milp.steal.stolen", f.stolen)
+		f.rec.Add("milp.steal.reclaimed", f.reclaimed)
 	}
 }

@@ -135,7 +135,7 @@ func TestParallelTelemetryMatchesSequential(t *testing.T) {
 			t.Errorf("counter %s: parallel %d, sequential %d", name, g, s)
 		}
 	}
-	if par.Counter("milp.spec.scheduled").Value() == 0 {
+	if par.Counter("milp.steal.scheduled").Value() == 0 {
 		t.Error("parallel run scheduled no speculative solves")
 	}
 }
@@ -187,7 +187,7 @@ func TestSpeculationGatedOnSmallProblems(t *testing.T) {
 	}
 	seq, _ := run(1)
 	par4, rec := run(4)
-	if n := rec.Counter("milp.spec.scheduled").Value(); n != 0 {
+	if n := rec.Counter("milp.steal.scheduled").Value(); n != 0 {
 		t.Errorf("small problem scheduled %d speculative solves, want 0", n)
 	}
 	if par4.Status != seq.Status || par4.Objective != seq.Objective ||
@@ -212,8 +212,43 @@ func TestPrefetcherLazyStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp.End()
-	if n := rec.Counter("milp.spec.scheduled").Value(); n != 0 {
+	if n := rec.Counter("milp.steal.scheduled").Value(); n != 0 {
 		t.Errorf("tiny tree scheduled %d speculative solves, want 0", n)
+	}
+}
+
+// TestNodeFingerprintDeterministic: the explored-node fingerprint (the
+// FNV-1a fold of every (seq, bound) pair in exploration order) must be
+// identical across worker counts — the strongest form of the determinism
+// contract, sensitive to any reordering of pops, not just to the final
+// Result fields.
+func TestNodeFingerprintDeterministic(t *testing.T) {
+	forceSpeculation(t)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 8; trial++ {
+		var p *Problem
+		if trial%2 == 0 {
+			p = randomBinaryProgram(rng, 7+rng.Intn(5), 2+rng.Intn(4))
+		} else {
+			p = hardKnapsack(rng, 11+rng.Intn(5))
+		}
+		seq, err := Solve(p, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		if seq.Nodes > 0 && seq.NodeFingerprint == 0 {
+			t.Fatalf("trial %d: explored %d nodes but fingerprint is 0", trial, seq.Nodes)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := Solve(p, Options{Parallelism: workers})
+			if err != nil {
+				t.Fatalf("trial %d parallelism %d: %v", trial, workers, err)
+			}
+			if got.NodeFingerprint != seq.NodeFingerprint {
+				t.Fatalf("trial %d parallelism %d: fingerprint %#x, sequential %#x (nodes %d vs %d)",
+					trial, workers, got.NodeFingerprint, seq.NodeFingerprint, got.Nodes, seq.Nodes)
+			}
+		}
 	}
 }
 

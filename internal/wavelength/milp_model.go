@@ -32,6 +32,10 @@ type SolveInfo struct {
 	// cancellation; the returned assignment is the solver's best incumbent
 	// at that moment.
 	Cancelled bool
+	// NodeFingerprint is the solver's explored-node fingerprint
+	// (milp.Result.NodeFingerprint): identical across parallelism
+	// settings for the same model and limits.
+	NodeFingerprint uint64
 }
 
 // SolveMILP builds and solves the SRing wavelength-assignment MILP
@@ -581,12 +585,13 @@ func SolveMILPRegistry(ctx context.Context, infos []PathInfo, numLambda int, w W
 		return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP solve: %w", err)
 	}
 	info := SolveInfo{
-		Exact:        res.Status == milp.Optimal,
-		Bound:        res.Bound,
-		Nodes:        res.Nodes,
-		Gap:          res.Gap(),
-		TimeLimitHit: res.TimeLimitHit,
-		Cancelled:    res.Cancelled,
+		Exact:           res.Status == milp.Optimal,
+		Bound:           res.Bound,
+		Nodes:           res.Nodes,
+		Gap:             res.Gap(),
+		TimeLimitHit:    res.TimeLimitHit,
+		Cancelled:       res.Cancelled,
+		NodeFingerprint: res.NodeFingerprint,
 	}
 	msp.SetBool("exact", info.Exact)
 	msp.SetFloat("bound", info.Bound)

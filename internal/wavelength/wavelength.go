@@ -494,6 +494,10 @@ type Stats struct {
 	// MILPTimeLimitHit reports that the MILP's wall-clock budget expired
 	// before the search finished (valid when MILPRan).
 	MILPTimeLimitHit bool
+	// MILPNodeFingerprint is the solver's explored-node fingerprint
+	// (milp.Result.NodeFingerprint), identical across Parallelism
+	// settings; 0 when the MILP did not run or presolve decided it.
+	MILPNodeFingerprint uint64
 	// Cancelled reports that the assignment was interrupted by context
 	// cancellation: the exact solve stopped early and the returned
 	// assignment is the best of the heuristic and the solver's incumbent
@@ -556,6 +560,7 @@ func AssignContext(ctx context.Context, infos []PathInfo, opt Options) (*Assignm
 			stats.MILPNodes = info.Nodes
 			stats.MILPGap = info.Gap
 			stats.MILPTimeLimitHit = info.TimeLimitHit
+			stats.MILPNodeFingerprint = info.NodeFingerprint
 			stats.Cancelled = info.Cancelled
 			if milpA != nil {
 				if err := Verify(infos, milpA); err != nil {

@@ -94,6 +94,46 @@ func TestParallelSynthesisBitIdenticalMILP(t *testing.T) {
 	}
 }
 
+// TestWorkStealingFingerprintDeterministic pins the work-stealing pool's
+// determinism end to end: for VOPD and D26, SRing synthesis with the exact
+// MILP at Parallelism 1, 2 and 8 must produce byte-identical AssignStats —
+// including MILPNodeFingerprint, the FNV-1a fold of the explored node
+// sequence, which detects any reordering of the branch-and-bound commits
+// even when the final design happens to agree. D26 sits above the MILP
+// size gate, so both sides must skip the solve identically
+// (MILPRan=false, fingerprint 0), which the comparison also checks.
+func TestWorkStealingFingerprintDeterministic(t *testing.T) {
+	const budget = 5 * time.Second
+	for _, app := range []*Application{VOPD(), D26()} {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			opts := Options{Parallelism: 1, UseMILP: true, MILPTimeLimit: budget}
+			seq, err := Synthesize(app, MethodSRing, opts)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			st := seq.AssignStats
+			if st != nil && st.MILPRan && !st.MILPExact {
+				t.Skipf("MILP hit the %s time limit; time-limited searches are timing-dependent by design", budget)
+			}
+			if st != nil && st.MILPRan && st.MILPNodes > 0 && st.MILPNodeFingerprint == 0 {
+				t.Fatalf("sequential run explored %d nodes but reported fingerprint 0", st.MILPNodes)
+			}
+			for _, workers := range []int{2, 8} {
+				opts.Parallelism = workers
+				par, err := Synthesize(app, MethodSRing, opts)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(seq.AssignStats, par.AssignStats) {
+					t.Errorf("parallelism %d: AssignStats diverged\n got %+v\nwant %+v",
+						workers, par.AssignStats, seq.AssignStats)
+				}
+			}
+		})
+	}
+}
+
 // TestEvaluateParallelMatchesSequential: the Evaluate fan-out must return
 // the same per-method metrics as the sequential loop.
 func TestEvaluateParallelMatchesSequential(t *testing.T) {
