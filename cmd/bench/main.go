@@ -8,6 +8,17 @@
 //	bench -tag pr123    writes BENCH_<yyyy-mm-dd>-pr123.json
 //	bench -force        overwrites an existing snapshot (refused otherwise)
 //	bench -milp         enables the exact MILP assignment during timing
+//	bench -milp-timeout 2s
+//	                    bounds each exact solve (the decomposed sweep runs
+//	                    several per synthesis)
+//	bench -decompose    with -milp, runs the cluster-decomposed assignment
+//	bench -apps D64,D128
+//	                    benchmarks the named registry apps instead of the
+//	                    seven paper benchmarks
+//	bench -cluster-trials 8
+//	                    caps SRing's initial clustering trials (0 =
+//	                    unlimited, the paper's behaviour) — the knob that
+//	                    keeps the 128-node apps inside a CI smoke budget
 //	bench -j 1,4        times each pair at several Parallelism settings
 //
 //	bench -compare old.json new.json
@@ -114,18 +125,21 @@ func stagePercentiles(d *sring.RegistrySnap) map[string]stagePct {
 	return out
 }
 
-// measureCache times the cold-vs-warm sweep: every benchmark under three
-// loss-parameter variants, twice, sharing one cache.
-func measureCache(ctx context.Context) (*cacheBench, error) {
+// measureCache times the cold-vs-warm sweep: every selected app under
+// three loss-parameter variants, twice, sharing one cache.
+func measureCache(ctx context.Context, apps []*sring.Application, baseOpt sring.Options) (*cacheBench, error) {
 	techs := []sring.Tech{sring.DefaultTech(), sring.DefaultTech(), sring.DefaultTech()}
 	techs[1].SplitRatioDB = 3.5
 	techs[2].PropagationDBPerMM = 0.1
 	cache := sring.NewCache()
 	pass := func() (time.Duration, error) {
 		start := time.Now()
-		for _, app := range sring.Benchmarks() {
+		for _, app := range apps {
 			for _, tech := range techs {
-				opt := sring.Options{Tech: tech, Cache: cache, Parallelism: 1}
+				opt := baseOpt
+				opt.Tech = tech
+				opt.Cache = cache
+				opt.Parallelism = 1
 				if _, err := sring.SynthesizeContext(ctx, app, sring.MethodSRing, opt); err != nil {
 					return 0, fmt.Errorf("%s: %w", app.Name, err)
 				}
@@ -156,6 +170,10 @@ func main() {
 		force     = flag.Bool("force", false, "overwrite an existing snapshot file")
 		full      = flag.Bool("full", false, "also benchmark the ORNoC/CTORing/XRing baselines")
 		milp      = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
+		milpLimit = flag.Duration("milp-timeout", sring.DefaultMILPTimeLimit, "per-solve MILP time limit")
+		decompose = flag.Bool("decompose", false, "with -milp, run the cluster-decomposed exact assignment")
+		appsFlag  = flag.String("apps", "", "comma-separated registry app names to benchmark (default: the seven paper benchmarks)")
+		trials    = flag.Int("cluster-trials", 0, "cap SRing's initial clustering trials (0 = unlimited, the paper's behaviour)")
 		jstr      = flag.String("j", "0", "comma-separated Parallelism settings to time (0 = all CPUs, 1 = sequential), e.g. 1,4")
 		compare   = flag.Bool("compare", false, "compare two snapshots: bench -compare old.json new.json")
 		threshold = flag.Float64("threshold", 0.20, "with -compare, the relative ns/op / allocs/op / stage-p99 growth that counts as a regression")
@@ -214,6 +232,18 @@ func main() {
 	if *full {
 		methods = sring.Methods()
 	}
+	appsToRun := sring.Benchmarks()
+	if *appsFlag != "" {
+		appsToRun = nil
+		for _, name := range strings.Split(*appsFlag, ",") {
+			a, err := sring.Benchmark(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			appsToRun = append(appsToRun, a)
+		}
+	}
+	baseOpt := sring.Options{UseMILP: *milp, DecomposeAssign: *decompose, MILPTimeLimit: *milpLimit, ClusterTrials: *trials}
 
 	snap := snapshot{
 		Date:      date,
@@ -222,12 +252,14 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		MILP:      *milp,
+		Decompose: *decompose,
 	}
-	for _, app := range sring.Benchmarks() {
+	for _, app := range appsToRun {
 		for _, m := range methods {
 			for _, j := range jvals {
 				app, m, j := app, m, j
-				opt := sring.Options{UseMILP: *milp, Parallelism: j}
+				opt := baseOpt
+				opt.Parallelism = j
 				var last *sring.Design
 				before := sring.DefaultRegistry().Snapshot()
 				r := testingBenchmark(func() error {
@@ -286,7 +318,7 @@ func main() {
 		}
 	}
 
-	cb, err := measureCache(ctx)
+	cb, err := measureCache(ctx, appsToRun, baseOpt)
 	if err != nil {
 		fatal(err)
 	}
@@ -300,10 +332,11 @@ func main() {
 	fmt.Printf("snapshot written to %s\n", path)
 
 	if *chrome != "" {
-		// One traced SRing pass over the benchmarks, outside the timing
+		// One traced SRing pass over the selected apps, outside the timing
 		// loops: worker spans land on their internal/par thread tracks.
-		for _, app := range sring.Benchmarks() {
-			opt := sring.Options{UseMILP: *milp, Recorder: rec}
+		for _, app := range appsToRun {
+			opt := baseOpt
+			opt.Recorder = rec
 			if _, err := sring.SynthesizeContext(ctx, app, sring.MethodSRing, opt); err != nil {
 				fatal(err)
 			}

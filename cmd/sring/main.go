@@ -4,11 +4,14 @@
 // Usage:
 //
 //	sring -bench MWD -method SRing [-milp] [-v]
+//	sring -bench D128 -method SRing -cluster-trials 8 -milp -decompose
 //	sring -app design.json -method CTORing
+//	sring -list
 //
-// The application can be a builtin benchmark (-bench, one of MWD, VOPD,
-// MPEG, D26, 8PM-24, 8PM-32, 8PM-44) or a JSON file (-app) with the schema
-// {"name": ..., "nodes": [{"name", "x", "y"}...],
+// The application can be any builtin from the netlist registry (-bench:
+// the seven paper benchmarks, the extended task graphs, and the synthetic
+// scale apps up to 512 nodes — see -list) or a JSON file (-app) with the
+// schema {"name": ..., "nodes": [{"name", "x", "y"}...],
 // "messages": [{"src", "dst", "bandwidth"}...]}.
 package main
 
@@ -33,13 +36,16 @@ import (
 
 func main() {
 	var (
-		benchName  = flag.String("bench", "", "builtin benchmark name (MWD, VOPD, MPEG, D26, 8PM-24, 8PM-32, 8PM-44)")
+		benchName  = flag.String("bench", "", "builtin application name from the netlist registry (see -list)")
+		listApps   = flag.Bool("list", false, "list the registered builtin applications and exit")
 		appFile    = flag.String("app", "", "JSON application file (alternative to -bench)")
 		methodName = flag.String("method", "SRing", "synthesis method: SRing, ORNoC, CTORing, XRing")
 		useMILP    = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
+		decompose  = flag.Bool("decompose", false, "with -milp, run the cluster-decomposed exact assignment")
 		milpLimit  = flag.Duration("milp-timeout", sring.DefaultMILPTimeLimit, "MILP time limit")
 		jobs       = flag.Int("j", 0, "synthesis worker count (0 = all CPUs, 1 = sequential; same design either way)")
 		treeHeight = flag.Int("tree-height", 0, "SRing L_max search tree height h (0 = default 6)")
+		trials     = flag.Int("cluster-trials", 0, "cap SRing's initial clustering trials (0 = unlimited, the paper's behaviour)")
 		verbose    = flag.Bool("v", false, "print rings and per-path detail")
 		svgFile    = flag.String("svg", "", "write the layout as SVG to this file")
 		jsonFile   = flag.String("json", "", "write the full design (structure, assignment, metrics) as JSON to this file")
@@ -54,6 +60,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listApps {
+		for _, name := range netlist.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 	app, err := loadApp(*benchName, *appFile, *autoplace)
 	if err != nil {
 		fatal(err)
@@ -80,11 +92,13 @@ func main() {
 		defer shutdown()
 	}
 	d, err := sring.SynthesizeContext(ctx, app, sring.Method(*methodName), sring.Options{
-		UseMILP:       *useMILP,
-		MILPTimeLimit: *milpLimit,
-		TreeHeight:    *treeHeight,
-		Parallelism:   *jobs,
-		Recorder:      rec,
+		UseMILP:         *useMILP,
+		DecomposeAssign: *decompose,
+		MILPTimeLimit:   *milpLimit,
+		TreeHeight:      *treeHeight,
+		ClusterTrials:   *trials,
+		Parallelism:     *jobs,
+		Recorder:        rec,
 	})
 	if err != nil {
 		fatal(err)

@@ -227,7 +227,10 @@ func runScale() {
 	fmt.Println("=== SRing synthesis scaling (random apps, density 1.5) ===")
 	fmt.Printf("%-6s %-8s %14s %14s %12s\n", "#N", "trials", "runtime", "Lmax[mm]", "power[mW]")
 	for _, n := range []int{16, 32, 48, 64} {
-		app := sring.RandomApplication(n, n*3/2, 42)
+		app, err := sring.RandomApplication(n, n*3/2, 42)
+		if err != nil {
+			fatal(err)
+		}
 		for _, trials := range []int{0, 6} {
 			if n > 32 && trials == 0 {
 				continue // the uncapped paper algorithm is O(n^2) growths per L_max
@@ -299,7 +302,10 @@ func runDensity() {
 	fmt.Printf("%-8s %-8s %14s %14s %10s %10s\n",
 		"#M", "density", "SRing P[mW]", "CTORing P[mW]", "SRing #wl", "CTOR #wl")
 	for _, m := range []int{12, 18, 24, 36, 48, 72, 96} {
-		app := sring.RandomApplication(12, m, 3)
+		app, err := sring.RandomApplication(12, m, 3)
+		if err != nil {
+			fatal(err)
+		}
 		sr, err := sring.SynthesizeContext(runCtx, app, sring.MethodSRing, sring.Options{Parallelism: jobs, Cache: cache, Recorder: traceRec})
 		if err != nil {
 			fatal(err)

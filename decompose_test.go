@@ -1,0 +1,61 @@
+package sring
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Oracle cross-check for the decomposed wavelength assignment: on every
+// paper benchmark, synthesising SRing with DecomposeAssign must reach the
+// same Eq. 8 objective as the monolithic MILP. Single-component instances
+// delegate to the monolithic solve verbatim; multi-component instances go
+// through the per-component sweep plus the coordination model, and this
+// test is what pins that path to the global optimum.
+func TestDecomposedAssignMatchesMonolithicOracle(t *testing.T) {
+	for _, app := range Benchmarks() {
+		opt := Options{UseMILP: true, MILPTimeLimit: 8 * time.Second}
+		mono, err := Synthesize(app, MethodSRing, opt)
+		if err != nil {
+			t.Fatalf("%s monolithic: %v", app.Name, err)
+		}
+		opt.DecomposeAssign = true
+		dec, err := Synthesize(app, MethodSRing, opt)
+		if err != nil {
+			t.Fatalf("%s decomposed: %v", app.Name, err)
+		}
+		if dec.AssignStats.DecompComponents < 1 {
+			t.Errorf("%s: DecompComponents = %d, want >= 1",
+				app.Name, dec.AssignStats.DecompComponents)
+		}
+		multi := dec.AssignStats.DecompComponents > 1
+		// Only compare proven optima: on instances where a budget or the
+		// size gate stopped the exact solve, neither side is an oracle.
+		monoExact := mono.AssignStats.MILPRan && mono.AssignStats.MILPExact
+		decExact := dec.AssignStats.DecompExact || (!multi && dec.AssignStats.MILPExact)
+		if !monoExact || !decExact {
+			t.Logf("%s: skipped oracle comparison (monoExact=%v decExact=%v components=%d)",
+				app.Name, monoExact, decExact, dec.AssignStats.DecompComponents)
+			continue
+		}
+		mv := mono.AssignStats.Final.Value
+		dv := dec.AssignStats.Final.Value
+		if math.Abs(mv-dv) > 1e-6 {
+			t.Errorf("%s: decomposed objective %.6f != monolithic optimum %.6f (components %d)",
+				app.Name, dv, mv, dec.AssignStats.DecompComponents)
+		}
+		if !multi {
+			// Delegation must be bit-identical, not just value-equal.
+			if mono.Assignment.NumLambda != dec.Assignment.NumLambda {
+				t.Errorf("%s: single-component delegation changed wavelength count: %d vs %d",
+					app.Name, dec.Assignment.NumLambda, mono.Assignment.NumLambda)
+			}
+			for i := range mono.Assignment.Lambda {
+				if mono.Assignment.Lambda[i] != dec.Assignment.Lambda[i] {
+					t.Errorf("%s: single-component delegation changed path %d's wavelength", app.Name, i)
+					break
+				}
+			}
+		}
+	}
+}

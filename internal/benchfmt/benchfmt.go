@@ -51,12 +51,15 @@ var StageNames = []string{"construct", "layout", "loss", "assign", "pdn"}
 
 // Snapshot is one BENCH_*.json file.
 type Snapshot struct {
-	Date      string  `json:"date"`
-	GoVersion string  `json:"go_version"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	NumCPU    int     `json:"num_cpu"` // parallel entries only beat sequential with >1 core
-	MILP      bool    `json:"milp"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"` // parallel entries only beat sequential with >1 core
+	MILP      bool   `json:"milp"`
+	// Decompose records that the MILP assignment ran cluster-decomposed
+	// (cmd/bench -decompose).
+	Decompose bool    `json:"decompose,omitempty"`
 	Entries   []Entry `json:"entries"`
 	// Cache is the stage-cache cold/warm measurement.
 	Cache *CacheBench `json:"cache,omitempty"`

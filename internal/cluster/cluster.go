@@ -43,6 +43,17 @@ type Options struct {
 	// sequential descent order, so the selected L_max and the returned
 	// construction are bit-identical to the sequential run.
 	Parallelism int
+	// InterRingMax bounds how many nodes the classic single inter-ring
+	// construction is attempted for. When more nodes than this carry
+	// escalated traffic, the escalation set is recursively partitioned
+	// into a further level of sub-rings (clusters of clusters) instead of
+	// being forced onto one ring. Zero means 32, comfortably above the
+	// ≤26-node paper benchmarks, which therefore always take the paper's
+	// exact two-level construction.
+	InterRingMax int
+	// MaxLevels caps the hierarchy depth, counting the cluster level.
+	// Zero means 8.
+	MaxLevels int
 	// Obs, when non-nil, is the parent span under which the construction
 	// records its telemetry: the L_max binary search (one child span per
 	// evaluated bound with its feasibility verdict), absorption-step
@@ -60,11 +71,22 @@ type Result struct {
 	// by smallest member across clusters. Singleton clusters (nodes whose
 	// traffic is all inter-cluster) carry no intra ring.
 	Clusters [][]netlist.NodeID
-	// Rings holds the intra-cluster sub-rings followed by the inter-cluster
-	// sub-ring (if any). Ring IDs are dense indices into this slice.
+	// Rings holds the intra-cluster sub-rings followed by the escalation
+	// levels' inter sub-rings in level order. Ring IDs are dense indices
+	// into this slice; each ring's Level is 0 for intra rings and k >= 1
+	// for level-k inter rings.
 	Rings []*ring.Ring
-	// InterRing points at the inter-cluster ring inside Rings, or nil.
+	// InterRing points at the inter-cluster ring inside Rings when the
+	// construction has the paper's two-level shape (exactly one inter
+	// ring), nil otherwise.
 	InterRing *ring.Ring
+	// Levels is the hierarchy depth: 1 when all traffic is intra-cluster,
+	// 2 for the paper's cluster + single-inter-ring shape, more when the
+	// escalation set was recursively partitioned.
+	Levels int
+	// Escalated counts the messages carried above level 1, i.e. the
+	// traffic the paper's two-level construction could not have placed.
+	Escalated int
 	// RingForMessage maps each message index to the ID of the ring that
 	// carries it.
 	RingForMessage []int
@@ -131,10 +153,11 @@ func SynthesizeContext(ctx context.Context, app *netlist.Application, opt Option
 
 	// tryBound evaluates one L_max candidate inline (the sequential path,
 	// also used for the fallback bounds below).
+	cfg := opt.hierConfig()
 	probeH := obs.OrDefault(opt.Registry).Histogram("cluster.probe.ns")
 	tryBound := func(lmax float64) *Result {
 		probeStart := time.Now()
-		sol := buildSolution(app, adj, lmax, opt.MaxInitialTrials, absorb)
+		sol := buildSolution(app, adj, lmax, opt.MaxInitialTrials, absorb, cfg)
 		probeH.RecordSince(probeStart)
 		recordBound(lmax, sol)
 		return sol
@@ -149,7 +172,7 @@ func SynthesizeContext(ctx context.Context, app *netlist.Application, opt Option
 	}
 	var pb *prober
 	if workers := resolveSpecWorkers(opt.Parallelism); workers > 1 {
-		pb = newProber(app, adj, opt.MaxInitialTrials, valueAt, workers, probeH)
+		pb = newProber(app, adj, opt.MaxInitialTrials, cfg, valueAt, workers, probeH)
 		defer pb.close(sp.Recorder())
 	}
 	var best *Result
@@ -211,8 +234,25 @@ func SynthesizeContext(ctx context.Context, app *netlist.Application, opt Option
 	sp.SetInt("clusters", int64(len(best.Clusters)))
 	sp.SetInt("rings", int64(len(best.Rings)))
 	sp.SetBool("inter_ring", best.InterRing != nil)
+	sp.SetInt("levels", int64(best.Levels))
 	sp.SetFloat("lmax", best.Lmax)
 	sp.SetBool("cancelled", cancelled)
+	// Aggregate hierarchy telemetry, recorded once from the selected
+	// solution so the counters are deterministic at any Parallelism:
+	// cluster.level.depth   — hierarchy depth distribution across runs;
+	// cluster.level.rings   — inter rings above level 1 (0 for the paper's
+	//                         two-level shape);
+	// cluster.level.escalated — messages carried above level 1.
+	reg := obs.OrDefault(opt.Registry)
+	reg.Histogram("cluster.level.depth").Record(int64(best.Levels))
+	deep := 0
+	for _, r := range best.Rings {
+		if r.Level >= 2 {
+			deep++
+		}
+	}
+	reg.Counter("cluster.level.rings").Add(int64(deep))
+	reg.Counter("cluster.level.escalated").Add(int64(best.Escalated))
 	return best, nil
 }
 
@@ -360,51 +400,51 @@ func growCluster(app *netlist.Application, adj map[netlist.NodeID][]netlist.Node
 	return grown{order: order, members: members, longest: longest}
 }
 
-// bestAbsorption tries to absorb each candidate at each ring position
-// (replacing segment (order[i], order[i+1]) with two segments through the
-// candidate) and returns the valid absorption minimising the longest signal
-// path.
-func bestAbsorption(app *netlist.Application, order []netlist.NodeID,
-	members, candidates map[netlist.NodeID]bool, lmax float64) (newOrder []netlist.NodeID, longest float64, cand netlist.NodeID, ok bool) {
-
-	sortedCands := make([]netlist.NodeID, 0, len(candidates))
-	for c := range candidates {
-		sortedCands = append(sortedCands, c)
-	}
-	sort.Slice(sortedCands, func(i, j int) bool { return sortedCands[i] < sortedCands[j] })
-
-	longest = math.Inf(1)
-	for _, c := range sortedCands {
-		members[c] = true
-		msgs := messagesWithin(app, members)
-		for pos := 0; pos < len(order); pos++ {
-			trial := make([]netlist.NodeID, 0, len(order)+1)
-			trial = append(trial, order[:pos+1]...)
-			trial = append(trial, c)
-			trial = append(trial, order[pos+1:]...)
-			l, _ := ringOrderLongest(app, trial, msgs)
-			if l <= lmax && l < longest {
-				longest = l
-				newOrder = trial
-				cand = c
-				ok = true
-			}
-		}
-		delete(members, c)
-	}
-	return newOrder, longest, cand, ok
+// hierConfig resolves the multi-level options for buildSolution.
+type hierConfig struct {
+	interMax  int // escalation sets larger than this recurse into another level
+	maxLevels int // hierarchy depth cap, counting the cluster level
 }
 
-// buildSolution attempts a full clustering under lmax. It returns nil if no
-// valid inter-cluster ring exists for any initial vertex (the paper's
-// "invalid solution": move L_max to its right child).
-func buildSolution(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID, lmax float64, maxTrials int, absorb *obs.Counter) *Result {
-	avail := make(map[netlist.NodeID]bool)
-	for _, id := range app.ActiveNodes() {
+func (o Options) hierConfig() hierConfig {
+	cfg := hierConfig{interMax: o.InterRingMax, maxLevels: o.MaxLevels}
+	if cfg.interMax == 0 {
+		cfg.interMax = defaultInterRingMax
+	}
+	if cfg.maxLevels == 0 {
+		cfg.maxLevels = defaultMaxLevels
+	}
+	return cfg
+}
+
+// defaultInterRingMax is comfortably above the ≤26-node paper benchmarks, so
+// they always take the paper's exact two-level construction; the 64-node
+// scale apps typically do too, while 128 nodes and up recurse.
+const (
+	defaultInterRingMax = 32
+	defaultMaxLevels    = 8
+)
+
+// levelGroups is one escalation level of the hierarchy: the indices of the
+// messages that reached it (not carried by any lower level) and the node
+// groups, each with its grown sub-ring, formed there.
+type levelGroups struct {
+	pool   []int
+	groups []grown
+}
+
+// growLevel partitions the given node set into grown sub-rings under lmax:
+// rounds of trying each available vertex as the initial vertex and keeping
+// the best grown ring (the paper's cluster-formation loop, reused verbatim
+// at every hierarchy level).
+func growLevel(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID,
+	nodes map[netlist.NodeID]bool, lmax float64, maxTrials int, absorb *obs.Counter) []grown {
+
+	avail := make(map[netlist.NodeID]bool, len(nodes))
+	for id := range nodes {
 		avail[id] = true
 	}
-
-	var clusters []grown
+	var out []grown
 	for len(avail) > 0 {
 		ids := make([]netlist.NodeID, 0, len(avail))
 		for id := range avail {
@@ -416,16 +456,7 @@ func buildSolution(app *netlist.Application, adj map[netlist.NodeID][]netlist.No
 		// cluster with the shortest longest signal path (ties: larger
 		// cluster, then smaller initial ID). MaxInitialTrials caps the
 		// candidate set for large networks.
-		trials := ids
-		if maxTrials > 0 && len(trials) > maxTrials {
-			// Deterministic spread over the available vertices.
-			sampled := make([]netlist.NodeID, 0, maxTrials)
-			step := float64(len(trials)) / float64(maxTrials)
-			for k := 0; k < maxTrials; k++ {
-				sampled = append(sampled, trials[int(float64(k)*step)])
-			}
-			trials = sampled
-		}
+		trials := sampleTrials(ids, maxTrials)
 		var best grown
 		haveBest := false
 		for _, v := range trials {
@@ -435,38 +466,118 @@ func buildSolution(app *netlist.Application, adj map[netlist.NodeID][]netlist.No
 				haveBest = true
 			}
 		}
-		clusters = append(clusters, best)
+		out = append(out, best)
 		for m := range best.members {
 			delete(avail, m)
 		}
 	}
+	return out
+}
 
-	// Identify inter-cluster traffic.
-	clusterOf := make(map[netlist.NodeID]int)
-	for ci, c := range clusters {
-		for m := range c.members {
-			clusterOf[m] = ci
+// sampleTrials caps the initial-vertex candidate list with a deterministic
+// spread over the available vertices. maxTrials <= 0 means no cap.
+func sampleTrials(ids []netlist.NodeID, maxTrials int) []netlist.NodeID {
+	if maxTrials <= 0 || len(ids) <= maxTrials {
+		return ids
+	}
+	sampled := make([]netlist.NodeID, 0, maxTrials)
+	step := float64(len(ids)) / float64(maxTrials)
+	for k := 0; k < maxTrials; k++ {
+		sampled = append(sampled, ids[int(float64(k)*step)])
+	}
+	return sampled
+}
+
+// groupIndex maps every member of every group to its group's index.
+func groupIndex(groups []grown) map[netlist.NodeID]int {
+	of := make(map[netlist.NodeID]int)
+	for gi, g := range groups {
+		for m := range g.members {
+			of[m] = gi
 		}
 	}
-	interNodes := make(map[netlist.NodeID]bool)
-	hasInter := false
-	for _, m := range app.Messages {
+	return of
+}
+
+// buildSolution attempts a full clustering under lmax. It returns nil if
+// the escalation levels cannot all be closed (the paper's "invalid
+// solution": move L_max to its right child).
+//
+// Level 0 is the paper's cluster formation over all active nodes. Messages
+// crossing clusters escalate to level 1; while the escalated node set is
+// larger than cfg.interMax the set is recursively partitioned into another
+// level of sub-rings by the same absorption growth (clusters of clusters),
+// with the messages still crossing groups escalating further. Once the set
+// fits — or the recursion stops making progress or hits cfg.maxLevels — a
+// single terminal ring over all remaining nodes closes the hierarchy, the
+// paper's inter-ring construction verbatim. Every node therefore sends on
+// at most one ring per level it appears in, the multi-level extension of
+// the paper's ≤2-senders invariant.
+func buildSolution(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID, lmax float64, maxTrials int, absorb *obs.Counter, cfg hierConfig) *Result {
+	active := make(map[netlist.NodeID]bool)
+	for _, id := range app.ActiveNodes() {
+		active[id] = true
+	}
+	clusters := growLevel(app, adj, active, lmax, maxTrials, absorb)
+	clusterOf := groupIndex(clusters)
+
+	// Messages crossing clusters escalate to level 1.
+	var pool []int
+	for i, m := range app.Messages {
 		if clusterOf[m.Src] != clusterOf[m.Dst] {
-			interNodes[m.Src] = true
-			interNodes[m.Dst] = true
-			hasInter = true
+			pool = append(pool, i)
 		}
 	}
 
-	var interOrder []netlist.NodeID
-	if hasInter {
-		interOrder = buildInterRing(app, interNodes, lmax, maxTrials, absorb)
-		if interOrder == nil {
-			return nil // no valid initial vertex: solution invalid
+	var upper []levelGroups
+	for level := 1; len(pool) > 0; level++ {
+		nodes := make(map[netlist.NodeID]bool)
+		for _, i := range pool {
+			nodes[app.Messages[i].Src] = true
+			nodes[app.Messages[i].Dst] = true
 		}
+		if len(nodes) <= cfg.interMax || level >= cfg.maxLevels {
+			order := buildInterRing(app, nodes, lmax, maxTrials, absorb)
+			if order == nil {
+				return nil // no valid initial vertex: solution invalid
+			}
+			members := make(map[netlist.NodeID]bool, len(order))
+			for _, id := range order {
+				members[id] = true
+			}
+			upper = append(upper, levelGroups{pool: pool, groups: []grown{{order: order, members: members}}})
+			break
+		}
+		// Too many escalated nodes for one ring: partition them into a
+		// further level of sub-rings and escalate what still crosses.
+		groups := growLevel(app, adj, nodes, lmax, maxTrials, absorb)
+		groupOf := groupIndex(groups)
+		var next []int
+		for _, i := range pool {
+			m := app.Messages[i]
+			if groupOf[m.Src] != groupOf[m.Dst] {
+				next = append(next, i)
+			}
+		}
+		if len(next) == len(pool) {
+			// No message was absorbed at this level: grouping made no
+			// progress, so fall back to the terminal single ring.
+			order := buildInterRing(app, nodes, lmax, maxTrials, absorb)
+			if order == nil {
+				return nil
+			}
+			members := make(map[netlist.NodeID]bool, len(order))
+			for _, id := range order {
+				members[id] = true
+			}
+			upper = append(upper, levelGroups{pool: pool, groups: []grown{{order: order, members: members}}})
+			break
+		}
+		upper = append(upper, levelGroups{pool: pool, groups: groups})
+		pool = next
 	}
 
-	return assembleResult(app, clusters, clusterOf, interOrder)
+	return assembleResult(app, clusters, clusterOf, upper)
 }
 
 // better orders grown clusters: shorter longest path wins, then more
@@ -606,9 +717,10 @@ func growInter(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID
 	return order, longest, true
 }
 
-// assembleResult freezes clusters and rings into a Result, fixing each
-// ring's direction to the one minimising its longest signal path.
-func assembleResult(app *netlist.Application, clusters []grown, clusterOf map[netlist.NodeID]int, interOrder []netlist.NodeID) *Result {
+// assembleResult freezes clusters and the escalation levels into a Result,
+// fixing each ring's direction to the one minimising its longest signal
+// path over the messages it carries.
+func assembleResult(app *netlist.Application, clusters []grown, clusterOf map[netlist.NodeID]int, upper []levelGroups) *Result {
 	res := &Result{}
 	ringID := 0
 	intraRingOf := make(map[int]int) // cluster index -> ring ID
@@ -633,37 +745,72 @@ func assembleResult(app *netlist.Application, clusters []grown, clusterOf map[ne
 	}
 	sort.Slice(res.Clusters, func(i, j int) bool { return res.Clusters[i][0] < res.Clusters[j][0] })
 
-	if interOrder != nil {
-		set := make(map[netlist.NodeID]bool, len(interOrder))
-		for _, id := range interOrder {
-			set[id] = true
+	// Escalation-level rings, level by level in group-formation order. A
+	// group ring materialises only if it carries at least one escalated
+	// message; a group whose members reached it only through already-carried
+	// traffic would waste a sender per member.
+	type upperRing struct {
+		members map[netlist.NodeID]bool
+		ring    *ring.Ring
+	}
+	levels := make([][]upperRing, len(upper))
+	for li, lv := range upper {
+		for _, g := range lv.groups {
+			if len(g.order) < 2 {
+				continue
+			}
+			carried := poolWithin(app, lv.pool, g.members)
+			if len(carried) == 0 {
+				continue
+			}
+			order := g.order
+			if _, rev := ringOrderLongest(app, order, carried); rev {
+				order = (&ring.Ring{Order: order}).Reversed().Order
+			}
+			r := &ring.Ring{ID: ringID, Kind: ring.Inter, Level: li + 1, Order: order}
+			res.Rings = append(res.Rings, r)
+			levels[li] = append(levels[li], upperRing{members: g.members, ring: r})
+			ringID++
 		}
-		order := interOrder
-		if _, rev := ringOrderLongest(app, order, interMessages(app, clusterOf)); rev {
-			order = (&ring.Ring{Order: order}).Reversed().Order
-		}
-		res.InterRing = &ring.Ring{ID: ringID, Kind: ring.Inter, Order: order}
-		res.Rings = append(res.Rings, res.InterRing)
+	}
+	if len(upper) == 1 && len(levels[0]) == 1 {
+		res.InterRing = levels[0][0].ring
 	}
 
 	res.RingForMessage = make([]int, len(app.Messages))
 	for i, m := range app.Messages {
 		if clusterOf[m.Src] == clusterOf[m.Dst] {
 			res.RingForMessage[i] = intraRingOf[clusterOf[m.Src]]
-		} else if res.InterRing != nil {
-			res.RingForMessage[i] = res.InterRing.ID
-		} else {
-			res.RingForMessage[i] = -1 // cannot happen: inter ring built when needed
+			continue
+		}
+		// Carried at the lowest level where both endpoints share a group.
+		res.RingForMessage[i] = -1 // cannot happen: the terminal ring holds everyone
+		for _, refs := range levels {
+			for _, ref := range refs {
+				if ref.members[m.Src] && ref.members[m.Dst] {
+					res.RingForMessage[i] = ref.ring.ID
+					break
+				}
+			}
+			if res.RingForMessage[i] >= 0 {
+				break
+			}
+		}
+		if rid := res.RingForMessage[i]; rid >= 0 && res.Rings[rid].Level >= 2 {
+			res.Escalated++
 		}
 	}
+	res.Levels = 1 + len(upper)
 	return res
 }
 
-// interMessages returns the messages crossing clusters.
-func interMessages(app *netlist.Application, clusterOf map[netlist.NodeID]int) []netlist.Message {
+// poolWithin returns the pool messages (by index) whose endpoints both lie
+// in set, in message order.
+func poolWithin(app *netlist.Application, pool []int, set map[netlist.NodeID]bool) []netlist.Message {
 	var out []netlist.Message
-	for _, m := range app.Messages {
-		if clusterOf[m.Src] != clusterOf[m.Dst] {
+	for _, i := range pool {
+		m := app.Messages[i]
+		if set[m.Src] && set[m.Dst] {
 			out = append(out, m)
 		}
 	}

@@ -93,7 +93,10 @@ func TestSynthesizeRingApp(t *testing.T) {
 func TestSynthesizeClusteredWorkload(t *testing.T) {
 	// Three well-separated clusters with light inter traffic: SRing must
 	// find multiple intra rings plus one inter ring.
-	app := netlist.Clustered(3, 4, 3, 5)
+	app, err := netlist.Clustered(3, 4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Synthesize(app, Options{})
 	if err != nil {
 		t.Fatal(err)

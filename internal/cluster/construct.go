@@ -51,6 +51,7 @@ func Construct(ctx context.Context, app *netlist.Application, opt pipeline.Optio
 	return &pipeline.Construction{
 		Rings:                  res.Rings,
 		Paths:                  paths,
+		Levels:                 res.Levels,
 		PDNStyle:               pdn.StyleShared,
 		Weights:                wavelength.DefaultWeights(),
 		SplitterWeightFromTech: true,

@@ -27,7 +27,7 @@ type probe struct {
 
 // prober runs L_max feasibility probes concurrently while the binary search
 // keeps its exact sequential descent. buildSolution is a pure function of
-// (app, adj, lmax, maxTrials), so probing a candidate early cannot change
+// (app, adj, lmax, maxTrials, cfg), so probing a candidate early cannot change
 // its verdict — only when it is computed. At every search step the prober
 // speculatively starts the probes the descent could visit next (the
 // candidate's BST subtree, breadth-first: both children before either
@@ -39,6 +39,7 @@ type prober struct {
 	app       *netlist.Application
 	adj       map[netlist.NodeID][]netlist.NodeID
 	maxTrials int
+	cfg       hierConfig
 	valueAt   func(k int) float64
 	workers   int
 	probeH    *obs.Histogram // cluster.probe.ns, shared with the inline path
@@ -50,11 +51,12 @@ type prober struct {
 }
 
 func newProber(app *netlist.Application, adj map[netlist.NodeID][]netlist.NodeID,
-	maxTrials int, valueAt func(k int) float64, workers int, probeH *obs.Histogram) *prober {
+	maxTrials int, cfg hierConfig, valueAt func(k int) float64, workers int, probeH *obs.Histogram) *prober {
 	return &prober{
 		app:       app,
 		adj:       adj,
 		maxTrials: maxTrials,
+		cfg:       cfg,
 		valueAt:   valueAt,
 		workers:   workers,
 		probeH:    probeH,
@@ -75,7 +77,7 @@ func (pb *prober) launch(k int) {
 		defer pb.wg.Done()
 		defer close(pr.done)
 		probeStart := time.Now()
-		pr.sol = buildSolution(pb.app, pb.adj, pb.valueAt(k), pb.maxTrials, &pr.absorbs)
+		pr.sol = buildSolution(pb.app, pb.adj, pb.valueAt(k), pb.maxTrials, &pr.absorbs, pb.cfg)
 		pb.probeH.RecordSince(probeStart)
 	}()
 }
@@ -109,7 +111,7 @@ func (pb *prober) get(k int) (*Result, int64) {
 		// Defensive: speculate always launches the current mid first, but
 		// solve inline rather than rely on that.
 		var local obs.Counter
-		return buildSolution(pb.app, pb.adj, pb.valueAt(k), pb.maxTrials, &local), local.Value()
+		return buildSolution(pb.app, pb.adj, pb.valueAt(k), pb.maxTrials, &local, pb.cfg), local.Value()
 	}
 	<-pr.done
 	pb.consumed++

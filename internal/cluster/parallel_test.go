@@ -49,7 +49,10 @@ func TestParallelProbesMatchSequential(t *testing.T) {
 // sequential run exactly (spec.* diagnostics excluded).
 func TestParallelProbeTelemetryMatchesSequential(t *testing.T) {
 	forceProbes(t)
-	app := netlist.Clustered(3, 4, 3, 5)
+	app, err := netlist.Clustered(3, 4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run := func(workers int) *obs.Recorder {
 		rec := obs.New()
 		sp := rec.StartSpan("test")

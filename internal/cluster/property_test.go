@@ -17,7 +17,10 @@ func TestSynthesizeRandomApplications(t *testing.T) {
 		if m > n*(n-1) {
 			m = n * (n - 1)
 		}
-		app := netlist.Random(n, m, seed)
+		app, err := netlist.Random(n, m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
 		res, err := Synthesize(app, Options{TreeHeight: 4})
 		if err != nil {
 			t.Fatalf("seed %d (%s): %v", seed, app, err)
@@ -75,7 +78,10 @@ func TestSynthesizeShapes(t *testing.T) {
 
 // Two disconnected communication components must never need an inter ring.
 func TestDisconnectedComponentsNoInterRing(t *testing.T) {
-	app := netlist.Clustered(2, 3, 0, 1) // no inter flows
+	app, err := netlist.Clustered(2, 3, 0, 1) // no inter flows
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Synthesize(app, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +104,10 @@ func TestDisconnectedComponentsNoInterRing(t *testing.T) {
 // search tree gets taller, across a spread of random apps.
 func TestTallerTreeNeverWorse(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
-		app := netlist.Random(8, 14, seed)
+		app, err := netlist.Random(8, 14, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
 		worst := func(h int) float64 {
 			res, err := Synthesize(app, Options{TreeHeight: h})
 			if err != nil {
@@ -127,7 +136,10 @@ func TestTallerTreeNeverWorse(t *testing.T) {
 // The initial-vertex cap preserves all structural guarantees; only solution
 // quality may differ.
 func TestMaxInitialTrials(t *testing.T) {
-	app := netlist.Random(20, 34, 1)
+	app, err := netlist.Random(20, 34, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	capped, err := Synthesize(app, Options{MaxInitialTrials: 3})
 	if err != nil {
 		t.Fatal(err)

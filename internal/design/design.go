@@ -30,6 +30,10 @@ import (
 type Design struct {
 	App    *netlist.Application
 	Method string
+	// Levels is the construction's hierarchy depth: 0 for flat methods,
+	// 1 for an all-intra SRing clustering, 2 for the paper's two-level
+	// shape, more when the multi-level constructor recursed.
+	Levels int
 	Rings  []*ring.Ring
 	// Infos holds one entry per message, aligned with App.Messages, with
 	// the routed path and its layout insertion loss L_s.

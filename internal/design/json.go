@@ -14,6 +14,7 @@ import (
 type jsonDesign struct {
 	Application string       `json:"application"`
 	Method      string       `json:"method"`
+	Levels      int          `json:"levels,omitempty"`
 	Rings       []jsonRing   `json:"rings"`
 	Paths       []jsonPath   `json:"paths"`
 	Metrics     *Metrics     `json:"metrics"`
@@ -24,6 +25,7 @@ type jsonDesign struct {
 type jsonRing struct {
 	ID    int    `json:"id"`
 	Kind  string `json:"kind"`
+	Level int    `json:"level,omitempty"`
 	Order []int  `json:"order"`
 }
 
@@ -60,13 +62,14 @@ func EncodeJSON(w io.Writer, d *Design) error {
 	jd := jsonDesign{
 		Application: d.App.Name,
 		Method:      d.Method,
+		Levels:      d.Levels,
 		Metrics:     met,
 	}
 	for _, n := range d.App.Nodes {
 		jd.Nodes = append(jd.Nodes, jsonNodeEx{ID: int(n.ID), Name: n.Name, X: n.Pos.X, Y: n.Pos.Y})
 	}
 	for _, r := range d.Rings {
-		jr := jsonRing{ID: r.ID, Kind: r.Kind.String()}
+		jr := jsonRing{ID: r.ID, Kind: r.Kind.String(), Level: r.Level}
 		for _, id := range r.Order {
 			jr.Order = append(jr.Order, int(id))
 		}

@@ -215,25 +215,9 @@ func PM32() *Application { return pm8("8PM-32", 4, false) }
 // plus all-pairs inter-processor traffic).
 func PM44() *Application { return pm8("8PM-44", 4, true) }
 
-// Benchmarks returns all seven paper benchmarks in Table I order.
+// Benchmarks returns all seven paper benchmarks in Table I order. The full
+// builtin-app registry (paper + extended + scale apps) is Apps in
+// registry.go; ByName resolves against that registry.
 func Benchmarks() []*Application {
 	return []*Application{MWD(), VOPD(), MPEG(), D26(), PM24(), PM32(), PM44()}
-}
-
-// ByName returns the builtin benchmark with the given (case-sensitive) name,
-// or an error listing the available names.
-func ByName(name string) (*Application, error) {
-	for _, b := range Benchmarks() {
-		if b.Name == name {
-			return b, nil
-		}
-	}
-	avail := ""
-	for i, b := range Benchmarks() {
-		if i > 0 {
-			avail += ", "
-		}
-		avail += b.Name
-	}
-	return nil, fmt.Errorf("netlist: unknown benchmark %q (available: %s)", name, avail)
 }

@@ -12,14 +12,15 @@ import (
 // connected by threading a random spanning path through all nodes first, so
 // generated applications always admit a single-ring solution.
 //
-// Random panics if the requested message count is infeasible
-// (m < n-1 or m > n*(n-1)).
-func Random(n, m int, seed int64) *Application {
+// Random returns an error if the requested message count is infeasible
+// (m < n-1 or m > n*(n-1)), so callers accepting generator parameters from
+// untrusted input (e.g. serve requests) can reject them gracefully.
+func Random(n, m int, seed int64) (*Application, error) {
 	if n < 2 {
-		panic(fmt.Sprintf("netlist: Random needs n >= 2, got %d", n))
+		return nil, fmt.Errorf("netlist: Random needs n >= 2, got %d", n)
 	}
 	if m < n-1 || m > n*(n-1) {
-		panic(fmt.Sprintf("netlist: Random with n=%d cannot place m=%d messages", n, m))
+		return nil, fmt.Errorf("netlist: Random with n=%d cannot place m=%d messages (need %d <= m <= %d)", n, m, n-1, n*(n-1))
 	}
 	rng := rand.New(rand.NewSource(seed))
 	cols := 1
@@ -50,7 +51,7 @@ func Random(n, m int, seed int64) *Application {
 	for len(app.Messages) < m {
 		add(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
 	}
-	return app
+	return app, nil
 }
 
 // Ring returns an n-node application whose messages form a directed cycle
@@ -77,9 +78,13 @@ func Ring(n int) *Application {
 // csize each, dense traffic inside clusters and a few inter-cluster flows:
 // the workload shape SRing is designed for. interFlows inter-cluster
 // messages are threaded between consecutive clusters' first nodes.
-func Clustered(k, csize, interFlows int, seed int64) *Application {
+// Infeasible parameters are reported as an error, never a panic.
+func Clustered(k, csize, interFlows int, seed int64) (*Application, error) {
 	if k < 1 || csize < 2 {
-		panic(fmt.Sprintf("netlist: Clustered needs k >= 1, csize >= 2, got k=%d csize=%d", k, csize))
+		return nil, fmt.Errorf("netlist: Clustered needs k >= 1, csize >= 2, got k=%d csize=%d", k, csize)
+	}
+	if interFlows < 0 {
+		return nil, fmt.Errorf("netlist: Clustered needs interFlows >= 0, got %d", interFlows)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	app := &Application{Name: fmt.Sprintf("clustered-k%d-c%d", k, csize)}
@@ -125,5 +130,5 @@ func Clustered(k, csize, interFlows int, seed int64) *Application {
 			Bandwidth: 32,
 		})
 	}
-	return app
+	return app, nil
 }

@@ -9,7 +9,10 @@ import (
 
 func TestRandomValid(t *testing.T) {
 	for _, tc := range []struct{ n, m int }{{2, 1}, {5, 8}, {12, 13}, {20, 60}} {
-		app := Random(tc.n, tc.m, 1)
+		app, err := Random(tc.n, tc.m, 1)
+		if err != nil {
+			t.Fatalf("Random(%d,%d): %v", tc.n, tc.m, err)
+		}
 		if err := app.Validate(); err != nil {
 			t.Errorf("Random(%d,%d) invalid: %v", tc.n, tc.m, err)
 		}
@@ -23,8 +26,14 @@ func TestRandomValid(t *testing.T) {
 }
 
 func TestRandomDeterministic(t *testing.T) {
-	a := Random(10, 20, 42)
-	b := Random(10, 20, 42)
+	a, err := Random(10, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(10, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.String() != b.String() || len(a.Messages) != len(b.Messages) {
 		t.Fatal("Random not deterministic in shape")
 	}
@@ -33,7 +42,10 @@ func TestRandomDeterministic(t *testing.T) {
 			t.Fatalf("Random not deterministic at message %d: %v vs %v", i, a.Messages[i], b.Messages[i])
 		}
 	}
-	c := Random(10, 20, 43)
+	c, err := Random(10, 20, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
 	same := true
 	for i := range a.Messages {
 		if a.Messages[i] != c.Messages[i] {
@@ -52,24 +64,27 @@ func TestRandomProperty(t *testing.T) {
 		maxM := n * (n - 1)
 		span := maxM - (n - 1)
 		m := n - 1 + int(mRaw)%(span+1)
-		app := Random(n, m, seed)
-		return app.Validate() == nil && app.M() == m
+		app, err := Random(n, m, seed)
+		return err == nil && app.Validate() == nil && app.M() == m
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Errorf("Random property violated: %v", err)
 	}
 }
 
-func TestRandomPanics(t *testing.T) {
+func TestRandomErrors(t *testing.T) {
 	for _, tc := range []struct{ n, m int }{{1, 1}, {3, 1}, {3, 7}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Random(%d,%d) should panic", tc.n, tc.m)
-				}
-			}()
-			Random(tc.n, tc.m, 1)
-		}()
+		if _, err := Random(tc.n, tc.m, 1); err == nil {
+			t.Errorf("Random(%d,%d) should report an error", tc.n, tc.m)
+		}
+	}
+}
+
+func TestClusteredErrors(t *testing.T) {
+	for _, tc := range []struct{ k, csize, inter int }{{0, 4, 1}, {3, 1, 1}, {3, 4, -1}} {
+		if _, err := Clustered(tc.k, tc.csize, tc.inter, 1); err == nil {
+			t.Errorf("Clustered(%d,%d,%d) should report an error", tc.k, tc.csize, tc.inter)
+		}
 	}
 }
 
@@ -89,7 +104,10 @@ func TestRing(t *testing.T) {
 }
 
 func TestClustered(t *testing.T) {
-	app := Clustered(3, 4, 3, 7)
+	app, err := Clustered(3, 4, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := app.Validate(); err != nil {
 		t.Fatalf("Clustered invalid: %v", err)
 	}

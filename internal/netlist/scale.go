@@ -1,0 +1,214 @@
+package netlist
+
+import (
+	"fmt"
+
+	"sring/internal/geom"
+)
+
+// Large synthetic applications for stressing the synthesis pipeline past the
+// ≤26-node paper benchmarks. Three families:
+//
+//   - ScaledSoC: hierarchical subsystem traffic in the style of D26, scaled
+//     to 64/128/256/512 nodes. Tiles of 16 nodes carry dense local pipeline
+//     traffic, tile hubs exchange within quads, quad leaders exchange with a
+//     global root — a three-tier traffic hierarchy that exercises the
+//     multi-level cluster constructor.
+//   - PMN: processor-memory networks generalising 8PM-24/32/44 to arbitrary
+//     even node counts, for density sweeps.
+//   - Circulant: ring-circulant patterns after Romanov's circulant NoC
+//     topologies (PAPERS.md), message i -> (i+s) mod n for each generator s.
+//
+// All three are pure functions of their parameters — no RNG — so their
+// output is byte-identical across runs and platforms.
+
+// scaledTile is the number of nodes per subsystem tile in ScaledSoC.
+const scaledTile = 16
+
+// ScaledSoC returns a hierarchical multimedia-SoC-style application with n
+// nodes, n a positive multiple of 16. Node IDs are tile-major: tile b holds
+// IDs [16b, 16b+16). Within a tile, local ID 0 is the tile hub (memory
+// controller); IDs 1..15 form a processing pipeline with hub spill traffic.
+// Tiles are grouped in quads whose member hubs talk to the quad leader hub
+// (tile 4*(b/4)), and quad leader hubs talk to the global root hub (tile 0) —
+// the same subsystem/backbone shape as D26, one level deeper.
+func ScaledSoC(n int) (*Application, error) {
+	if n < scaledTile || n%scaledTile != 0 {
+		return nil, fmt.Errorf("netlist: ScaledSoC needs n a positive multiple of %d, got %d", scaledTile, n)
+	}
+	tiles := n / scaledTile
+	tileCols := 1
+	for tileCols*tileCols < tiles {
+		tileCols++
+	}
+	app := &Application{Name: fmt.Sprintf("D%d", n)}
+	// Tiles sit on a coarse grid; members on a 4x4 fine grid inside.
+	const pitch, tilePitch = 0.15, 0.8
+	for b := 0; b < tiles; b++ {
+		base := geom.Pt(float64(b%tileCols)*tilePitch, float64(b/tileCols)*tilePitch)
+		for i := 0; i < scaledTile; i++ {
+			app.Nodes = append(app.Nodes, Node{
+				ID:   NodeID(b*scaledTile + i),
+				Name: fmt.Sprintf("t%d_n%d", b, i),
+				Pos:  base.Add(float64(i%4)*pitch, float64(i/4)*pitch),
+			})
+		}
+	}
+	hub := func(b int) NodeID { return NodeID(b * scaledTile) }
+	add := func(src, dst NodeID, bw float64) {
+		app.Messages = append(app.Messages, Message{Src: src, Dst: dst, Bandwidth: bw})
+	}
+	for b := 0; b < tiles; b++ {
+		o := b * scaledTile
+		// Local pipeline through the tile's fifteen workers, bandwidths
+		// varied deterministically by position so assignments are not
+		// symmetric.
+		for i := 1; i < scaledTile-1; i++ {
+			add(NodeID(o+i), NodeID(o+i+1), float64(96+((b+i)%5)*32))
+		}
+		add(NodeID(o+scaledTile-1), NodeID(o+1), 64) // pipeline wrap-around
+		// Hub spill traffic: pipeline head and two staging points exchange
+		// with the tile hub.
+		add(NodeID(o+1), hub(b), 320)
+		add(hub(b), NodeID(o+1), 280)
+		add(NodeID(o+8), hub(b), 240)
+		add(hub(b), NodeID(o+12), 200)
+	}
+	// Neighbour spill: consecutive tiles stream through their edge nodes,
+	// the cross-subsystem spill traffic of D26 scaled out.
+	for b := 1; b < tiles; b++ {
+		add(NodeID(b*scaledTile+2), NodeID((b-1)*scaledTile+3), 96)
+		add(NodeID((b-1)*scaledTile+3), NodeID(b*scaledTile+2), 96)
+	}
+	// Quad backbone: each non-leader hub exchanges with its quad leader,
+	// and each tile's DMA node feeds the leader's staging node.
+	for b := 0; b < tiles; b++ {
+		leader := 4 * (b / 4)
+		if b != leader {
+			add(hub(b), hub(leader), 160)
+			add(hub(leader), hub(b), 160)
+			add(NodeID(b*scaledTile+4), NodeID(leader*scaledTile+12), 80)
+		}
+	}
+	// Root backbone: each quad leader exchanges with the global root hub.
+	for q := 1; q < (tiles+3)/4; q++ {
+		add(hub(4*q), hub(0), 128)
+		add(hub(0), hub(4*q), 128)
+	}
+	return app, nil
+}
+
+// PMN returns an n-node processor-memory network generalising the paper's
+// 8PM family: n/2 processors P0..P(n/2-1) followed by n/2 memories, placed
+// row-major on a square-ish grid. Each processor exchanges traffic with
+// memsPerCPU memories (round-robin offset, both directions); cpuPairs
+// additionally adds all-pairs inter-processor traffic. n must be even
+// and >= 4.
+func PMN(n, memsPerCPU int, cpuPairs bool) (*Application, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("netlist: PMN needs even n >= 4, got %d", n)
+	}
+	p := n / 2
+	if memsPerCPU < 1 || memsPerCPU > p {
+		return nil, fmt.Errorf("netlist: PMN with %d memories cannot give each processor %d", p, memsPerCPU)
+	}
+	m := 2 * p * memsPerCPU
+	if cpuPairs {
+		m += p * (p - 1)
+	}
+	names := make([]string, n)
+	for i := 0; i < p; i++ {
+		names[i] = fmt.Sprintf("P%d", i)
+		names[p+i] = fmt.Sprintf("M%d", i)
+	}
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	app := &Application{
+		Name:  fmt.Sprintf("%dPM-%d", n, m),
+		Nodes: grid(n, cols, 0.1, names),
+	}
+	for pi := 0; pi < p; pi++ {
+		for k := 0; k < memsPerCPU; k++ {
+			mi := NodeID(p + (pi+k)%p)
+			app.Messages = append(app.Messages,
+				Message{Src: NodeID(pi), Dst: mi, Bandwidth: 800},
+				Message{Src: mi, Dst: NodeID(pi), Bandwidth: 800})
+		}
+	}
+	if cpuPairs {
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				app.Messages = append(app.Messages,
+					Message{Src: NodeID(i), Dst: NodeID(j), Bandwidth: 200},
+					Message{Src: NodeID(j), Dst: NodeID(i), Bandwidth: 200})
+			}
+		}
+	}
+	return app, nil
+}
+
+// Circulant returns an n-node ring-circulant application: one message
+// i -> (i+s) mod n for every node i and every generator s. Generators must
+// be distinct values in [1, n-1]. The name encodes the parameters, e.g.
+// Circulant(64, 1, 9) is "circ64-1-9".
+func Circulant(n int, gens ...int) (*Application, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("netlist: Circulant needs n >= 2, got %d", n)
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("netlist: Circulant needs at least one generator")
+	}
+	seen := make(map[int]bool)
+	name := fmt.Sprintf("circ%d", n)
+	for _, s := range gens {
+		if s < 1 || s >= n {
+			return nil, fmt.Errorf("netlist: Circulant generator %d out of range [1, %d]", s, n-1)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("netlist: duplicate Circulant generator %d", s)
+		}
+		seen[s] = true
+		name += fmt.Sprintf("-%d", s)
+	}
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	app := &Application{Name: name, Nodes: grid(n, cols, 0.15, nil)}
+	for i := 0; i < n; i++ {
+		for _, s := range gens {
+			app.Messages = append(app.Messages, Message{
+				Src: NodeID(i), Dst: NodeID((i + s) % n), Bandwidth: 64,
+			})
+		}
+	}
+	return app, nil
+}
+
+// mustApp converts a generator (app, error) pair into a registry builder;
+// the registered parameter sets are all statically valid, so an error here
+// is a programming bug.
+func mustApp(app *Application, err error) *Application {
+	if err != nil {
+		panic(err)
+	}
+	return app
+}
+
+// Scale returns the registered large synthetic applications: the scaled-SoC
+// hierarchy at 64/128/256/512 nodes, two processor-memory density points
+// extending the 8PM family, and two Romanov-style circulants.
+func Scale() []*Application {
+	return []*Application{
+		mustApp(ScaledSoC(64)),
+		mustApp(ScaledSoC(128)),
+		mustApp(ScaledSoC(256)),
+		mustApp(ScaledSoC(512)),
+		mustApp(PMN(32, 3, false)), // 32PM-96
+		mustApp(PMN(32, 4, false)), // 32PM-128
+		mustApp(Circulant(64, 1, 9)),
+		mustApp(Circulant(128, 1, 11)),
+	}
+}

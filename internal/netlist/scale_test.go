@@ -1,0 +1,86 @@
+package netlist
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Every registered scale app must be a valid application with a unique
+// name, and the node counts must match what the name advertises.
+func TestScaleAppsValid(t *testing.T) {
+	apps := Scale()
+	if len(apps) != 8 {
+		t.Fatalf("Scale() returned %d apps, want 8", len(apps))
+	}
+	// The PM names follow the paper's 8PM-24 convention: node count,
+	// then message count.
+	wantN := map[string]int{
+		"D64": 64, "D128": 128, "D256": 256, "D512": 512,
+		"32PM-96": 32, "32PM-128": 32,
+		"circ64-1-9": 64, "circ128-1-11": 128,
+	}
+	wantM := map[string]int{"32PM-96": 96, "32PM-128": 128}
+	seen := make(map[string]bool)
+	for _, a := range apps {
+		if seen[a.Name] {
+			t.Errorf("duplicate scale app name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		if n, ok := wantN[a.Name]; ok && a.N() != n {
+			t.Errorf("%s: %d nodes, want %d", a.Name, a.N(), n)
+		}
+		if m, ok := wantM[a.Name]; ok && a.M() != m {
+			t.Errorf("%s: %d messages, want %d", a.Name, a.M(), m)
+		}
+	}
+	for name := range wantN {
+		if !seen[name] {
+			t.Errorf("scale app %q not registered", name)
+		}
+	}
+}
+
+// The scale generators are pure functions of their parameters: calling one
+// twice must produce byte-identical applications (the golden-determinism
+// contract the stage cache and the CI smoke comparison rely on).
+func TestScaleGeneratorsDeterministic(t *testing.T) {
+	if !reflect.DeepEqual(Scale(), Scale()) {
+		t.Error("Scale() is not reproducible across calls")
+	}
+	twice := func(name string, gen func() (*Application, error)) {
+		a, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s is not reproducible across calls", name)
+		}
+	}
+	twice("ScaledSoC(128)", func() (*Application, error) { return ScaledSoC(128) })
+	twice("PMN(32,3,false)", func() (*Application, error) { return PMN(32, 3, false) })
+	twice("Circulant(64,1,9)", func() (*Application, error) { return Circulant(64, 1, 9) })
+}
+
+// Infeasible generator parameters are reported as errors, never panics —
+// these reach the serve daemon's request path.
+func TestScaleGeneratorErrors(t *testing.T) {
+	if _, err := ScaledSoC(3); err == nil {
+		t.Error("ScaledSoC(3) did not fail")
+	}
+	if _, err := PMN(0, 1, false); err == nil {
+		t.Error("PMN(0,1,false) did not fail")
+	}
+	if _, err := Circulant(8, 0); err == nil {
+		t.Error("Circulant(8,0) did not fail")
+	}
+	if _, err := Circulant(8, 2, 2); err == nil {
+		t.Error("Circulant(8,2,2) with a duplicate generator did not fail")
+	}
+}

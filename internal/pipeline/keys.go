@@ -33,7 +33,9 @@ type stageKeys struct {
 func buildStageKeys(app *netlist.Application, method string, opt Options, tech loss.Tech) stageKeys {
 	var ks stageKeys
 
-	h := newKeyHasher("construct/1")
+	// construct/2: the multi-level hierarchical constructor changed the
+	// SRing construction semantics (and Construction gained Levels).
+	h := newKeyHasher("construct/2")
 	h.application(app)
 	h.str(method)
 	h.i64(int64(opt.TreeHeight))
@@ -52,9 +54,11 @@ func buildStageKeys(app *netlist.Application, method string, opt Options, tech l
 
 	// The assignment depends on the effective weights too, but those are a
 	// pure function of (construction, tech) — both already in the chain.
-	h = newKeyHasher("assign/1")
+	// assign/2: the assignment stage gained the decomposed exact solve.
+	h = newKeyHasher("assign/2")
 	h.key(ks.loss)
 	h.bool(opt.UseMILP)
+	h.bool(opt.DecomposeAssign)
 	h.i64(int64(opt.MILPTimeLimit))
 	ks.assign = h.sum()
 

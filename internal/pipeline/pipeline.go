@@ -62,9 +62,22 @@ type Options struct {
 	// small enough for the built-in solver; the splitter-aware heuristic
 	// always runs and seeds it.
 	UseMILP bool
-	// MILPTimeLimit bounds the exact solve (zero: milp.DefaultTimeLimit).
-	// A context deadline or cancellation unifies with this budget: the
-	// solver stops at whichever comes first and returns its incumbent.
+	// DecomposeAssign splits the exact wavelength assignment into the
+	// connected components of the ring-coupling graph, solved separately
+	// and coordinated by a small assembly MILP (internal/wavelength,
+	// Options.Decompose). Components too large for the monolithic size
+	// gate are further cut along the construction hierarchy into boundary
+	// (inter-ring) and per-cluster leaf pieces on disjoint palette banks,
+	// so large hierarchical constructions reach exact per-cluster solves
+	// the monolithic gate rejects. On instances that reduce to one
+	// gate-sized piece the result is identical to the monolithic solve.
+	// Effective only with UseMILP.
+	DecomposeAssign bool
+	// MILPTimeLimit bounds each exact solve (zero: milp.DefaultTimeLimit);
+	// under DecomposeAssign the per-piece palette sweep runs several
+	// solves, each with this budget. A context deadline or cancellation
+	// unifies with it: the solver stops at whichever comes first and
+	// returns its incumbent.
 	MILPTimeLimit time.Duration
 	// Parallelism is the worker count used throughout the pipeline (0 =
 	// GOMAXPROCS, 1 = sequential). The synthesised design is bit-identical
@@ -110,6 +123,10 @@ type Construction struct {
 	// MRRFullComplement populates every node's complete MRR arrays on every
 	// ring (ORNoC/CTORing convention); SRing and XRing prune.
 	MRRFullComplement bool
+	// Levels is the construction's hierarchy depth: 0 for flat methods,
+	// 1 for an all-intra SRing clustering, 2 for the paper's two-level
+	// shape, more when the multi-level constructor recursed.
+	Levels int
 	// Weights are the wavelength-assignment objective coefficients.
 	Weights wavelength.Weights
 	// SplitterWeightFromTech, when set, overrides Weights.SplitterStageDB
@@ -290,9 +307,18 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 				if con.SplitterWeightFromTech {
 					w.SplitterStageDB = tech.SplitterStageDB()
 				}
+				var ringLevels map[int]int
+				if opt.DecomposeAssign && con.Levels > 0 {
+					ringLevels = make(map[int]int, len(con.Rings))
+					for _, r := range con.Rings {
+						ringLevels[r.ID] = r.Level
+					}
+				}
 				assignment, stats, err = wavelength.AssignContext(ctx, infos, wavelength.Options{
 					Weights:       w,
 					UseMILP:       opt.UseMILP,
+					Decompose:     opt.DecomposeAssign,
+					RingLevels:    ringLevels,
 					MILPTimeLimit: opt.MILPTimeLimit,
 					Parallelism:   opt.Parallelism,
 					Obs:           root,
@@ -352,6 +378,7 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 	return &design.Design{
 		App:         app,
 		Method:      method,
+		Levels:      con.Levels,
 		Rings:       con.Rings,
 		Infos:       infos,
 		Assignment:  assignment,

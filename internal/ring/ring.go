@@ -49,8 +49,13 @@ func (k Kind) String() string {
 // A ring of two nodes is an out-and-back loop with two distinct segments,
 // as in the paper's initial two-node clusters (Fig. 5(c)).
 type Ring struct {
-	ID    int
-	Kind  Kind
+	ID   int
+	Kind Kind
+	// Level is the ring's height in a hierarchical construction: 0 for
+	// intra-cluster and conventional base rings, k >= 1 for the k-th
+	// escalation level of inter-cluster sub-rings (the paper's single
+	// inter ring is level 1).
+	Level int
 	Order []netlist.NodeID
 }
 
@@ -89,7 +94,7 @@ func (r *Ring) Contains(id netlist.NodeID) bool { return r.Index(id) >= 0 }
 // Reversed returns a copy of the ring traversed in the opposite direction.
 // Reversing flips which arc each signal path occupies.
 func (r *Ring) Reversed() *Ring {
-	rev := &Ring{ID: r.ID, Kind: r.Kind, Order: make([]netlist.NodeID, len(r.Order))}
+	rev := &Ring{ID: r.ID, Kind: r.Kind, Level: r.Level, Order: make([]netlist.NodeID, len(r.Order))}
 	for i, id := range r.Order {
 		rev.Order[len(r.Order)-1-i] = id
 	}

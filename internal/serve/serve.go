@@ -14,9 +14,9 @@
 //
 // Endpoints:
 //
-//	POST /synthesize   {app|netlist, method, options, stream} → summary JSON
-//	                   (stream=true: NDJSON progress events, then the summary)
-//	GET  /methods      registered methods and builtin application names
+//	POST /synthesize   {app|netlist|generate, method, options, stream} → summary
+//	                   JSON (stream=true: NDJSON progress events, then the summary)
+//	GET  /methods      registered methods and the netlist registry's app names
 //	GET  /stats.json   cache statistics
 //	GET  /metrics      Prometheus text exposition of the registry
 //	GET  /healthz      liveness
@@ -53,10 +53,14 @@ type Server struct {
 
 // Request is the POST /synthesize body.
 type Request struct {
-	// App names a builtin benchmark (exactly one of App, Netlist).
+	// App names a builtin application from the netlist registry (exactly
+	// one of App, Netlist, Generate).
 	App string `json:"app,omitempty"`
 	// Netlist is an inline application in the netlist JSON schema.
 	Netlist json.RawMessage `json:"netlist,omitempty"`
+	// Generate builds a synthetic application on the fly from generator
+	// parameters instead of naming or inlining one.
+	Generate *GenerateSpec `json:"generate,omitempty"`
 	// Method is the registered synthesis method to run.
 	Method string `json:"method"`
 	// Options tune the run; zero values mean the pipeline defaults.
@@ -73,9 +77,53 @@ type RequestOptions struct {
 	ClusterTrials   int        `json:"cluster_trials,omitempty"`
 	MaxChords       int        `json:"max_chords,omitempty"`
 	UseMILP         bool       `json:"use_milp,omitempty"`
+	Decompose       bool       `json:"decompose,omitempty"`
 	MILPTimeLimitMS int64      `json:"milp_time_limit_ms,omitempty"`
 	Parallelism     int        `json:"parallelism,omitempty"`
 	PhysicalPDN     bool       `json:"physical_pdn,omitempty"`
+}
+
+// GenerateSpec parameterizes an on-the-fly synthetic application. The
+// generators validate their parameters and return errors (never panic), so
+// a malformed spec is a clean HTTP 400.
+type GenerateSpec struct {
+	// Kind selects the generator: "random", "clustered", "scaled-soc",
+	// "pmn", or "circulant".
+	Kind string `json:"kind"`
+	// N is the node count (random, scaled-soc, pmn, circulant).
+	N int `json:"n,omitempty"`
+	// M is the message count (random).
+	M int `json:"m,omitempty"`
+	// Seed drives the deterministic pseudo-random generators (random,
+	// clustered).
+	Seed int64 `json:"seed,omitempty"`
+	// Clusters, ClusterSize and InterFlows parameterize "clustered".
+	Clusters    int `json:"clusters,omitempty"`
+	ClusterSize int `json:"cluster_size,omitempty"`
+	InterFlows  int `json:"inter_flows,omitempty"`
+	// MemsPerCPU and CPUPairs parameterize "pmn".
+	MemsPerCPU int  `json:"mems_per_cpu,omitempty"`
+	CPUPairs   bool `json:"cpu_pairs,omitempty"`
+	// Gens are the circulant chord generators.
+	Gens []int `json:"gens,omitempty"`
+}
+
+// build runs the selected generator.
+func (g *GenerateSpec) build() (*netlist.Application, error) {
+	switch g.Kind {
+	case "random":
+		return netlist.Random(g.N, g.M, g.Seed)
+	case "clustered":
+		return netlist.Clustered(g.Clusters, g.ClusterSize, g.InterFlows, g.Seed)
+	case "scaled-soc":
+		return netlist.ScaledSoC(g.N)
+	case "pmn":
+		return netlist.PMN(g.N, g.MemsPerCPU, g.CPUPairs)
+	case "circulant":
+		return netlist.Circulant(g.N, g.Gens...)
+	default:
+		return nil, fmt.Errorf(`unknown generator kind %q (want "random", "clustered", "scaled-soc", "pmn", or "circulant")`, g.Kind)
+	}
 }
 
 // Response is the synthesis summary: the paper's per-design evaluation
@@ -154,10 +202,17 @@ func (s *Server) parseRequest(req *Request) (*netlist.Application, pipeline.Opti
 		return nil, opt, fmt.Errorf("unknown method %q (registered: %v)", req.Method, pipeline.Methods())
 	}
 
+	sources := 0
+	for _, set := range []bool{req.App != "", len(req.Netlist) > 0, req.Generate != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, opt, errors.New(`"app", "netlist" and "generate" are mutually exclusive`)
+	}
 	var app *netlist.Application
 	switch {
-	case req.App != "" && len(req.Netlist) > 0:
-		return nil, opt, errors.New(`"app" and "netlist" are mutually exclusive`)
 	case req.App != "":
 		a, err := netlist.ByName(req.App)
 		if err != nil {
@@ -170,8 +225,14 @@ func (s *Server) parseRequest(req *Request) (*netlist.Application, pipeline.Opti
 			return nil, opt, err
 		}
 		app = a
+	case req.Generate != nil:
+		a, err := req.Generate.build()
+		if err != nil {
+			return nil, opt, err
+		}
+		app = a
 	default:
-		return nil, opt, errors.New(`need "app" (builtin name) or "netlist" (inline application)`)
+		return nil, opt, errors.New(`need "app" (builtin name), "netlist" (inline application), or "generate" (generator spec)`)
 	}
 
 	ro := req.Options
@@ -191,6 +252,7 @@ func (s *Server) parseRequest(req *Request) (*netlist.Application, pipeline.Opti
 	opt.ClusterTrials = ro.ClusterTrials
 	opt.MaxChords = ro.MaxChords
 	opt.UseMILP = ro.UseMILP
+	opt.DecomposeAssign = ro.Decompose
 	opt.MILPTimeLimit = time.Duration(ro.MILPTimeLimitMS) * time.Millisecond
 	opt.Parallelism = ro.Parallelism
 	if s.MaxParallelism > 0 && (opt.Parallelism == 0 || opt.Parallelism > s.MaxParallelism) {
@@ -347,14 +409,10 @@ func summarize(d *design.Design) (*Response, error) {
 }
 
 func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
-	var apps []string
-	for _, b := range netlist.Benchmarks() {
-		apps = append(apps, b.Name)
-	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string][]string{
 		"methods": pipeline.Methods(),
-		"apps":    apps,
+		"apps":    netlist.Names(),
 	})
 }
 

@@ -87,6 +87,10 @@ func TestSynthesizeBadRequests(t *testing.T) {
 		{"unknown app", `{"app":"NoSuchApp","method":"SRing"}`, 400, "NoSuchApp"},
 		{"no app or netlist", `{"method":"SRing"}`, 400, "app"},
 		{"app and netlist", `{"app":"MWD","netlist":{"name":"x"},"method":"SRing"}`, 400, "mutually exclusive"},
+		{"app and generate", `{"app":"MWD","generate":{"kind":"random","n":4,"m":6},"method":"SRing"}`, 400, "mutually exclusive"},
+		{"bad generator kind", `{"generate":{"kind":"nope"},"method":"SRing"}`, 400, "generator kind"},
+		{"infeasible generator params", `{"generate":{"kind":"random","n":4,"m":99},"method":"SRing"}`, 400, "cannot place"},
+		{"bad circulant", `{"generate":{"kind":"circulant","n":8,"gens":[0]},"method":"SRing"}`, 400, "Circulant generator 0 out of range"},
 		{"invalid tech", `{"app":"MWD","method":"SRing","options":{"tech":{"DropDB":-1}}}`, 400, "tech"},
 		{"partial tech", `{"app":"MWD","method":"SRing","options":{"tech":{"DropDB":0.5}}}`, 400, "tech"},
 		{"negative parallelism", `{"app":"MWD","method":"SRing","options":{"parallelism":-1}}`, 400, "non-negative"},
@@ -141,6 +145,21 @@ func TestSynthesizeOK(t *testing.T) {
 	if reg.Histogram("serve.request.ns").Count() == 0 {
 		t.Error("serve.request.ns recorded nothing")
 	}
+
+	t.Run("generated app with decomposed assignment", func(t *testing.T) {
+		w := postSynthesize(t, h, `{"generate":{"kind":"clustered","clusters":2,"cluster_size":3,"inter_flows":1,"seed":1},
+			"method":"SRing","options":{"parallelism":1,"use_milp":true,"decompose":true,"milp_time_limit_ms":500}}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", w.Code, w.Body)
+		}
+		var gen serve.Response
+		if err := json.Unmarshal(w.Body.Bytes(), &gen); err != nil {
+			t.Fatal(err)
+		}
+		if gen.App != "clustered-k2-c3" || gen.Metrics == nil || gen.Metrics.NumWavelengths <= 0 {
+			t.Errorf("generated synthesis incomplete: %+v", gen)
+		}
+	})
 
 	t.Run("inline netlist", func(t *testing.T) {
 		var nl bytes.Buffer
@@ -258,8 +277,13 @@ func TestAncillaryEndpoints(t *testing.T) {
 
 	var methods map[string][]string
 	getJSON(t, ts.URL+"/methods", &methods)
-	if len(methods["methods"]) < 4 || len(methods["apps"]) != 7 {
+	if len(methods["methods"]) < 4 {
 		t.Errorf("methods = %v", methods)
+	}
+	// The apps list is the full netlist registry: paper benchmarks plus the
+	// extended task graphs plus the scale apps.
+	if want := netlist.Names(); len(methods["apps"]) != len(want) || len(want) <= 7 {
+		t.Errorf("apps = %v, want the %d registry names", methods["apps"], len(want))
 	}
 
 	var stats pipeline.CacheStats

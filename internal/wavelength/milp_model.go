@@ -618,7 +618,7 @@ func SolveMILPRegistry(ctx context.Context, infos []PathInfo, numLambda int, w W
 		a.Normalize()
 		return a, info, nil
 	case milp.Infeasible:
-		return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP infeasible with %d wavelengths", numLambda)
+		return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP %w with %d wavelengths", ErrInfeasible, numLambda)
 	default:
 		return nil, info, nil // no solution found within limits
 	}

@@ -466,6 +466,23 @@ type Options struct {
 	// ExtraLambda lets the MILP use up to this many wavelengths beyond the
 	// heuristic's count, enabling the λ-for-splitter trade. Zero means 1.
 	ExtraLambda int
+	// Decompose splits the exact solve into the connected components of the
+	// ring-coupling graph (rings are coupled when one node sends on both),
+	// solves each piece's MILP separately over a palette sweep, and
+	// coordinates the shared palette with a small assembly MILP — see
+	// decompose.go. Components too large for the monolithic size gate are
+	// further cut along the construction hierarchy (RingLevels) into
+	// boundary and per-cluster leaf pieces on disjoint palette banks, so
+	// the decomposed solve reaches sizes the MaxBinaries gate would reject
+	// monolithically. Instances that reduce to one gate-sized piece run
+	// the monolithic solve unchanged, so results are identical there.
+	// Effective only with UseMILP.
+	Decompose bool
+	// RingLevels maps ring ID to its construction hierarchy level (0 =
+	// intra-cluster, >= 1 = inter-cluster) and enables the boundary/leaf
+	// tier cut for oversized components under Decompose. Nil disables the
+	// cut; such components then contribute heuristic candidates only.
+	RingLevels map[int]int
 	// Obs, when non-nil, is the parent span under which the assignment
 	// records its telemetry: heuristic and MILP child spans, the
 	// heuristic-vs-MILP objective delta, and per-wavelength loss events.
@@ -503,6 +520,24 @@ type Stats struct {
 	// assignment is the best of the heuristic and the solver's incumbent
 	// at that moment, not the converged result.
 	Cancelled bool
+	// DecompComponents is the number of pieces the decomposed solve
+	// partitioned the instance into — ring-coupling components, after the
+	// boundary/leaf tier cut of components too large for the monolithic
+	// gate. 0 when decomposition was not requested, 1 when the instance
+	// was one gate-sized piece and ran the monolithic solve verbatim.
+	DecompComponents int
+	// DecompCandidates is the total number of per-piece palette candidates
+	// offered to the coordination model (multi-piece decomposed solves
+	// only).
+	DecompCandidates int
+	// DecompExact reports that every per-piece MILP in a multi-piece
+	// decomposed solve proved optimality and the coordination model was
+	// solved to optimality. Unlike MILPExact it does not certify a global
+	// optimum — the candidate palette sweep is heuristically complete and
+	// the tier cut forbids cross-bank wavelength sharing (see
+	// decompose.go) — so MILPExact stays false on multi-piece decomposed
+	// solves.
+	DecompExact bool
 }
 
 // Assign computes a wavelength assignment with no cancellation hook. See
@@ -548,8 +583,46 @@ func AssignContext(ctx context.Context, infos []PathInfo, opt Options) (*Assignm
 		if extra == 0 {
 			extra = 1
 		}
+		ranDecomposed := false
+		if opt.Decompose {
+			comps := splitterComponents(infos)
+			pieces := buildPieces(infos, comps, best, extra, maxBin, opt.RingLevels)
+			stats.DecompComponents = len(pieces)
+			sp.SetInt("decomp_components", int64(len(pieces)))
+			reg := obs.OrDefault(opt.Registry)
+			reg.Add("wavelength.decomp.solves", 1)
+			reg.Observe("wavelength.decomp.components", int64(len(pieces)))
+			// One gate-sized piece carries the whole instance: fall through
+			// to the monolithic solve, which is then the decomposition
+			// verbatim.
+			if len(pieces) > 1 {
+				ranDecomposed = true
+				merged, nCand, exact, cancelled, err := assignDecomposed(ctx, infos, pieces, best, w,
+					opt.MILPTimeLimit, maxBin, extra, opt.Parallelism, opt.Registry, sp)
+				if err != nil {
+					return nil, nil, err
+				}
+				stats.DecompCandidates = nCand
+				stats.DecompExact = exact
+				stats.Cancelled = cancelled
+				sp.SetInt("decomp_candidates", int64(nCand))
+				sp.SetBool("decomp_exact", exact)
+				reg.Add("wavelength.decomp.candidates", int64(nCand))
+				if exact {
+					reg.Add("wavelength.decomp.exact", 1)
+				}
+				if merged != nil {
+					if o := Evaluate(infos, merged, w); o.Value < stats.Final.Value-1e-9 {
+						best = merged
+						stats.Final = o
+					}
+				}
+			}
+		}
 		numLambda := best.NumLambda + extra
-		if len(infos)*numLambda <= maxBin {
+		if ranDecomposed {
+			// The exact work happened per component above.
+		} else if len(infos)*numLambda <= maxBin {
 			milpA, info, err := SolveMILPRegistry(ctx, infos, numLambda, w, best, opt.MILPTimeLimit, opt.Parallelism, opt.Registry, sp)
 			if err != nil {
 				return nil, nil, err

@@ -12,7 +12,10 @@ func TestPipelineInvariantsRandomApps(t *testing.T) {
 	for seed := int64(1); seed <= 12; seed++ {
 		n := 4 + int(seed)%8
 		m := n + int(seed*13)%(2*n)
-		app := RandomApplication(n, m, seed)
+		app, err := RandomApplication(n, m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
 		ctoSp := -1
 		sringSp := -1
 		for _, method := range Methods() {

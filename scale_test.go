@@ -1,0 +1,157 @@
+package sring
+
+import (
+	"reflect"
+	"testing"
+
+	"sring/internal/netlist"
+	"sring/internal/ring"
+	"sring/internal/wavelength"
+)
+
+// Property tests over the large synthetic applications: the structural
+// guarantees that hold on the seven paper benchmarks must survive the jump
+// to 64-256 nodes, for every registered method. ClusterTrials caps SRing's
+// initial-vertex search so the whole sweep stays test-budget sized; the
+// cap changes solution quality only, never validity.
+
+// scaleApps returns the scale applications under test: 64 and 128 nodes
+// always, 256 when not in short mode.
+func scaleApps(t *testing.T) []*Application {
+	t.Helper()
+	names := []string{"D64", "D128"}
+	if !testing.Short() {
+		names = append(names, "D256")
+	}
+	apps := make([]*Application, 0, len(names))
+	for _, name := range names {
+		app, err := Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+	}
+	return apps
+}
+
+// Every method must produce a complete, conflict-free design at scale:
+// one routed path per message in message order, endpoints on the path's
+// ring, and a collision-free wavelength assignment.
+func TestScaleAllMethodsValid(t *testing.T) {
+	for _, app := range scaleApps(t) {
+		for _, m := range Methods() {
+			d, err := Synthesize(app, m, Options{ClusterTrials: 4, MaxChords: 8})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app.Name, m, err)
+			}
+			if len(d.Infos) != app.M() {
+				t.Fatalf("%s/%s: %d paths for %d messages", app.Name, m, len(d.Infos), app.M())
+			}
+			rings := make(map[int]*ring.Ring, len(d.Rings))
+			for _, r := range d.Rings {
+				rings[r.ID] = r
+			}
+			for i, pi := range d.Infos {
+				msg := app.Messages[i]
+				if pi.Path.Msg.Src != msg.Src || pi.Path.Msg.Dst != msg.Dst {
+					t.Fatalf("%s/%s: path %d routes %d->%d, message is %d->%d",
+						app.Name, m, i, pi.Path.Msg.Src, pi.Path.Msg.Dst, msg.Src, msg.Dst)
+				}
+				r := rings[pi.Path.RingID]
+				if r == nil || !r.Contains(msg.Src) || !r.Contains(msg.Dst) {
+					t.Fatalf("%s/%s: message %d (%d->%d) not covered by ring %d",
+						app.Name, m, i, msg.Src, msg.Dst, pi.Path.RingID)
+				}
+			}
+			if err := wavelength.Verify(d.Infos, d.Assignment); err != nil {
+				t.Errorf("%s/%s: invalid assignment: %v", app.Name, m, err)
+			}
+			met, err := d.Metrics()
+			if err != nil {
+				t.Fatalf("%s/%s: metrics: %v", app.Name, m, err)
+			}
+			if met.NumWavelengths <= 0 || met.TotalLaserPowerMW <= 0 {
+				t.Errorf("%s/%s: implausible metrics: %+v", app.Name, m, met)
+			}
+		}
+	}
+}
+
+// The multi-level constructor keeps the pipeline's determinism contract at
+// scale: a 128-node SRing synthesis at Parallelism 4 must be bit-identical
+// to the sequential run — rings (including levels), assignment, stats,
+// metrics.
+func TestScaleParallelBitIdentical(t *testing.T) {
+	app, err := Benchmark("D128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{ClusterTrials: 8, Parallelism: 1}
+	seq, err := Synthesize(app, MethodSRing, opt)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	opt.Parallelism = 4
+	par, err := Synthesize(app, MethodSRing, opt)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if seq.Levels != par.Levels {
+		t.Errorf("hierarchy depth diverged: %d vs %d", par.Levels, seq.Levels)
+	}
+	fs, fp := fingerprint(t, seq), fingerprint(t, par)
+	if !reflect.DeepEqual(fs, fp) {
+		t.Errorf("parallel scale design diverged from sequential\n got %+v\nwant %+v", fp, fs)
+	}
+}
+
+// SRing's hierarchy invariants at scale: the multi-level constructor must
+// actually recurse past the paper's two-level shape at >= 128 nodes, and
+// the paper's sender bound generalises per level — a node sends on at most
+// one ring of each hierarchy level, hence at most Levels sender rings
+// total.
+func TestScaleSRingHierarchyInvariants(t *testing.T) {
+	for _, app := range scaleApps(t) {
+		d, err := Synthesize(app, MethodSRing, Options{ClusterTrials: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		wantLevels := 2
+		if app.N() >= 128 {
+			wantLevels = 3
+		}
+		if d.Levels < wantLevels {
+			t.Errorf("%s: hierarchy depth %d, want >= %d", app.Name, d.Levels, wantLevels)
+		}
+		level := make(map[int]int, len(d.Rings))
+		for _, r := range d.Rings {
+			level[r.ID] = r.Level
+		}
+		// node -> level -> set of rings the node sends on at that level
+		senders := make(map[netlist.NodeID]map[int]map[int]bool)
+		for _, pi := range d.Infos {
+			n := pi.Path.Msg.Src
+			l := level[pi.Path.RingID]
+			if senders[n] == nil {
+				senders[n] = make(map[int]map[int]bool)
+			}
+			if senders[n][l] == nil {
+				senders[n][l] = make(map[int]bool)
+			}
+			senders[n][l][pi.Path.RingID] = true
+		}
+		for n, byLevel := range senders {
+			total := 0
+			for l, rs := range byLevel {
+				if len(rs) > 1 {
+					t.Errorf("%s: node %d sends on %d rings at level %d, want <= 1", app.Name, n, len(rs), l)
+				}
+				total += len(rs)
+			}
+			if total > d.Levels {
+				t.Errorf("%s: node %d sends on %d rings, more than the %d hierarchy levels",
+					app.Name, n, total, d.Levels)
+			}
+		}
+	}
+}
