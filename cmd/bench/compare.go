@@ -149,6 +149,34 @@ func compareSnapshots(oldSnap, newSnap *snapshot, threshold float64) []string {
 	return regressed
 }
 
+// entryNameDiff returns the entry names present in only one snapshot, each
+// side sorted in its snapshot's order. Such entries never gate — only the
+// intersection is compared — but a silent mismatch would let a comparison
+// "pass" while gating a different benchmark set than the reader assumes
+// (a renamed app, a dropped method, snapshots from different producers), so
+// runCompare warns about them.
+func entryNameDiff(oldSnap, newSnap *snapshot) (onlyOld, onlyNew []string) {
+	oldNames := make(map[string]bool, len(oldSnap.Entries))
+	for _, e := range oldSnap.Entries {
+		oldNames[e.Name] = true
+	}
+	newNames := make(map[string]bool, len(newSnap.Entries))
+	for _, e := range newSnap.Entries {
+		newNames[e.Name] = true
+	}
+	for _, e := range oldSnap.Entries {
+		if !newNames[e.Name] {
+			onlyOld = append(onlyOld, e.Name)
+		}
+	}
+	for _, e := range newSnap.Entries {
+		if !oldNames[e.Name] {
+			onlyNew = append(onlyNew, e.Name)
+		}
+	}
+	return onlyOld, onlyNew
+}
+
 func joinWhy(why []string) string {
 	s := why[0]
 	for _, w := range why[1:] {
@@ -169,6 +197,16 @@ func runCompare(oldPath, newPath string, threshold float64) {
 		fatal(err)
 	}
 	regressed := compareSnapshots(oldSnap, newSnap, threshold)
+	if onlyOld, onlyNew := entryNameDiff(oldSnap, newSnap); len(onlyOld) > 0 || len(onlyNew) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: warning: snapshots cover different entry sets — only the %d shared entr%s gated\n",
+			len(newSnap.Entries)-len(onlyNew), plural(len(newSnap.Entries)-len(onlyNew)))
+		for _, n := range onlyOld {
+			fmt.Fprintf(os.Stderr, "  only in %s: %s\n", oldPath, n)
+		}
+		for _, n := range onlyNew {
+			fmt.Fprintf(os.Stderr, "  only in %s: %s\n", newPath, n)
+		}
+	}
 	if len(regressed) > 0 {
 		fmt.Fprintf(os.Stderr, "bench: %d entr%s regressed more than %.0f%%:\n",
 			len(regressed), plural(len(regressed)), threshold*100)

@@ -119,3 +119,31 @@ func TestStagePercentiles(t *testing.T) {
 		t.Error("empty delta should yield nil stage map")
 	}
 }
+
+// Snapshots with different entry sets gate only on the intersection, and
+// entryNameDiff reports each side's exclusive names for the warning.
+func TestCompareDifferingEntrySets(t *testing.T) {
+	oldOnly := baseEntry()
+	oldOnly.Name = "Synthesize/VOPD/SRing"
+	newOnly := baseEntry()
+	newOnly.Name = "Serve/MWD/SRing"
+	newOnly.NsPerOp = 9e9 // huge, but unmatched entries must not gate
+
+	oldSnap := snapWith(baseEntry(), oldOnly)
+	newSnap := snapWith(baseEntry(), newOnly)
+
+	if regressed := compareSnapshots(oldSnap, newSnap, 0.20); len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none: unmatched entries must not gate", regressed)
+	}
+	gotOld, gotNew := entryNameDiff(oldSnap, newSnap)
+	if len(gotOld) != 1 || gotOld[0] != "Synthesize/VOPD/SRing" {
+		t.Errorf("onlyOld = %v, want [Synthesize/VOPD/SRing]", gotOld)
+	}
+	if len(gotNew) != 1 || gotNew[0] != "Serve/MWD/SRing" {
+		t.Errorf("onlyNew = %v, want [Serve/MWD/SRing]", gotNew)
+	}
+	sameOld, sameNew := entryNameDiff(oldSnap, oldSnap)
+	if len(sameOld) != 0 || len(sameNew) != 0 {
+		t.Errorf("identical snapshots diff = %v / %v, want empty", sameOld, sameNew)
+	}
+}

@@ -125,6 +125,31 @@ func stagePercentiles(d *sring.RegistrySnap) map[string]stagePct {
 	return out
 }
 
+// counterPrefixes selects which registry counters a bench entry snapshots:
+// the branch-and-cut internals that explain a gap or node-count shift.
+var counterPrefixes = []string{"milp.cuts.", "lp.rows."}
+
+// solverCounters extracts the selected counter deltas; nil when none fired
+// (a run without the MILP).
+func solverCounters(d *sring.RegistrySnap) map[string]int64 {
+	var out map[string]int64
+	for name, v := range d.Counters {
+		if v == 0 {
+			continue
+		}
+		for _, p := range counterPrefixes {
+			if strings.HasPrefix(name, p) {
+				if out == nil {
+					out = make(map[string]int64)
+				}
+				out[name] = v
+				break
+			}
+		}
+	}
+	return out
+}
+
 // measureCache times the cold-vs-warm sweep: every selected app under
 // three loss-parameter variants, twice, sharing one cache.
 func measureCache(ctx context.Context, apps []*sring.Application, baseOpt sring.Options) (*cacheBench, error) {
@@ -171,6 +196,7 @@ func main() {
 		full      = flag.Bool("full", false, "also benchmark the ORNoC/CTORing/XRing baselines")
 		milp      = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
 		milpLimit = flag.Duration("milp-timeout", sring.DefaultMILPTimeLimit, "per-solve MILP time limit")
+		cutRounds = flag.Int("cut-rounds", 0, "with -milp, cutting-plane rounds per fractional node (0: solver default, negative: disable cuts)")
 		decompose = flag.Bool("decompose", false, "with -milp, run the cluster-decomposed exact assignment")
 		appsFlag  = flag.String("apps", "", "comma-separated registry app names to benchmark (default: the seven paper benchmarks)")
 		trials    = flag.Int("cluster-trials", 0, "cap SRing's initial clustering trials (0 = unlimited, the paper's behaviour)")
@@ -243,7 +269,7 @@ func main() {
 			appsToRun = append(appsToRun, a)
 		}
 	}
-	baseOpt := sring.Options{UseMILP: *milp, DecomposeAssign: *decompose, MILPTimeLimit: *milpLimit, ClusterTrials: *trials}
+	baseOpt := sring.Options{UseMILP: *milp, DecomposeAssign: *decompose, MILPTimeLimit: *milpLimit, CutRounds: *cutRounds, ClusterTrials: *trials}
 
 	snap := snapshot{
 		Date:      date,
@@ -284,6 +310,7 @@ func main() {
 					BytesPerOp:  r.bytesPerOp,
 					Runs:        r.n,
 					StageNs:     stagePercentiles(stageDelta),
+					Counters:    solverCounters(stageDelta),
 				}
 				milpNote := ""
 				if last != nil && last.AssignStats != nil && last.AssignStats.MILPRan {

@@ -76,11 +76,19 @@ func main() {
 	}
 
 	for _, s := range res.Warm {
-		fmt.Printf("%-32s %6d reqs %12.0f ns/op   p50 %-10s p99 %-10s synth p50 %s\n",
+		line := fmt.Sprintf("%-32s %6d reqs %12.0f ns/op   p50 %-10s p99 %-10s synth p50 %s",
 			s.Name, s.Count, s.MeanNs,
 			time.Duration(s.P50Ns).Round(time.Microsecond),
 			time.Duration(s.P99Ns).Round(time.Microsecond),
 			time.Duration(s.SynthP50Ns).Round(time.Microsecond))
+		if s.Errors > 0 {
+			line += fmt.Sprintf("   %d non-2xx", s.Errors)
+		}
+		fmt.Println(line)
+	}
+	if n := res.TotalErrors(); n > 0 {
+		fmt.Printf("%-32s %d non-2xx responses across both passes, excluded from all latency numbers\n",
+			"Replay/errors", n)
 	}
 	coldP50, warmP50 := res.ColdP50(), res.WarmP50()
 	ratio := 0.0

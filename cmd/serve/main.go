@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -47,6 +48,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "address to serve synthesis requests on")
 		maxJ      = flag.Int("max-j", 0, "cap per-request Parallelism (0 = allow all CPUs)")
+		maxInflt  = flag.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "cap concurrently running synthesis requests; excess get 429 + Retry-After (negative = unlimited)")
 		telemetry = flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /debug/pprof/) on this second address")
 		teleHold  = flag.Duration("telemetry-hold", 0, "with -telemetry, keep the endpoint serving this long after shutdown")
 	)
@@ -76,6 +78,7 @@ func main() {
 		Cache:          cache,
 		Registry:       obs.Default(),
 		MaxParallelism: *maxJ,
+		MaxInflight:    *maxInflt,
 	}
 	hs := &http.Server{
 		Addr:              *addr,

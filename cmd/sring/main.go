@@ -43,6 +43,8 @@ func main() {
 		useMILP    = flag.Bool("milp", false, "enable the exact MILP wavelength assignment")
 		decompose  = flag.Bool("decompose", false, "with -milp, run the cluster-decomposed exact assignment")
 		milpLimit  = flag.Duration("milp-timeout", sring.DefaultMILPTimeLimit, "MILP time limit")
+		oracle     = flag.String("oracle", "", `with -milp, independent cross-check solver to run when the MILP cannot prove optimality ("cp": constraint-propagation search)`)
+		cutRounds  = flag.Int("cut-rounds", 0, "with -milp, cutting-plane rounds per fractional node (0: solver default, negative: disable cuts)")
 		jobs       = flag.Int("j", 0, "synthesis worker count (0 = all CPUs, 1 = sequential; same design either way)")
 		treeHeight = flag.Int("tree-height", 0, "SRing L_max search tree height h (0 = default 6)")
 		trials     = flag.Int("cluster-trials", 0, "cap SRing's initial clustering trials (0 = unlimited, the paper's behaviour)")
@@ -95,6 +97,8 @@ func main() {
 		UseMILP:         *useMILP,
 		DecomposeAssign: *decompose,
 		MILPTimeLimit:   *milpLimit,
+		Oracle:          *oracle,
+		CutRounds:       *cutRounds,
 		TreeHeight:      *treeHeight,
 		ClusterTrials:   *trials,
 		Parallelism:     *jobs,
@@ -105,6 +109,10 @@ func main() {
 	}
 	if d.Cancelled {
 		fmt.Fprintln(os.Stderr, "sring: interrupted — reporting the best design found so far")
+	}
+	if st := d.AssignStats; st != nil && st.OracleRan {
+		fmt.Fprintf(os.Stderr, "sring: CP oracle ran (%d nodes, exact=%v, bound %.4f dB)\n",
+			st.OracleNodes, st.OracleExact, st.OracleBound)
 	}
 	m, err := d.Metrics()
 	if err != nil {

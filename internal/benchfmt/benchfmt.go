@@ -37,6 +37,11 @@ type Entry struct {
 	// serving entries the same field carries request-latency percentiles
 	// under the "request" key.
 	StageNs map[string]StagePct `json:"stage_ns,omitempty"`
+	// Counters holds selected registry counter deltas observed across
+	// this entry's iterations — the solver-internals the latency numbers
+	// alone cannot explain (milp.cuts.*, lp.rows.appended). Absent on
+	// entries that predate the field or ran without the MILP.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // StagePct is one stage's latency distribution, in nanoseconds.

@@ -160,6 +160,18 @@ type Solver struct {
 	slackLo []float64 // len m: slack bounds encoding the row relation
 	slackHi []float64
 
+	// Row-mutation state (see append.go). cons is the solver-owned
+	// constraint list — a copy of the slice header taken at construction,
+	// appended to by AppendRows — and objStruct the structural objective,
+	// both retained so the kernel can be rebuilt after a row change.
+	// newKernel is the constructor the solver was built with, so a rebuilt
+	// kernel is the same engine; baseRows is the construction-time row
+	// count, the floor TruncateRows enforces.
+	cons      []Constraint
+	objStruct []float64
+	newKernel func(*Solver, *Problem) kernel
+	baseRows  int
+
 	// Scratch arena, allocated once in the constructor and overwritten per
 	// solve.
 	d       []float64 // len nCols: reduced costs of the current basis
@@ -216,6 +228,7 @@ type Solver struct {
 	refactorH     *obs.Histogram // lp.sparse.refactor.ns: per LU factorisation
 	ftSpikeH      *obs.Histogram // lp.ft.spike.nnz: spike size per FT update
 	sparseSolvesC *obs.Counter   // lp.sparse.solves
+	rowsAppendedC *obs.Counter   // lp.rows.appended
 	solveStart    time.Time
 }
 
@@ -234,6 +247,7 @@ func (s *Solver) SetRegistry(reg *obs.Registry) {
 	s.refactorH = r.Histogram("lp.sparse.refactor.ns")
 	s.ftSpikeH = r.Histogram("lp.ft.spike.nnz")
 	s.sparseSolvesC = r.Counter("lp.sparse.solves")
+	s.rowsAppendedC = r.Counter("lp.rows.appended")
 }
 
 // NewSolver validates the problem and builds the reusable solve state with
@@ -244,7 +258,8 @@ func NewSolver(p *Problem) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.k = newFTKernel(s, p)
+	s.newKernel = func(s *Solver, p *Problem) kernel { return newFTKernel(s, p) }
+	s.k = s.newKernel(s, p)
 	return s, nil
 }
 
@@ -258,7 +273,8 @@ func NewEtaSolver(p *Problem) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.k = newSparseKernel(s, p)
+	s.newKernel = func(s *Solver, p *Problem) kernel { return newSparseKernel(s, p) }
+	s.k = s.newKernel(s, p)
 	return s, nil
 }
 
@@ -272,7 +288,8 @@ func NewDenseSolver(p *Problem) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.k = newDenseKernel(s, p)
+	s.newKernel = func(s *Solver, p *Problem) kernel { return newDenseKernel(s, p) }
+	s.k = s.newKernel(s, p)
 	return s, nil
 }
 
@@ -302,8 +319,12 @@ func newSolverCore(p *Problem) (*Solver, error) {
 		pert0:   make([]float64, n+m),
 	}
 	s.SetRegistry(nil)
+	s.cons = append([]Constraint(nil), p.Constraints...)
+	s.baseRows = m
+	s.objStruct = make([]float64, n)
 	if p.Objective != nil {
 		copy(s.obj, p.Objective)
+		copy(s.objStruct, p.Objective)
 	}
 	for i, c := range p.Constraints {
 		s.rhs[i] = c.RHS

@@ -369,9 +369,9 @@ func (k *ftKernel) column(j int) []float64 {
 func (k *ftKernel) row(i int) []float64 { return k.sk.rowWith(k, i) }
 
 func (k *ftKernel) computeRHSBar() { k.sk.computeRHSBarWith(k) }
-func (k *ftKernel) computeD()     { k.sk.priceIntoWith(k, k.sk.s.d, k.sk.s.obj) }
-func (k *ftKernel) computePert()  { k.sk.priceIntoWith(k, k.sk.s.pert, k.sk.s.pert0) }
-func (k *ftKernel) computeXB()    { k.sk.computeXBWith(k) }
+func (k *ftKernel) computeD()      { k.sk.priceIntoWith(k, k.sk.s.d, k.sk.s.obj) }
+func (k *ftKernel) computePert()   { k.sk.priceIntoWith(k, k.sk.s.pert, k.sk.s.pert0) }
+func (k *ftKernel) computeXB()     { k.sk.computeXBWith(k) }
 
 // refactorize mirrors sparseKernel.refactorize — same memoisation, same
 // canonical elimination — but installs the factor as the FT base.

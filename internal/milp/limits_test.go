@@ -39,6 +39,7 @@ func TestNodeLimitReturnsIncumbentWithGap(t *testing.T) {
 		NodeLimit:       1,
 		Incumbent:       append([]float64(nil), limitIncumbent...),
 		DisablePresolve: true,
+		CutRounds:       -1, // root cuts would prove this knapsack optimal at node 1
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +100,7 @@ func TestTimeLimitReturnsIncumbentWithGap(t *testing.T) {
 // must not fabricate a solution: the gap reads as infinite.
 func TestNodeLimitNoIncumbentInfiniteGap(t *testing.T) {
 	p := limitKnapsack()
-	res, err := Solve(p, Options{NodeLimit: 1, DisablePresolve: true})
+	res, err := Solve(p, Options{NodeLimit: 1, DisablePresolve: true, CutRounds: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,15 @@ type Problem struct {
 	LP lp.Problem
 	// Integer[i] marks variable i as integral. Length must equal NumVars.
 	Integer []bool
+	// CoverRows optionally lists indices into LP.Constraints of rows with
+	// knapsack structure over binary variables — after negating a ≥-row and
+	// complementing negative coefficients they read Σ a'_j x̃_j ≤ b' with
+	// a' > 0 over 0/1 variables — that the branch-and-cut layer targets for
+	// lifted cover separation. Rows that turn out not to be knapsacks over
+	// root-binary variables are skipped at solve time; out-of-range indices
+	// fail Validate. The indices are remapped through presolve and row
+	// prepping automatically.
+	CoverRows []int
 }
 
 // Validate checks dimensions.
@@ -34,6 +43,11 @@ func (p *Problem) Validate() error {
 	}
 	if len(p.Integer) != p.LP.NumVars {
 		return fmt.Errorf("milp: Integer has length %d, want %d", len(p.Integer), p.LP.NumVars)
+	}
+	for _, r := range p.CoverRows {
+		if r < 0 || r >= len(p.LP.Constraints) {
+			return fmt.Errorf("milp: CoverRows index %d out of range [0,%d)", r, len(p.LP.Constraints))
+		}
 	}
 	return nil
 }
@@ -76,6 +90,18 @@ type Options struct {
 	// Gap is the relative optimality gap at which the search stops early.
 	// Zero means solve to proven optimality.
 	Gap float64
+	// CutRounds caps the cutting-plane rounds run when a node's relaxation
+	// comes back fractional: the root gets the full budget, shallow nodes
+	// (depth ≤ 4) one round, deeper nodes none. Zero means the default (6);
+	// negative disables cut separation entirely. Cuts are separated,
+	// selected and purged only at canonical node consumption on the main
+	// goroutine, so any Parallelism setting reproduces the same cuts —
+	// and the same NodeFingerprint — bit for bit.
+	CutRounds int
+	// MaxCutsPerRound caps how many cuts are appended per round (highest
+	// efficacy — norm-scaled violation — first). Zero means the default
+	// (8); negative means no cap.
+	MaxCutsPerRound int
 	// DisablePresolve skips the bound-propagation reduction.
 	DisablePresolve bool
 	// Obs, when non-nil, is the parent span under which the solve records
@@ -132,12 +158,15 @@ type Result struct {
 	// TimeLimitHit reports that the wall-clock budget expired before the
 	// search finished (the node limit alone does not set it).
 	TimeLimitHit bool
-	// NodeFingerprint is an FNV-1a hash folding in the (seq, bound) pair
-	// of every node at the moment it is explored, in order. It makes the
-	// determinism contract checkable: any Parallelism setting must
-	// reproduce the sequential fingerprint bit for bit, because the main
-	// loop alone pops and commits nodes in canonical heap order. Zero when
-	// branch and bound never ran (presolve decided the instance).
+	// NodeFingerprint is an FNV-1a hash folding in the (seq, bound,
+	// active-cut signature) triple of every node at the moment it is
+	// explored, in order — the cut signature hashes the cutting planes the
+	// node inherited, so the fingerprint certifies the cut trajectory too.
+	// It makes the determinism contract checkable: any Parallelism setting
+	// must reproduce the sequential fingerprint bit for bit, because the
+	// main loop alone pops nodes, separates cuts and commits results in
+	// canonical heap order. Zero when branch and bound never ran (presolve
+	// decided the instance).
 	NodeFingerprint uint64
 	// Cancelled reports that the context passed to SolveContext was
 	// cancelled before the search finished. The result is still valid:
@@ -170,11 +199,15 @@ const (
 	fnv64Prime  uint64 = 1099511628211
 )
 
-// mixNode folds one explored node into the running fingerprint.
-func mixNode(h uint64, seq int, bound float64) uint64 {
+// mixNode folds one explored node into the running fingerprint: its
+// sequence number, its bound, and the signature of its active cut list
+// (0 for a cut-free node).
+func mixNode(h uint64, seq int, bound float64, cutSig uint64) uint64 {
 	h ^= uint64(seq)
 	h *= fnv64Prime
 	h ^= math.Float64bits(bound)
+	h *= fnv64Prime
+	h ^= cutSig
 	h *= fnv64Prime
 	return h
 }
@@ -191,6 +224,14 @@ type node struct {
 	// warm-started from it by dual simplex (both children share the one
 	// snapshot, which is immutable once taken). nil means solve cold.
 	basis *lp.Basis
+	// cuts is the active cut list: exactly the cut rows of the LP that
+	// produced basis, so the warm start stays shape-consistent. Fixed at
+	// node creation and immutable from then on (the cutter swaps in a new
+	// list after its rounds; it never mutates one), which is what lets
+	// speculative workers solve the node without any cut-pool
+	// coordination. cutSig is foldCuts(cuts), precomputed for mixNode.
+	cuts   []*cut
+	cutSig uint64
 	// pcVar/pcUp/pcFrac record the branch that created this node: the
 	// variable branched on, whether this is the up (ceil) child, and the
 	// variable's fractional part in the parent relaxation. When the
@@ -503,6 +544,21 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	}
 	defer eval.close()
 
+	// Branch and cut: the cutter runs on this goroutine only, at canonical
+	// node consumption, against its own solver arena (the tableau of a
+	// consumed node is re-established there by a canonical refactorisation
+	// of its basis, so separation is independent of which worker solved it).
+	var ct *cutter
+	if cutsEnabled(opt) {
+		crs, cerr := newRelaxSolver(pp, ctx.Done(), reg)
+		if cerr != nil {
+			sp.End()
+			return nil, cerr
+		}
+		ct = newCutter(pp, crs, opt, rec)
+		defer func() { ct.flush(reg) }()
+	}
+
 	res := &Result{Status: Unknown, Objective: math.Inf(1), Bound: math.Inf(-1)}
 	defer func() {
 		sp.SetString("status", res.Status.String())
@@ -567,7 +623,7 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 			break
 		}
 		res.Nodes++
-		res.NodeFingerprint = mixNode(res.NodeFingerprint, nd.seq, nd.bound)
+		res.NodeFingerprint = mixNode(res.NodeFingerprint, nd.seq, nd.bound, nd.cutSig)
 		nodesC.Add(1)
 		regNodesC.Add(1)
 
@@ -597,12 +653,37 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 			continue // bound: cannot improve
 		}
 		branchVar := pc.selectBranchVar(p, opt.BranchPriority, sol.X)
+		if ct != nil && branchVar >= 0 && bas != nil {
+			// Cutting-plane rounds: tighten the fractional relaxation
+			// before branching. A pruned=true return means the cut-
+			// augmented LP is infeasible — valid cuts only remove
+			// fractional points, so the subtree holds no integral solution.
+			csol, cbas, pruned := ct.run(nd, sol, bas, deadline)
+			if pruned {
+				continue
+			}
+			if csol != nil {
+				sol, bas = csol, cbas
+				if sol.Objective >= res.Objective-1e-9 {
+					continue // the moved bound prunes the node
+				}
+				branchVar = pc.selectBranchVar(p, opt.BranchPriority, sol.X)
+			}
+		}
 		if branchVar < 0 {
 			// Integral: new incumbent.
 			x := append([]float64(nil), sol.X...)
 			for i, isInt := range p.Integer {
 				if isInt {
 					x[i] = math.Round(x[i])
+				}
+			}
+			if len(nd.cuts) > 0 {
+				// The point came from a cut-augmented LP; re-verify against
+				// the original rows so correctness never rests on cut
+				// validity alone.
+				if _, verr := checkIncumbent(p, x); verr != nil {
+					continue
 				}
 			}
 			if prev := res.Objective; !math.IsInf(prev, 1) {
@@ -635,7 +716,7 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 			// Root primal heuristic: a deterministic rounding dive seeds the
 			// incumbent so bound pruning bites from the very first branches.
 			if hs, herr := newRelaxSolver(pp, ctx.Done(), reg); herr == nil {
-				if x, obj, ok := diveHeuristic(pp, hs, opt.BranchPriority, sol, bas, deadline, rec); ok && obj < res.Objective-1e-9 {
+				if x, obj, ok := diveHeuristic(pp, hs, opt.BranchPriority, sol, bas, nd.cuts, deadline, rec); ok && obj < res.Objective-1e-9 {
 					if prev := res.Objective; !math.IsInf(prev, 1) {
 						incDeltaH.Record(int64((prev - obj) * 1e6))
 					}
@@ -654,16 +735,23 @@ func solveBB(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 		v := sol.X[branchVar]
 		frac := v - math.Floor(v)
 		est := pc.subtreeEstimate(p, sol.Objective, sol.X)
+		// Children inherit the node's final cut rows (the LP that produced
+		// bas), minus aged loose cuts — inherit purges those together with
+		// a matching basis surgery, so the warm start stays shape-exact.
+		childCuts, childBas, childSig := nd.cuts, bas, nd.cutSig
+		if ct != nil {
+			childCuts, childBas, childSig = ct.inherit(nd, bas)
+		}
 		down := child(nd, &seq, sol.Objective)
 		down.upper[branchVar] = math.Floor(v)
-		down.basis = bas
+		down.basis, down.cuts, down.cutSig = childBas, childCuts, childSig
 		down.pcVar, down.pcUp, down.pcFrac, down.est = branchVar, false, frac, est
 		up := child(nd, &seq, sol.Objective)
 		up.lower[branchVar] = math.Ceil(v)
-		up.basis = bas
+		up.basis, up.cuts, up.cutSig = childBas, childCuts, childSig
 		up.pcVar, up.pcUp, up.pcFrac, up.est = branchVar, true, frac, est
-		if bas != nil {
-			basisUses[bas] = 2
+		if childBas != nil {
+			basisUses[childBas] = 2
 		}
 		heap.Push(open, down)
 		heap.Push(open, up)

@@ -204,7 +204,9 @@ func TestNodeLimitReturnsIncumbent(t *testing.T) {
 	}
 	p.LP.AddConstraint(lp.LE, 3, map[int]float64{0: 2, 1: 2})
 	binaryBox(&p.LP)
-	res, err := Solve(p, Options{NodeLimit: 1, Incumbent: []float64{1, 0}})
+	// Cuts disabled: a root Gomory round would prove optimality at node 1,
+	// and this test is about the limit path.
+	res, err := Solve(p, Options{NodeLimit: 1, Incumbent: []float64{1, 0}, CutRounds: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

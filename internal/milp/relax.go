@@ -19,6 +19,9 @@ import (
 type prepped struct {
 	p      *Problem  // rows reduced; variables and objective untouched
 	lo, hi []float64 // root bounds (lo starts at 0 by the LP convention)
+	// coverRows is Problem.CoverRows remapped to the reduced row indices
+	// (deduplicated, ascending): the cover-cut separator's targets.
+	coverRows []int
 }
 
 // prepRelaxation converts the problem into bounded-variable form:
@@ -44,7 +47,11 @@ func prepRelaxation(p *Problem, rec *obs.Recorder) *prepped {
 	rows := make([]lp.Constraint, 0, len(p.LP.Constraints))
 	var removedRows, boundRows int64
 	seen := make(map[string]int) // canonical row key -> index in rows
-	for _, c := range p.LP.Constraints {
+	// rowMap tracks where each original row ended up (-1: dropped; a
+	// duplicate maps to the kept copy) so CoverRows can be remapped.
+	rowMap := make([]int, len(p.LP.Constraints))
+	for ci, c := range p.LP.Constraints {
+		rowMap[ci] = -1
 		if len(c.Coeffs) == 0 {
 			ok := true
 			switch c.Rel {
@@ -112,6 +119,7 @@ func prepRelaxation(p *Problem, rec *obs.Recorder) *prepped {
 		}
 		key := rowKey(&c)
 		if j, dup := seen[key]; dup {
+			rowMap[ci] = j
 			prev := &rows[j]
 			switch c.Rel {
 			case lp.LE:
@@ -131,11 +139,25 @@ func prepRelaxation(p *Problem, rec *obs.Recorder) *prepped {
 			continue
 		}
 		seen[key] = len(rows)
+		rowMap[ci] = len(rows)
 		rows = append(rows, c)
 	}
 	if rec != nil {
 		rec.Add("milp.presolve.rows_removed", removedRows)
 		rec.Add("milp.presolve.bound_rows", boundRows)
+	}
+	if len(p.CoverRows) > 0 {
+		mapped := make(map[int]bool, len(p.CoverRows))
+		for _, r := range p.CoverRows {
+			if j := rowMap[r]; j >= 0 {
+				mapped[j] = true
+			}
+		}
+		pr.coverRows = make([]int, 0, len(mapped))
+		for j := range mapped {
+			pr.coverRows = append(pr.coverRows, j)
+		}
+		sort.Ints(pr.coverRows)
 	}
 	pr.p = &Problem{
 		LP: lp.Problem{
@@ -181,6 +203,12 @@ type relaxSolver struct {
 	pp     *prepped
 	s      *lp.Solver
 	lo, hi []float64 // per-solve scratch bounds
+	// cuts is the cut list currently installed as appended rows past the
+	// prepped constraints. Node cut lists are immutable and shared between
+	// siblings, so the pointer comparison in configure makes consecutive
+	// same-subtree solves (sibling affinity on the steal pool) skip the
+	// row rebuild entirely.
+	cuts []*cut
 }
 
 // newRelaxSolver builds a solver arena for pp. interrupt, when non-nil
@@ -202,25 +230,46 @@ func newRelaxSolver(pp *prepped, interrupt <-chan struct{}, reg *obs.Registry) (
 	}, nil
 }
 
+// configure installs a node's cut rows: the solver is truncated back to
+// the prepped constraints and the cut list appended. A no-op when the list
+// is already installed (node cut lists are immutable, so an element-wise
+// pointer comparison is exact).
+func (rs *relaxSolver) configure(cuts []*cut) error {
+	if cutListEq(rs.cuts, cuts) {
+		return nil
+	}
+	if err := rs.s.TruncateRows(rs.s.BaseRows()); err != nil {
+		return err
+	}
+	if len(cuts) > 0 {
+		rows := make([]lp.Constraint, len(cuts))
+		for i, c := range cuts {
+			rows[i] = c.row()
+		}
+		if err := rs.s.AppendRows(rows); err != nil {
+			return err
+		}
+	}
+	rs.cuts = cuts
+	return nil
+}
+
 // solve evaluates the node's LP relaxation. When the node carries a parent
 // basis the dual simplex re-solves it warm (bound tightenings keep the
 // parent's optimal basis dual-feasible), falling back to a cold solve if the
 // basis cannot be refactorised against the new bounds; the fallback is
 // marked on the Solution for telemetry. The returned basis is the optimal
 // basis for warm-starting the node's children, nil unless Status==Optimal.
+//
+// The node's cut rows are installed first: nd.basis was taken from an LP
+// with exactly nd.cuts appended, so the warm start remains shape-exact.
+// The rebuild-and-refactorise on a cut-list switch is the same order of
+// work as the periodic refactorisation a solve performs anyway.
 func (rs *relaxSolver) solve(nd *node, deadline time.Time) (*lp.Solution, *lp.Basis, error) {
-	copy(rs.lo, rs.pp.lo)
-	copy(rs.hi, rs.pp.hi)
-	for v, l := range nd.lower {
-		if l > rs.lo[v] {
-			rs.lo[v] = l
-		}
+	if err := rs.configure(nd.cuts); err != nil {
+		return nil, nil, err
 	}
-	for v, h := range nd.upper {
-		if h < rs.hi[v] {
-			rs.hi[v] = h
-		}
-	}
+	rs.setBounds(nd)
 	var sol *lp.Solution
 	var err error
 	fellBack := false
@@ -248,6 +297,23 @@ func (rs *relaxSolver) solve(nd *node, deadline time.Time) (*lp.Solution, *lp.Ba
 	return sol, bas, nil
 }
 
+// setBounds loads the node's variable bounds (root bounds tightened by the
+// node's branching history) into the solver's working arrays.
+func (rs *relaxSolver) setBounds(nd *node) {
+	copy(rs.lo, rs.pp.lo)
+	copy(rs.hi, rs.pp.hi)
+	for v, l := range nd.lower {
+		if l > rs.lo[v] {
+			rs.lo[v] = l
+		}
+	}
+	for v, h := range nd.upper {
+		if h < rs.hi[v] {
+			rs.hi[v] = h
+		}
+	}
+}
+
 // diveHeuristic is the root primal heuristic: starting from the root
 // relaxation it repeatedly rounds the most fractional integer variable to
 // its nearest integer, pins it with a bound, and re-solves warm. A dive
@@ -255,7 +321,7 @@ func (rs *relaxSolver) solve(nd *node, deadline time.Time) (*lp.Solution, *lp.Ba
 // or dies on an infeasible/fractional dead end. It runs on the main
 // goroutine only and is fully deterministic, so sequential and parallel
 // searches see the same incumbent seed.
-func diveHeuristic(pp *prepped, rs *relaxSolver, prio []int, root *lp.Solution, rootBasis *lp.Basis, deadline time.Time, rec *obs.Recorder) ([]float64, float64, bool) {
+func diveHeuristic(pp *prepped, rs *relaxSolver, prio []int, root *lp.Solution, rootBasis *lp.Basis, cuts []*cut, deadline time.Time, rec *obs.Recorder) ([]float64, float64, bool) {
 	if rec != nil {
 		rec.Add("milp.heuristic.dives", 1)
 	}
@@ -264,6 +330,7 @@ func diveHeuristic(pp *prepped, rs *relaxSolver, prio []int, root *lp.Solution, 
 		lower: map[int]float64{},
 		upper: map[int]float64{},
 		basis: rootBasis,
+		cuts:  cuts, // the dive warm-starts from the post-cut root basis
 	}
 	sol := root
 	for depth := 0; depth < 4*p.LP.NumVars+8; depth++ {

@@ -54,12 +54,17 @@ func buildStageKeys(app *netlist.Application, method string, opt Options, tech l
 
 	// The assignment depends on the effective weights too, but those are a
 	// pure function of (construction, tech) — both already in the chain.
-	// assign/2: the assignment stage gained the decomposed exact solve.
-	h = newKeyHasher("assign/2")
+	// assign/3: the assignment stage gained the branch-and-cut engine and
+	// the CP oracle fallback. CutRounds is hashed even though cuts never
+	// change a proven optimum: an unproven incumbent can legitimately
+	// differ between cut budgets.
+	h = newKeyHasher("assign/3")
 	h.key(ks.loss)
 	h.bool(opt.UseMILP)
 	h.bool(opt.DecomposeAssign)
 	h.i64(int64(opt.MILPTimeLimit))
+	h.str(opt.Oracle)
+	h.i64(int64(opt.CutRounds))
 	ks.assign = h.sum()
 
 	h = newKeyHasher("pdn/1")

@@ -84,6 +84,15 @@ type Options struct {
 	// for every setting, which is why Parallelism is excluded from cache
 	// keys.
 	Parallelism int
+	// Oracle names an independent cross-check solver run when the exact
+	// wavelength assignment fails to prove optimality (wavelength
+	// Options.Oracle; "cp" for the constraint-propagation search). Effective
+	// only with UseMILP; empty disables.
+	Oracle string
+	// CutRounds is the exact solver's cutting-plane budget (wavelength
+	// Options.CutRounds → milp.Options.CutRounds): 0 means the solver
+	// default, negative disables cut separation.
+	CutRounds int
 	// PhysicalPDN routes the power-distribution tree physically instead of
 	// the abstract stage-count model.
 	PhysicalPDN bool
@@ -321,6 +330,8 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 					RingLevels:    ringLevels,
 					MILPTimeLimit: opt.MILPTimeLimit,
 					Parallelism:   opt.Parallelism,
+					Oracle:        opt.Oracle,
+					CutRounds:     opt.CutRounds,
 					Obs:           root,
 					Registry:      opt.Registry,
 				})
@@ -388,6 +399,52 @@ func run(ctx context.Context, app *netlist.Application, method string, ctor Cons
 		AssignStats: stats,
 		Cancelled:   con.Cancelled || stats.Cancelled,
 	}, nil
+}
+
+// PathInfos runs the synthesis front half — construct, layout, loss
+// pricing — and returns the priced paths the assignment stage would see,
+// plus the effective objective weights. Cross-check tests use it to drive
+// the assignment solvers directly on the real benchmark instances without
+// duplicating the stage plumbing. Uncached; Recorder and Registry in opt
+// are honoured, Cache is ignored.
+func PathInfos(ctx context.Context, app *netlist.Application, method string, opt Options) ([]wavelength.PathInfo, wavelength.Weights, error) {
+	var w wavelength.Weights
+	if app == nil {
+		return nil, w, errors.New("pipeline: nil application")
+	}
+	if err := app.Validate(); err != nil {
+		return nil, w, fmt.Errorf("pipeline: %w", err)
+	}
+	ctor, ok := registry[method]
+	if !ok {
+		return nil, w, fmt.Errorf("pipeline: unknown method %q (registered: %v)", method, Methods())
+	}
+	tech, err := loss.Normalize(opt.Tech)
+	if err != nil {
+		return nil, w, err
+	}
+	root := opt.Recorder.StartSpan("pathinfos")
+	defer root.End()
+	con, err := ctor(ctx, app, opt, root)
+	if err != nil {
+		return nil, w, err
+	}
+	if err := checkConstruction(app, con); err != nil {
+		return nil, w, err
+	}
+	lay, err := design.RouteLayout(app, con.Rings, root)
+	if err != nil {
+		return nil, w, err
+	}
+	infos, err := design.PriceLoss(app, con.Rings, con.Paths, lay, tech, con.MRRFullComplement, root)
+	if err != nil {
+		return nil, w, err
+	}
+	w = con.Weights
+	if con.SplitterWeightFromTech {
+		w.SplitterStageDB = tech.SplitterStageDB()
+	}
+	return infos, w, nil
 }
 
 // layoutValue wraps the layout result so the cache holds a single pointer

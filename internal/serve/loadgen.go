@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -53,6 +54,11 @@ type ReplayStats struct {
 	// SynthP50Ns/SynthP99Ns distribute the responses' synthesis_ns.
 	SynthP50Ns int64 `json:"synth_p50_ns"`
 	SynthP99Ns int64 `json:"synth_p99_ns"`
+	// Errors counts this name's non-2xx responses (e.g. 429 load sheds).
+	// They are excluded from Count and every latency number above — a
+	// rejection returns in microseconds and would drag the percentiles of
+	// the requests that actually synthesised.
+	Errors int `json:"errors,omitempty"`
 }
 
 // ReplayResult is the outcome of a cold+warm replay.
@@ -94,9 +100,24 @@ func DefaultMix() []Request {
 	return mix
 }
 
+// TotalErrors sums the non-2xx response counts across both passes.
+func (r *ReplayResult) TotalErrors() int {
+	n := 0
+	for _, s := range r.Cold {
+		n += s.Errors
+	}
+	for _, s := range r.Warm {
+		n += s.Errors
+	}
+	return n
+}
+
 // Replay runs the cold and warm passes and gathers server-side cache
-// deltas. Any failed request fails the replay: a load profile over a
-// misbehaving server is not a measurement.
+// deltas. A transport failure or malformed response fails the replay — a
+// load profile over a misbehaving server is not a measurement — but non-2xx
+// responses are counted per name and excluded from the latency numbers: a
+// server shedding load under pressure (429) is behaviour to measure, not a
+// broken run.
 func Replay(ctx context.Context, cfg ReplayConfig) (*ReplayResult, error) {
 	client := cfg.Client
 	if client == nil {
@@ -155,9 +176,10 @@ func runPass(ctx context.Context, client *http.Client, cfg ReplayConfig, repeat 
 	}
 	jobs := make(chan Request)
 	var (
-		mu       sync.Mutex
-		byName   = map[string][]sample{}
-		firstErr error
+		mu        sync.Mutex
+		byName    = map[string][]sample{}
+		errByName = map[string]int{}
+		firstErr  error
 	)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -166,13 +188,17 @@ func runPass(ctx context.Context, client *http.Client, cfg ReplayConfig, repeat 
 			defer wg.Done()
 			for req := range jobs {
 				s, err := doOne(ctx, client, cfg.BaseURL, req)
+				name := requestName(req)
+				var se *statusError
 				mu.Lock()
-				if err != nil {
+				switch {
+				case errors.As(err, &se):
+					errByName[name]++
+				case err != nil:
 					if firstErr == nil {
 						firstErr = err
 					}
-				} else {
-					name := requestName(req)
+				default:
 					byName[name] = append(byName[name], s)
 				}
 				mu.Unlock()
@@ -190,8 +216,15 @@ func runPass(ctx context.Context, client *http.Client, cfg ReplayConfig, repeat 
 		return nil, firstErr
 	}
 
-	names := make([]string, 0, len(byName))
+	nameSet := map[string]bool{}
 	for n := range byName {
+		nameSet[n] = true
+	}
+	for n := range errByName {
+		nameSet[n] = true
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -207,17 +240,33 @@ func runPass(ctx context.Context, client *http.Client, cfg ReplayConfig, repeat 
 		}
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		sort.Slice(synths, func(i, j int) bool { return synths[i] < synths[j] })
-		out = append(out, ReplayStats{
+		st := ReplayStats{
 			Name:       n,
 			Count:      len(samples),
-			MeanNs:     float64(sum) / float64(len(samples)),
 			P50Ns:      percentile(lats, 50),
 			P99Ns:      percentile(lats, 99),
 			SynthP50Ns: percentile(synths, 50),
 			SynthP99Ns: percentile(synths, 99),
-		})
+			Errors:     errByName[n],
+		}
+		if len(samples) > 0 {
+			st.MeanNs = float64(sum) / float64(len(samples))
+		}
+		out = append(out, st)
 	}
 	return out, nil
+}
+
+// statusError is a non-2xx synthesis response: counted per name by the
+// replay, not fatal to it.
+type statusError struct {
+	name   string
+	status int
+	body   string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("loadgen: %s: HTTP %d: %s", e.name, e.status, e.body)
 }
 
 // sample is one completed request: client-observed latency and
@@ -246,8 +295,12 @@ func doOne(ctx context.Context, client *http.Client, baseURL string, req Request
 	if err != nil {
 		return sample{}, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return sample{}, fmt.Errorf("loadgen: %s %s: HTTP %d: %s", requestName(req), baseURL, resp.StatusCode, bytes.TrimSpace(payload))
+	if resp.StatusCode/100 != 2 {
+		return sample{}, &statusError{
+			name:   requestName(req),
+			status: resp.StatusCode,
+			body:   string(bytes.TrimSpace(payload)),
+		}
 	}
 	var out Response
 	if err := json.Unmarshal(payload, &out); err != nil {

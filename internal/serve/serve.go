@@ -29,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"sync"
 	"time"
 
 	"sring/internal/design"
@@ -49,6 +51,40 @@ type Server struct {
 	// MaxParallelism caps the per-request Parallelism option; 0 means
 	// requests may use all CPUs.
 	MaxParallelism int
+	// MaxInflight caps concurrently running /synthesize requests. Excess
+	// requests are rejected immediately with 429 and a Retry-After header
+	// rather than queued — a synthesis can hold a CPU for its full MILP
+	// budget, so queueing would let latency grow without bound while the
+	// client learns nothing. 0 means twice GOMAXPROCS; negative disables
+	// the cap.
+	MaxInflight int
+
+	semOnce sync.Once
+	sem     chan struct{}
+}
+
+// acquire claims an in-flight slot, returning its release func, or ok=false
+// when the server is saturated. The semaphore is sized on first use so the
+// zero-value Server works.
+func (s *Server) acquire() (release func(), ok bool) {
+	s.semOnce.Do(func() {
+		n := s.MaxInflight
+		if n == 0 {
+			n = 2 * runtime.GOMAXPROCS(0)
+		}
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	})
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		return nil, false
+	}
 }
 
 // Request is the POST /synthesize body.
@@ -271,6 +307,15 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	reg := s.registry()
+	release, ok := s.acquire()
+	if !ok {
+		reg.Add("serve.requests", 1)
+		reg.Add("serve.rejected", 1)
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusTooManyRequests, errors.New("too many in-flight synthesis requests"))
+		return
+	}
+	defer release()
 	reg.Add("serve.requests", 1)
 	defer reg.Histogram("serve.request.ns").RecordSince(start)
 

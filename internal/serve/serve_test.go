@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	_ "sring" // register the real methods
@@ -332,7 +333,9 @@ func getJSON(t *testing.T, url string, into interface{}) {
 // Short mode keeps it to the three small apps.
 func TestLoadgenSmoke(t *testing.T) {
 	reg := obs.NewRegistry()
-	srv := &serve.Server{Cache: pipeline.NewCache(), Registry: reg, MaxParallelism: 2}
+	// MaxInflight off: this test drives concurrency above the default cap
+	// on small machines and is about cache behaviour, not load shedding.
+	srv := &serve.Server{Cache: pipeline.NewCache(), Registry: reg, MaxParallelism: 2, MaxInflight: -1}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -381,5 +384,113 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if cb := res.CacheBench(); cb.WarmNs <= 0 || cb.HitRate != res.HitRate {
 		t.Errorf("cache bench incoherent: %+v", cb)
+	}
+}
+
+// A saturated server sheds load: beyond MaxInflight concurrently running
+// /synthesize requests, new ones are rejected immediately with 429 and a
+// Retry-After hint — not queued behind a synthesis that may hold its CPU
+// for a full MILP budget — and the shed shows up on the rejected counter.
+func TestSynthesizeBackpressure(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := (&serve.Server{Registry: reg, MaxInflight: 1}).Handler()
+	body := `{"app":"MWD","method":"SlowProbe","options":{"parallelism":1}}`
+
+	first := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(first, httptest.NewRequest(http.MethodPost, "/synthesize", strings.NewReader(body)))
+		close(done)
+	}()
+	<-slowStarted // the only slot is now held by the slow synthesis
+
+	w := postSynthesize(t, h, body)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, want 429: %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Errorf("429 body is not a JSON error: %q", w.Body)
+	}
+	if got := reg.Counter("serve.rejected").Value(); got != 1 {
+		t.Errorf("serve.rejected = %d, want 1", got)
+	}
+
+	slowRelease <- struct{}{}
+	<-done
+	if first.Code != http.StatusOK {
+		t.Fatalf("slot-holding request failed: %d: %s", first.Code, first.Body)
+	}
+
+	// The slot is free again: the next request is served, not rejected.
+	w = postSynthesize(t, h, `{"app":"MWD","method":"SRing","options":{"parallelism":1}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-release status = %d, want 200: %s", w.Code, w.Body)
+	}
+	if got := reg.Counter("serve.rejected").Value(); got != 1 {
+		t.Errorf("serve.rejected after release = %d, want still 1", got)
+	}
+}
+
+// A flaky server — every second /synthesize rejected with 503 — must not
+// poison the replay: the failed requests are counted per name and excluded
+// from the latency percentiles, and the replay itself still succeeds.
+func TestLoadgenFlakyServer(t *testing.T) {
+	srv := &serve.Server{Cache: pipeline.NewCache(), MaxInflight: -1}
+	inner := srv.Handler()
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/synthesize" && n.Add(1)%2 == 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"synthetic flake"}`))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	mix := []serve.Request{{App: "MWD", Method: "SRing"}}
+	res, err := serve.Replay(context.Background(), serve.ReplayConfig{
+		BaseURL:     ts.URL,
+		Concurrency: 1,
+		Repeat:      6,
+		Mix:         mix,
+	})
+	if err != nil {
+		t.Fatalf("flaky responses must not fail the replay: %v", err)
+	}
+	total := res.TotalErrors()
+	if total == 0 {
+		t.Fatal("no errors counted although half the requests were 503s")
+	}
+	var served, errs int
+	for _, s := range res.Warm {
+		served += s.Count
+		errs += s.Errors
+	}
+	for _, s := range res.Cold {
+		served += s.Count
+		errs += s.Errors
+	}
+	// 1 cold + 6 warm requests, every second one rejected.
+	if served+errs != 7 {
+		t.Fatalf("served %d + errors %d != 7 requests sent", served, errs)
+	}
+	if errs != total {
+		t.Fatalf("TotalErrors() = %d, per-name sum = %d", total, errs)
+	}
+	for _, s := range append(append([]serve.ReplayStats{}, res.Cold...), res.Warm...) {
+		if s.Count > 0 && s.P50Ns <= 0 {
+			t.Errorf("%s: served requests but p50 = %d", s.Name, s.P50Ns)
+		}
+		if s.Count == 0 && s.P50Ns != 0 {
+			t.Errorf("%s: no served requests but p50 = %d", s.Name, s.P50Ns)
+		}
 	}
 }

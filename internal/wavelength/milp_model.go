@@ -62,17 +62,88 @@ type SolveInfo struct {
 //   - Eq. 5's il_s is substituted directly into Eqs. 6-7: il_s = L_s +
 //     L_sp · b_sp^{n(s)}, removing one continuous variable per path.
 func SolveMILP(ctx context.Context, infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration, parallelism int, parent *obs.Span) (*Assignment, SolveInfo, error) {
-	return SolveMILPRegistry(ctx, infos, numLambda, w, incumbent, timeLimit, parallelism, nil, parent)
+	return SolveMILPRegistry(ctx, infos, numLambda, w, incumbent, timeLimit, parallelism, 0, nil, parent)
 }
 
 // SolveMILPRegistry is SolveMILP with an explicit aggregate-telemetry
-// registry for the solver's kernel histograms (nil: obs.Default()).
-func SolveMILPRegistry(ctx context.Context, infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration, parallelism int, reg *obs.Registry, parent *obs.Span) (*Assignment, SolveInfo, error) {
-	if numLambda < 1 {
-		return nil, SolveInfo{}, fmt.Errorf("wavelength: SolveMILP needs numLambda >= 1, got %d", numLambda)
-	}
+// registry for the solver's kernel histograms (nil: obs.Default()) and a
+// cut-separation budget (milp.Options.CutRounds: 0 solver default, negative
+// disables cutting planes).
+func SolveMILPRegistry(ctx context.Context, infos []PathInfo, numLambda int, w Weights, incumbent *Assignment, timeLimit time.Duration, parallelism, cutRounds int, reg *obs.Registry, parent *obs.Span) (*Assignment, SolveInfo, error) {
 	if incumbent != nil && incumbent.NumLambda > numLambda {
 		return nil, SolveInfo{}, fmt.Errorf("wavelength: incumbent uses %d wavelengths, palette has %d", incumbent.NumLambda, numLambda)
+	}
+	m, err := BuildMILP(infos, numLambda, w)
+	if err != nil {
+		return nil, SolveInfo{}, err
+	}
+	return solveModel(ctx, m, infos, incumbent, w, timeLimit, parallelism, cutRounds, reg, parent)
+}
+
+// MILPModel is one instance's built Eq. 8 linearisation: the mixed-integer
+// problem plus the variable layout needed to seed and decode it.
+// SolveMILPRegistry consumes it; the cut-validity property tests drive
+// milp.SolveContext on it directly (with presolve disabled, so audited cut
+// coordinates stay in this model's variable space).
+type MILPModel struct {
+	// Prob is the problem to hand to milp.SolveContext.
+	Prob *milp.Problem
+	// Priority is the branch-priority vector for milp.Options.BranchPriority.
+	Priority []int
+
+	s, l    int
+	spNodes []netlist.NodeID
+}
+
+// Variable layout (see BuildMILP):
+//
+//	b_{s,λ}   : s*L + λ                      (binary)   [0, S*L)
+//	y_λ       : S*L + λ                      (binary)
+//	sp_n      : S*L + L + spIndex[n]         (binary)
+//	ilSmax    : S*L + L + |sp|               (continuous)
+//	ilmax_λ   : S*L + L + |sp| + 1 + λ       (continuous)
+func (m *MILPModel) bVar(s, l int) int  { return s*m.l + l }
+func (m *MILPModel) yVar(l int) int     { return m.s*m.l + l }
+func (m *MILPModel) spVar(i int) int    { return m.s*m.l + m.l + i }
+func (m *MILPModel) ilSmaxVar() int     { return m.s*m.l + m.l + len(m.spNodes) }
+func (m *MILPModel) ilMaxVar(l int) int { return m.ilSmaxVar() + 1 + l }
+
+// IncumbentVector lifts a feasible assignment into the model's variable
+// space, suitable for milp.Options.Incumbent. The assignment is normalised
+// to first-use wavelength order first — the model's symmetry rows assume it.
+func (m *MILPModel) IncumbentVector(infos []PathInfo, a *Assignment, w Weights) []float64 {
+	norm := &Assignment{Lambda: append([]int(nil), a.Lambda...), NumLambda: a.NumLambda}
+	norm.Normalize()
+	return incumbentVector(infos, norm, m.Prob.LP.NumVars, m.l,
+		m.bVar, m.yVar, m.spVar, m.ilSmaxVar(), m.ilMaxVar, w)
+}
+
+// Decode reads the wavelength assignment out of a solver point.
+func (m *MILPModel) Decode(x []float64) (*Assignment, error) {
+	a := &Assignment{Lambda: make([]int, m.s), NumLambda: m.l}
+	for s := 0; s < m.s; s++ {
+		found := false
+		for l := 0; l < m.l; l++ {
+			if x[m.bVar(s, l)] > 0.5 {
+				a.Lambda[s] = l
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("wavelength: MILP solution assigns no wavelength to path %d", s)
+		}
+	}
+	a.Normalize()
+	return a, nil
+}
+
+// BuildMILP constructs the wavelength-assignment MILP over a palette of
+// numLambda wavelengths without solving it. See SolveMILP for the model
+// notes.
+func BuildMILP(infos []PathInfo, numLambda int, w Weights) (*MILPModel, error) {
+	if numLambda < 1 {
+		return nil, fmt.Errorf("wavelength: SolveMILP needs numLambda >= 1, got %d", numLambda)
 	}
 	S := len(infos)
 	L := numLambda
@@ -449,6 +520,7 @@ func SolveMILPRegistry(ctx context.Context, infos []PathInfo, numLambda int, w W
 				terms[bVar(s, l)] = 1
 			}
 			terms[spVar(i)] = -(ringCount - 1)
+			prob.CoverRows = append(prob.CoverRows, len(prob.LP.Constraints))
 			prob.LP.AddConstraint(lp.LE, 1, terms)
 		}
 		prob.LP.AddConstraint(lp.LE, 1, map[int]float64{spVar(i): 1})
@@ -494,6 +566,7 @@ func SolveMILPRegistry(ctx context.Context, infos []PathInfo, numLambda int, w W
 			terms[yVar(l)] = 1
 		}
 		terms[spVar(i)] = float64(outdeg - q1)
+		prob.CoverRows = append(prob.CoverRows, len(prob.LP.Constraints))
 		prob.LP.AddConstraint(lp.GE, float64(outdeg), terms)
 	}
 
@@ -538,14 +611,6 @@ func SolveMILPRegistry(ctx context.Context, infos []PathInfo, numLambda int, w W
 		}
 	}
 
-	msp := parent.StartSpan("wavelength.milp")
-	defer msp.End()
-	msp.SetInt("num_lambda", int64(numLambda))
-	msp.SetInt("binaries", int64(S*L+L+len(spNodes)))
-	msp.SetInt("vars", int64(numVars))
-	msp.SetInt("constraints", int64(len(prob.LP.Constraints)))
-	msp.SetBool("seeded", incumbent != nil)
-
 	// Branch on the structure of the solution before its details: fixing a
 	// y_λ decides whether a wavelength exists at all (and the symmetry
 	// ordering rows then cascade), and a splitter binary moves every loss
@@ -572,15 +637,27 @@ func SolveMILPRegistry(ctx context.Context, infos []PathInfo, numLambda int, w W
 		}
 	}
 
-	opts := milp.Options{TimeLimit: timeLimit, Parallelism: parallelism, BranchPriority: prio, Obs: msp, Registry: reg}
+	return &MILPModel{Prob: prob, Priority: prio, s: S, l: L, spNodes: spNodes}, nil
+}
+
+// solveModel runs the built model through the branch-and-cut solver and
+// decodes the result.
+func solveModel(ctx context.Context, m *MILPModel, infos []PathInfo, incumbent *Assignment, w Weights, timeLimit time.Duration, parallelism, cutRounds int, reg *obs.Registry, parent *obs.Span) (*Assignment, SolveInfo, error) {
+	S, L := m.s, m.l
+	numLambda := L
+	msp := parent.StartSpan("wavelength.milp")
+	defer msp.End()
+	msp.SetInt("num_lambda", int64(numLambda))
+	msp.SetInt("binaries", int64(S*L+L+len(m.spNodes)))
+	msp.SetInt("vars", int64(m.Prob.LP.NumVars))
+	msp.SetInt("constraints", int64(len(m.Prob.LP.Constraints)))
+	msp.SetBool("seeded", incumbent != nil)
+
+	opts := milp.Options{TimeLimit: timeLimit, Parallelism: parallelism, CutRounds: cutRounds, BranchPriority: m.Priority, Obs: msp, Registry: reg}
 	if incumbent != nil {
-		// The symmetry rows above assume first-use wavelength order; take a
-		// normalised copy so an unnormalised caller incumbent stays valid.
-		norm := &Assignment{Lambda: append([]int(nil), incumbent.Lambda...), NumLambda: incumbent.NumLambda}
-		norm.Normalize()
-		opts.Incumbent = incumbentVector(infos, norm, numVars, L, bVar, yVar, spVar, ilSmaxVar, ilMaxVar, w)
+		opts.Incumbent = m.IncumbentVector(infos, incumbent, w)
 	}
-	res, err := milp.SolveContext(ctx, prob, opts)
+	res, err := milp.SolveContext(ctx, m.Prob, opts)
 	if err != nil {
 		return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP solve: %w", err)
 	}
@@ -601,21 +678,10 @@ func SolveMILPRegistry(ctx context.Context, infos []PathInfo, numLambda int, w W
 	msp.SetBool("cancelled", info.Cancelled)
 	switch res.Status {
 	case milp.Optimal, milp.Feasible:
-		a := &Assignment{Lambda: make([]int, S), NumLambda: L}
-		for s := 0; s < S; s++ {
-			found := false
-			for l := 0; l < L; l++ {
-				if res.X[bVar(s, l)] > 0.5 {
-					a.Lambda[s] = l
-					found = true
-					break
-				}
-			}
-			if !found {
-				return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP solution assigns no wavelength to path %d", s)
-			}
+		a, err := m.Decode(res.X)
+		if err != nil {
+			return nil, SolveInfo{}, err
 		}
-		a.Normalize()
 		return a, info, nil
 	case milp.Infeasible:
 		return nil, SolveInfo{}, fmt.Errorf("wavelength: MILP %w with %d wavelengths", ErrInfeasible, numLambda)

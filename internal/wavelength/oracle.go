@@ -1,0 +1,116 @@
+package wavelength
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sring/internal/milp"
+	"sring/internal/obs"
+	"sring/internal/wavelength/cpcheck"
+)
+
+// OracleCP names the constraint-propagation cross-oracle for
+// Options.Oracle.
+const OracleCP = "cp"
+
+// cpProblem translates the assignment instance into the oracle's terms.
+// Both solvers see the same conflict adjacency and price splitters the same
+// way, so their objectives are directly comparable.
+func cpProblem(infos []PathInfo, numLambda int, w Weights) cpcheck.Problem {
+	p := cpcheck.Problem{
+		Paths:     make([]cpcheck.Path, len(infos)),
+		Adj:       conflictAdj(infos),
+		MaxLambda: numLambda,
+		W: cpcheck.Weights{
+			Alpha: w.Alpha, Beta: w.Beta, Gamma: w.Gamma,
+			SplitterDB: w.SplitterStageDB,
+		},
+	}
+	for i, info := range infos {
+		p.Paths[i] = cpcheck.Path{
+			Node:   int(info.SenderNode()),
+			Ring:   info.SenderRing(),
+			LossDB: info.LossDB,
+		}
+	}
+	return p
+}
+
+// SolveCP runs the CP oracle on the instance over a numLambda-wavelength
+// palette, seeded with the incumbent assignment (nil for none). It is the
+// exported entry the cross-check tests drive directly.
+func SolveCP(ctx context.Context, infos []PathInfo, numLambda int, w Weights, seed *Assignment, limit time.Duration) (cpcheck.Result, error) {
+	if numLambda > cpcheck.MaxLambdaLimit {
+		return cpcheck.Result{}, fmt.Errorf("wavelength: palette %d exceeds the CP oracle's %d-wavelength limit", numLambda, cpcheck.MaxLambdaLimit)
+	}
+	var seedLambda []int
+	if seed != nil {
+		seedLambda = seed.Lambda
+	}
+	var deadline time.Time
+	if limit > 0 {
+		deadline = time.Now().Add(limit)
+	}
+	return cpcheck.Solve(ctx, cpProblem(infos, numLambda, w), seedLambda, deadline)
+}
+
+// runOracle is the -oracle=cp fallback inside AssignContext: when the MILP
+// failed to prove optimality, an independent CP search gets the same time
+// budget, seeded with the best assignment so far. A CP improvement replaces
+// the incumbent; a CP proof of optimality (or a stronger CP bound) tightens
+// the reported bound and gap.
+func runOracle(ctx context.Context, infos []PathInfo, best *Assignment, numLambda int, w Weights, opt Options, stats *Stats, sp *obs.Span) (*Assignment, error) {
+	limit := opt.MILPTimeLimit
+	if limit <= 0 {
+		limit = milp.DefaultTimeLimit
+	}
+	osp := sp.StartSpan("wavelength.oracle")
+	defer osp.End()
+	reg := obs.OrDefault(opt.Registry)
+	reg.Add("wavelength.oracle.runs", 1)
+	res, err := SolveCP(ctx, infos, numLambda, w, best, limit)
+	if err != nil && ctx.Err() == nil {
+		return best, err
+	}
+	stats.OracleRan = true
+	stats.OracleExact = res.Exact
+	stats.OracleNodes = res.Nodes
+	stats.OracleBound = res.Bound
+	osp.SetBool("exact", res.Exact)
+	osp.SetInt("nodes", res.Nodes)
+	osp.SetFloat("bound", res.Bound)
+	if res.Exact {
+		reg.Add("wavelength.oracle.exact", 1)
+	}
+	if ctx.Err() != nil {
+		stats.Cancelled = true
+	}
+	if res.Lambda != nil {
+		cand := &Assignment{Lambda: append([]int(nil), res.Lambda...), NumLambda: numLambda}
+		cand.Normalize()
+		if err := Verify(infos, cand); err != nil {
+			return best, fmt.Errorf("wavelength: CP oracle produced invalid assignment: %w", err)
+		}
+		if o := Evaluate(infos, cand, w); o.Value < stats.Final.Value-1e-9 {
+			best = cand
+			stats.Final = o
+			reg.Add("wavelength.oracle.improved", 1)
+		}
+	}
+	// The CP bound is valid over the same palette the MILP searched, so the
+	// stronger of the two governs the reported gap.
+	if stats.MILPRan && res.Bound > stats.MILPBound {
+		stats.MILPBound = res.Bound
+		if stats.Final.Value > 0 {
+			gap := (stats.Final.Value - res.Bound) / stats.Final.Value
+			if gap < 0 {
+				gap = 0
+			}
+			if gap < stats.MILPGap {
+				stats.MILPGap = gap
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,124 @@
+package wavelength_test
+
+// The CP cross-oracle and the MILP are fully independent solvers for the
+// same Eq. 8 problem: the oracle propagates all-different constraints over
+// conflict cliques and bounds with a monotone partial objective, the MILP
+// runs branch-and-cut over the linearised model. This test runs both on
+// every paper benchmark's real SRing instance and demands they agree —
+// exactly where both prove optimality, and consistently (neither bound
+// contradicting the other's incumbent) where a budget runs out.
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sring/internal/netlist"
+	"sring/internal/pipeline"
+	"sring/internal/wavelength"
+
+	_ "sring/internal/cluster"
+)
+
+func TestCPOracleAgreesWithMILP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-checks every paper benchmark; skipped in -short")
+	}
+	const tol = 1e-6
+	for _, app := range netlist.Benchmarks() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			infos, w, err := pipeline.PathInfos(context.Background(), app, "SRing", pipeline.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, stats, err := wavelength.Assign(infos, wavelength.Options{
+				Weights:       w,
+				UseMILP:       true,
+				MILPTimeLimit: 5 * time.Second,
+				Parallelism:   1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			numLambda := a.NumLambda
+			if !stats.MILPRan {
+				// The size gate skipped the MILP; still cross-check the
+				// heuristic result against the CP optimum.
+				numLambda++
+			}
+			res, err := wavelength.SolveCP(context.Background(), infos, numLambda, w, a, 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("milp: ran=%v exact=%v obj=%.6f bound=%.6f; cp: exact=%v obj=%.6f bound=%.6f nodes=%d",
+				stats.MILPRan, stats.MILPExact, stats.Final.Value, stats.MILPBound,
+				res.Exact, res.Objective, res.Bound, res.Nodes)
+			if res.Lambda == nil && res.Exact {
+				t.Fatalf("CP proved infeasible but the pipeline assigned %d wavelengths", numLambda)
+			}
+			if stats.MILPExact && res.Exact {
+				// Both proved optimality over the same palette: the optima
+				// must coincide.
+				if math.Abs(res.Objective-stats.Final.Value) > tol {
+					t.Fatalf("proven optima disagree: MILP %.9f, CP %.9f", stats.Final.Value, res.Objective)
+				}
+				return
+			}
+			// At least one solver ran out of budget: the surviving
+			// certificates must still be mutually consistent. Any proven
+			// lower bound must not exceed any incumbent's value.
+			if res.Bound > stats.Final.Value+tol {
+				t.Fatalf("CP bound %.9f exceeds pipeline incumbent %.9f", res.Bound, stats.Final.Value)
+			}
+			if stats.MILPRan && res.Lambda != nil && stats.MILPBound > res.Objective+tol {
+				t.Fatalf("MILP bound %.9f exceeds CP incumbent %.9f", stats.MILPBound, res.Objective)
+			}
+		})
+	}
+}
+
+// The -oracle=cp fallback must never worsen the assignment, and on
+// instances it proves optimal the reported gap must collapse to zero.
+func TestOracleFallbackImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the exact pipeline twice; skipped in -short")
+	}
+	app := netlist.MWD()
+	infos, w, err := pipeline.PathInfos(context.Background(), app, "SRing", pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := wavelength.Options{
+		Weights:       w,
+		UseMILP:       true,
+		MILPTimeLimit: 100 * time.Millisecond,
+		Parallelism:   1,
+	}
+	_, plain, err := wavelength.Assign(infos, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOracle := base
+	withOracle.Oracle = wavelength.OracleCP
+	_, st, err := wavelength.Assign(infos, withOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Final.Value > plain.Final.Value+1e-9 {
+		t.Fatalf("oracle fallback worsened the objective: %.9f vs %.9f", st.Final.Value, plain.Final.Value)
+	}
+	if plain.MILPExact {
+		if st.OracleRan {
+			t.Fatal("oracle ran although the MILP already proved optimality")
+		}
+		return
+	}
+	if !st.OracleRan {
+		t.Fatal("MILP inexact but the oracle fallback did not run")
+	}
+	if st.OracleExact && st.MILPGap > 1e-9 {
+		t.Fatalf("oracle proved optimality but the reported gap is %.9f", st.MILPGap)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sring/internal/netlist"
 	"sring/internal/obs"
 	"sring/internal/ring"
+	"sring/internal/wavelength/cpcheck"
 )
 
 // PathInfo is one signal path plus the data the assignment objective needs:
@@ -466,6 +467,12 @@ type Options struct {
 	// ExtraLambda lets the MILP use up to this many wavelengths beyond the
 	// heuristic's count, enabling the λ-for-splitter trade. Zero means 1.
 	ExtraLambda int
+	// CutRounds is the exact solver's cutting-plane budget, forwarded to
+	// milp.Options.CutRounds (monolithic, decomposed and assembly solves
+	// alike): 0 means the solver default, negative disables cut separation.
+	// Cuts only ever change the search path, never the optimum — the
+	// cuts-on-vs-off CI step relies on exactly that.
+	CutRounds int
 	// Decompose splits the exact solve into the connected components of the
 	// ring-coupling graph (rings are coupled when one node sends on both),
 	// solves each piece's MILP separately over a palette sweep, and
@@ -491,6 +498,13 @@ type Options struct {
 	// counters), forwarded to milp.Options.Registry. Nil means the
 	// process-wide obs.Default() registry.
 	Registry *obs.Registry
+	// Oracle names an independent cross-check solver to run when the exact
+	// solve fails to prove optimality (stalled, skipped by the size gate,
+	// or decomposed without a global certificate). OracleCP ("cp") runs the
+	// constraint-propagation search in cpcheck with the same time budget,
+	// seeded with the incumbent; an improvement replaces the assignment and
+	// a stronger bound tightens the reported gap. Empty disables.
+	Oracle string
 }
 
 // Stats reports how an assignment was obtained.
@@ -530,6 +544,16 @@ type Stats struct {
 	// offered to the coordination model (multi-piece decomposed solves
 	// only).
 	DecompCandidates int
+	// OracleRan reports that the Options.Oracle fallback solver ran.
+	OracleRan bool
+	// OracleExact reports that the oracle search ran to completion, proving
+	// its result optimal over the palette it was given.
+	OracleExact bool
+	// OracleNodes counts the oracle's search nodes.
+	OracleNodes int64
+	// OracleBound is the oracle's proven lower bound on the Eq. 8 objective
+	// (valid when OracleRan).
+	OracleBound float64
 	// DecompExact reports that every per-piece MILP in a multi-piece
 	// decomposed solve proved optimality and the coordination model was
 	// solved to optimality. Unlike MILPExact it does not certify a global
@@ -598,7 +622,7 @@ func AssignContext(ctx context.Context, infos []PathInfo, opt Options) (*Assignm
 			if len(pieces) > 1 {
 				ranDecomposed = true
 				merged, nCand, exact, cancelled, err := assignDecomposed(ctx, infos, pieces, best, w,
-					opt.MILPTimeLimit, maxBin, extra, opt.Parallelism, opt.Registry, sp)
+					opt.MILPTimeLimit, maxBin, extra, opt.Parallelism, opt.CutRounds, opt.Registry, sp)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -623,7 +647,7 @@ func AssignContext(ctx context.Context, infos []PathInfo, opt Options) (*Assignm
 		if ranDecomposed {
 			// The exact work happened per component above.
 		} else if len(infos)*numLambda <= maxBin {
-			milpA, info, err := SolveMILPRegistry(ctx, infos, numLambda, w, best, opt.MILPTimeLimit, opt.Parallelism, opt.Registry, sp)
+			milpA, info, err := SolveMILPRegistry(ctx, infos, numLambda, w, best, opt.MILPTimeLimit, opt.Parallelism, opt.CutRounds, opt.Registry, sp)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -648,6 +672,14 @@ func AssignContext(ctx context.Context, infos []PathInfo, opt Options) (*Assignm
 			// The exact solve would not finish within budget at this size;
 			// make the skip visible instead of silent.
 			sp.SetBool("milp_skipped", true)
+		}
+		if opt.Oracle == OracleCP && !stats.MILPExact && !stats.DecompExact &&
+			ctx.Err() == nil && numLambda <= cpcheck.MaxLambdaLimit {
+			var err error
+			best, err = runOracle(ctx, infos, best, numLambda, w, opt, stats, sp)
+			if err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 	best.Normalize()

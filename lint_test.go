@@ -25,8 +25,11 @@ var timeNowAllowed = []string{
 	"internal/lp/bounded.go",        // pivot-loop deadline checks
 	"internal/lp/lp.go",             // pivot-loop deadline checks
 	"internal/lp/sparse.go",         // refactorisation-latency telemetry
+	"internal/milp/cuts.go",         // cut-round deadline checks
 	"internal/milp/milp.go",         // branch-and-bound time limit
 	"internal/milp/relax.go",        // relaxation deadline checks
+	"internal/wavelength/cpcheck/",  // CP search deadline checks
+	"internal/wavelength/oracle.go", // CP oracle wall-clock budget
 	"internal/obs/obs.go",           // span timestamps
 	"internal/par/par.go",           // task wait/run telemetry timestamps
 	"internal/pipeline/pipeline.go", // SynthesisTime measurement
